@@ -1,0 +1,82 @@
+"""Extension bench: the data-mapping trade-off (Section 4.2 future work).
+
+The paper's stripe-index data mapping satisfies the large-write
+optimization but not maximal parallelism; a row-major mapping flips the
+trade. This bench measures both ends on a 21-disk alpha=0.15 array:
+
+- array-wide sequential reads (21 units): row-major spreads them over
+  nearly every disk, stripe-index stacks them onto ~G disks;
+- full-stripe aligned writes (G-1 units): stripe-index uses the
+  pre-read-free large write, row-major must fall back to per-unit
+  read-modify-writes.
+"""
+
+from repro.array import ArrayAddressing, ArrayController
+from repro.designs import paper_design
+from repro.experiments.reporting import format_table
+from repro.experiments.scales import get_scale
+from repro.layout import DeclusteredLayout
+from repro.sim import Environment
+from repro.workload import SyntheticWorkload, WorkloadConfig
+
+from benchmarks.conftest import bench_scale, run_once
+
+WIDE_READ_UNITS = 21
+STRIPE_WRITE_UNITS = 3  # G - 1 for the alpha = 0.15 design
+
+
+def run_variant(data_mapping, access_units, read_fraction):
+    env = Environment()
+    layout = DeclusteredLayout(paper_design(4), data_mapping=data_mapping)
+    addressing = ArrayAddressing(layout, get_scale(bench_scale()).spec())
+    controller = ArrayController(env, addressing)
+    workload = SyntheticWorkload(
+        controller,
+        WorkloadConfig(
+            access_rate_per_s=20.0,
+            read_fraction=read_fraction,
+            access_units=access_units,
+        ),
+    )
+    workload.run(duration_ms=15_000.0)
+    env.run(until=15_000.0)
+    env.run(until=workload.drained())
+    return workload.recorder.summary().mean_ms
+
+
+def run_extension():
+    rows = []
+    for mapping in ("stripe", "row-major"):
+        rows.append(
+            {
+                "mapping": mapping,
+                "wide_read_ms": round(run_variant(mapping, WIDE_READ_UNITS, 1.0), 2),
+                "stripe_write_ms": round(
+                    run_variant(mapping, STRIPE_WRITE_UNITS, 0.0), 2
+                ),
+            }
+        )
+    return rows
+
+
+def test_bench_extension_data_mapping(benchmark, save_result):
+    rows = run_once(benchmark, run_extension)
+    save_result(
+        "extension_data_mapping",
+        format_table(
+            headers=["data mapping", "21-unit read (ms)", "3-unit aligned write (ms)"],
+            rows=[[r["mapping"], r["wide_read_ms"], r["stripe_write_ms"]] for r in rows],
+            title=(
+                "Extension: stripe-index vs row-major data mapping "
+                "(alpha=0.15, 20 accesses/s)"
+            ),
+        ),
+    )
+    by_mapping = {r["mapping"]: r for r in rows}
+    # Row-major wins wide reads (parallelism); stripe wins aligned
+    # writes (the pre-read-free large write).
+    assert by_mapping["row-major"]["wide_read_ms"] < by_mapping["stripe"]["wide_read_ms"]
+    assert (
+        by_mapping["stripe"]["stripe_write_ms"]
+        < by_mapping["row-major"]["stripe_write_ms"]
+    )

@@ -1,0 +1,82 @@
+"""Extension bench: reconstruction throttling and user-priority queues.
+
+Section 9 names throttling and prioritization as future work "for
+greater control of the reconstruction process ... that reduces user
+response time degradation without starving reconstruction". This bench
+sweeps the throttle and toggles the two-class priority scheduler at the
+paper's alpha = 0.15, rate 210 point, producing the
+recovery-time-vs-response-time trade-off curve an operator would tune.
+"""
+
+from repro.experiments import ScenarioConfig, run_scenario
+from repro.recon import USER_WRITES
+from repro.experiments.reporting import format_table
+
+from benchmarks.conftest import bench_scale, run_once
+
+THROTTLES_MS = (0.0, 25.0, 100.0)
+POLICIES = ("cvscan", "cvscan+priority")
+
+
+def run_extension():
+    rows = []
+    for policy in POLICIES:
+        for delay in THROTTLES_MS:
+            result = run_scenario(
+                ScenarioConfig(
+                    stripe_size=4,
+                    user_rate_per_s=210.0,
+                    read_fraction=0.5,
+                    mode="recon",
+                    algorithm=USER_WRITES,
+                    recon_workers=8,
+                    scale=bench_scale(),
+                    policy=policy,
+                    recon_cycle_delay_ms=delay,
+                )
+            )
+            rows.append(
+                {
+                    "policy": policy,
+                    "throttle_ms": delay,
+                    "recon_time_s": round(result.reconstruction_time_s, 2),
+                    "mean_response_ms": round(result.response.mean_ms, 2),
+                    "p90_ms": round(result.response.p90_ms, 2),
+                }
+            )
+    return rows
+
+
+def test_bench_extension_throttle(benchmark, save_result):
+    rows = run_once(benchmark, run_extension)
+    save_result(
+        "extension_throttle_priority",
+        format_table(
+            headers=["policy", "throttle (ms)", "recon time (s)",
+                     "mean resp (ms)", "p90 (ms)"],
+            rows=[
+                [r["policy"], r["throttle_ms"], r["recon_time_s"],
+                 r["mean_response_ms"], r["p90_ms"]]
+                for r in rows
+            ],
+            title=(
+                "Extension: throttling & priority during 8-way reconstruction "
+                "(alpha=0.15, rate 210, 50/50)"
+            ),
+        ),
+    )
+    by_key = {(r["policy"], r["throttle_ms"]): r for r in rows}
+    # Throttling must trade recovery time for response time.
+    assert (
+        by_key[("cvscan", 100.0)]["recon_time_s"]
+        > by_key[("cvscan", 0.0)]["recon_time_s"]
+    )
+    assert (
+        by_key[("cvscan", 100.0)]["mean_response_ms"]
+        < by_key[("cvscan", 0.0)]["mean_response_ms"]
+    )
+    # Priority must improve response time at zero throttle.
+    assert (
+        by_key[("cvscan+priority", 0.0)]["mean_response_ms"]
+        < by_key[("cvscan", 0.0)]["mean_response_ms"]
+    )

@@ -1,0 +1,31 @@
+"""Figure 4-3: the catalog of known block designs.
+
+Benchmarks the full catalog construction (every design built and
+validated) and emits the scatter rows.
+"""
+
+from repro.designs.catalog import DesignCatalog
+from repro.designs.catalog import (
+    _register_extensions,
+    _register_families,
+    _register_paper_designs,
+)
+from repro.experiments import fig4_3
+
+from benchmarks.conftest import run_once
+
+
+def build_and_validate_catalog():
+    catalog = DesignCatalog()
+    _register_paper_designs(catalog)
+    _register_families(catalog)
+    _register_extensions(catalog)
+    for entry in catalog.entries():
+        catalog.exact(entry.v, entry.k).validate()
+    return catalog
+
+
+def test_bench_fig4_3(benchmark, save_result):
+    catalog = run_once(benchmark, build_and_validate_catalog)
+    assert len(catalog.entries()) > 50
+    save_result("fig4_3_designs", fig4_3.format_rows(fig4_3.run()))

@@ -1,0 +1,31 @@
+"""Figure 6-1: fault-free and degraded response time, 100 % reads.
+
+Grid: alpha in {0.15, 0.25, 0.45, 1.0} x rates {105, 210, 378} x
+{fault-free, degraded}. Expected shapes: fault-free flat in alpha;
+degraded response falls as alpha falls.
+"""
+
+from repro.experiments import fig6
+
+from benchmarks.conftest import bench_scale, run_once
+
+STRIPE_SIZES = (4, 6, 10, 21)
+
+
+def test_bench_fig6_1(benchmark, save_result):
+    rows = run_once(
+        benchmark,
+        fig6.run_figure,
+        read_fraction=1.0,
+        rates=fig6.READ_RATES,
+        scale=bench_scale(),
+        stripe_sizes=STRIPE_SIZES,
+    )
+    save_result(
+        "fig6_1_reads",
+        fig6.format_rows(rows, "Figure 6-1: response time, 100% reads"),
+    )
+    by_key = {(r["g"], r["rate"], r["mode"]): r["mean_response_ms"] for r in rows}
+    # Degraded RAID 5 must be the worst read case at every rate.
+    for rate in fig6.READ_RATES:
+        assert by_key[(21, rate, "degraded")] >= by_key[(4, rate, "degraded")]

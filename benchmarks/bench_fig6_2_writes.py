@@ -1,0 +1,33 @@
+"""Figure 6-2: fault-free and degraded response time, 100 % writes.
+
+Writes cost four accesses, so only rates 105 and 210 are sustainable
+(the paper could not run 378 writes/s either). Expected shapes:
+fault-free flat in alpha except the G=3 small-stripe optimization;
+degraded writes at low alpha can beat fault-free (write folding).
+"""
+
+from repro.experiments import fig6
+
+from benchmarks.conftest import bench_scale, run_once
+
+STRIPE_SIZES = (3, 4, 10, 21)
+
+
+def test_bench_fig6_2(benchmark, save_result):
+    rows = run_once(
+        benchmark,
+        fig6.run_figure,
+        read_fraction=0.0,
+        rates=fig6.WRITE_RATES,
+        scale=bench_scale(),
+        stripe_sizes=STRIPE_SIZES,
+    )
+    save_result(
+        "fig6_2_writes",
+        fig6.format_rows(rows, "Figure 6-2: response time, 100% writes"),
+    )
+    by_key = {(r["g"], r["rate"], r["mode"]): r["mean_response_ms"] for r in rows}
+    # The G=3 small-stripe write optimization: fault-free G=3 beats G=21.
+    assert by_key[(3, 105.0, "fault-free")] < by_key[(21, 105.0, "fault-free")]
+    # Write folding: degraded G=4 is not much worse than fault-free G=4.
+    assert by_key[(4, 105.0, "degraded")] < by_key[(4, 105.0, "fault-free")] * 1.10

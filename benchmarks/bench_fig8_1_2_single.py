@@ -1,0 +1,42 @@
+"""Figures 8-1 and 8-2: single-thread reconstruction.
+
+One simulation per (alpha, rate, algorithm) point supplies both the
+reconstruction-time series (Figure 8-1) and the during-reconstruction
+user response-time series (Figure 8-2). Expected shapes: both fall
+with alpha; at low alpha the simpler algorithms reconstruct fastest.
+"""
+
+from repro.experiments import fig8
+
+from benchmarks.conftest import bench_scale, run_once
+
+STRIPE_SIZES = (4, 6, 10, 21)
+
+
+def test_bench_fig8_1_and_8_2(benchmark, save_result):
+    rows = run_once(
+        benchmark,
+        fig8.run_grid,
+        workers=1,
+        scale=bench_scale(),
+        stripe_sizes=STRIPE_SIZES,
+    )
+    save_result(
+        "fig8_1_2_single_thread",
+        fig8.format_rows(
+            rows, "Figures 8-1/8-2: single-thread reconstruction (50/50)"
+        ),
+    )
+    by_key = {
+        (r["g"], r["rate"], r["algorithm"]): r for r in rows
+    }
+    # Figure 8-1 headline: declustering reconstructs much faster than
+    # RAID 5 under the same load.
+    fast = by_key[(4, 105.0, "baseline")]["recon_time_s"]
+    slow = by_key[(21, 105.0, "baseline")]["recon_time_s"]
+    assert fast < slow
+    # Figure 8-2 headline: declustering lowers user response time too.
+    assert (
+        by_key[(4, 105.0, "baseline")]["mean_response_ms"]
+        < by_key[(21, 105.0, "baseline")]["mean_response_ms"]
+    )

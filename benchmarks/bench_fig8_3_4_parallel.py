@@ -1,0 +1,38 @@
+"""Figures 8-3 and 8-4: eight-way parallel reconstruction.
+
+Expected shapes: reconstruction time drops by roughly 4-6x relative to
+single-thread while user response time rises; at low alpha the simple
+algorithms (baseline / user-writes) reconstruct fastest because they
+keep the replacement disk's write stream sequential.
+"""
+
+from repro.experiments import fig8
+
+from benchmarks.conftest import bench_scale, run_once
+
+STRIPE_SIZES = (4, 6, 10, 21)
+
+
+def test_bench_fig8_3_and_8_4(benchmark, save_result):
+    rows = run_once(
+        benchmark,
+        fig8.run_grid,
+        workers=8,
+        scale=bench_scale(),
+        stripe_sizes=STRIPE_SIZES,
+    )
+    save_result(
+        "fig8_3_4_parallel",
+        fig8.format_rows(
+            rows, "Figures 8-3/8-4: eight-way parallel reconstruction (50/50)"
+        ),
+    )
+    by_key = {(r["g"], r["rate"], r["algorithm"]): r for r in rows}
+    # Low-alpha ordering: the redirecting algorithms must not beat the
+    # simple ones on reconstruction time (the paper's surprising result).
+    simple = min(
+        by_key[(4, 210.0, "baseline")]["recon_time_s"],
+        by_key[(4, 210.0, "user-writes")]["recon_time_s"],
+    )
+    redirecting = by_key[(4, 210.0, "redirect")]["recon_time_s"]
+    assert simple <= redirecting * 1.05

@@ -1,0 +1,21 @@
+"""Derived reliability table: measured repair time → MTTDL.
+
+Expected shape: MTTDL falls as alpha rises, because repair time is the
+denominator of the MTTDL approximation and reconstruction slows as
+parity stripes widen — the quantitative version of the paper's
+window-of-vulnerability argument.
+"""
+
+from repro.experiments import reliability
+
+from benchmarks.conftest import bench_scale, run_once
+
+
+def test_bench_reliability(benchmark, save_result):
+    rows = run_once(benchmark, reliability.run, scale=bench_scale())
+    save_result("reliability_mttdl", reliability.format_rows(rows))
+    mttdl_by_alpha = [(r["alpha"], r["mttdl_years"]) for r in rows]
+    ordered = sorted(mttdl_by_alpha)
+    # MTTDL must not improve as alpha grows.
+    values = [m for _a, m in ordered]
+    assert all(b <= a * 1.02 for a, b in zip(values, values[1:]))

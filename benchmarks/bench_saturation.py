@@ -1,0 +1,25 @@
+"""Saturation sweep bench: response time vs offered load.
+
+Expected shape: response time rises slowly until the hottest disk's
+utilization approaches 1, then sharply — the standard queueing knee,
+located where the analytic (4-3R)-expansion arithmetic predicts.
+"""
+
+from repro.experiments import saturation
+
+from benchmarks.conftest import bench_scale, run_once
+
+
+def test_bench_saturation(benchmark, save_result):
+    rows = run_once(benchmark, saturation.run, scale=bench_scale())
+    save_result("saturation_sweep", saturation.format_rows(rows))
+    ordered = sorted(rows, key=lambda r: r["rate"])
+    responses = [r["mean_response_ms"] for r in ordered]
+    # Monotone non-decreasing response with offered load...
+    assert all(b >= a * 0.95 for a, b in zip(responses, responses[1:]))
+    # ...with a real knee: the top point clearly above the bottom one.
+    assert responses[-1] > responses[0] * 1.5
+    # Utilization tracks the offered fraction of the analytic ceiling.
+    for row in ordered:
+        assert row["max_disk_utilization"] <= 1.0
+        assert row["max_disk_utilization"] >= row["offered_fraction_of_ceiling"] * 0.5

@@ -1,0 +1,12 @@
+"""Table 5-1: the simulation configuration, read back from live objects."""
+
+from repro.experiments import table5_1
+
+from benchmarks.conftest import run_once
+
+
+def test_bench_table5_1(benchmark, save_result):
+    rows = run_once(benchmark, table5_1.run, "paper")
+    values = {r["parameter"]: r["value"] for r in rows}
+    assert values["cylinders"] == 949
+    save_result("table5_1_config", table5_1.format_rows(rows))

@@ -1,0 +1,28 @@
+"""Table 8-1: reconstruction cycle read/write phase times at rate 210.
+
+Expected shapes: read phase grows with alpha; the more complex
+algorithms lower the read phase and raise the write phase; baseline
+keeps the smallest write phase because nothing else touches the
+replacement disk.
+"""
+
+from repro.experiments import table8_1
+
+from benchmarks.conftest import bench_scale, run_once
+
+
+def test_bench_table8_1(benchmark, save_result):
+    rows = run_once(benchmark, table8_1.run, scale=bench_scale())
+    save_result("table8_1_cycles", table8_1.format_rows(rows))
+    by_key = {(r["workers"], r["alpha"], r["algorithm"]): r for r in rows}
+    # Read phase grows with alpha (more disks in the max of G-1 reads).
+    for workers in (1, 8):
+        assert (
+            by_key[(workers, 0.15, "baseline")]["read_ms"]
+            < by_key[(workers, 1.0, "baseline")]["read_ms"]
+        )
+    # Redirection raises the replacement's write phase over baseline.
+    assert (
+        by_key[(8, 0.15, "redirect")]["write_ms"]
+        > by_key[(8, 0.15, "baseline")]["write_ms"]
+    )

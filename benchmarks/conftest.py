@@ -1,0 +1,40 @@
+"""Shared benchmark infrastructure.
+
+Every benchmark regenerates one table or figure at the ``tiny`` scale
+(override with ``REPRO_BENCH_SCALE=small`` or ``paper``) and writes the
+formatted rows to ``results/<name>.txt`` so EXPERIMENTS.md can quote
+them. The pytest-benchmark timing wraps the whole experiment run:
+rounds=1, because one run *is* the experiment.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+def bench_scale() -> str:
+    """The scale preset benchmarks run at (env: REPRO_BENCH_SCALE)."""
+    return os.environ.get("REPRO_BENCH_SCALE", "tiny")
+
+
+@pytest.fixture
+def save_result():
+    """Writer fixture: ``save_result(name, text)`` → results/<name>.txt."""
+
+    def _save(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _save
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Reconstruction race: the four algorithms head to head.
+
+Reproduces the paper's most surprising result interactively: with
+parallel reconstruction at low declustering ratio, the *simplest*
+algorithms win, because sending user work to the replacement disk
+destroys the sequentiality of its reconstruction-write stream.
+
+The race runs every algorithm through the identical scenario (same
+seed, same failure) and prints reconstruction time, response time, and
+the cycle-phase breakdown that explains the ranking.
+
+Run:  python examples/reconstruction_race.py [alpha]
+      alpha in {0.15, 0.25, 0.45, 1.0}; default 0.15
+"""
+
+import sys
+
+from repro import ScenarioConfig, run_scenario
+from repro.recon import ALGORITHMS
+
+ALPHA_TO_G = {0.15: 4, 0.25: 6, 0.45: 10, 1.0: 21}
+
+
+def main():
+    alpha = float(sys.argv[1]) if len(sys.argv) > 1 else 0.15
+    if alpha not in ALPHA_TO_G:
+        raise SystemExit(f"pick alpha from {sorted(ALPHA_TO_G)}")
+    g = ALPHA_TO_G[alpha]
+    print(f"Reconstruction race: alpha={alpha} (G={g}), rate 210/s, "
+          f"50% reads, 8-way parallel sweep\n")
+
+    rows = []
+    for algorithm in ALGORITHMS:
+        result = run_scenario(
+            ScenarioConfig(
+                stripe_size=g,
+                user_rate_per_s=210.0,
+                read_fraction=0.5,
+                mode="recon",
+                algorithm=algorithm,
+                recon_workers=8,
+                scale="tiny",
+            )
+        )
+        read_phase, write_phase = result.reconstruction.phase_summary(last_n=300)
+        rows.append(
+            (
+                algorithm.name,
+                result.reconstruction_time_s,
+                result.response.mean_ms,
+                read_phase.mean_ms,
+                write_phase.mean_ms,
+                result.reconstruction.user_built_units,
+            )
+        )
+
+    print(f"{'algorithm':20s} {'recon (s)':>10s} {'resp (ms)':>10s} "
+          f"{'read-ph':>8s} {'write-ph':>9s} {'free units':>11s}")
+    for name, recon_s, resp_ms, read_ms, write_ms, free in rows:
+        print(f"{name:20s} {recon_s:10.1f} {resp_ms:10.1f} "
+              f"{read_ms:8.1f} {write_ms:9.1f} {free:11d}")
+
+    winner = min(rows, key=lambda r: r[1])
+    print(f"\nfastest reconstruction: {winner[0]}")
+    print(
+        "\nNote the write-phase column: the redirecting algorithms off-load\n"
+        "the survivors (lower read phase) but disturb the replacement's\n"
+        "sequential writes (higher write phase) — at low alpha that trade\n"
+        "goes against them, exactly as Section 8.2 reports."
+    )
+
+
+if __name__ == "__main__":
+    main()

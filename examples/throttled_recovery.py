@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Throttled recovery: tuning the repair-speed vs service-quality dial.
+
+The paper's future-work section asks for "throttling of reconstruction
+and/or user workload as well as a flexible prioritization scheme". Both
+are implemented here as extensions; this example sweeps them so an
+operator can pick a point on the trade-off curve:
+
+- the sweep throttle (idle time per reconstruction cycle) stretches the
+  window of vulnerability but relieves the disks;
+- the user-priority scheduler serves user requests before
+  reconstruction requests at every disk.
+
+Run:  python examples/throttled_recovery.py
+"""
+
+from repro import ScenarioConfig, run_scenario
+from repro.recon import USER_WRITES
+
+
+def run_point(policy, throttle_ms):
+    # user-writes is the recommended pairing for priority scheduling:
+    # its user writes advance reconstruction instead of dirtying it.
+    return run_scenario(
+        ScenarioConfig(
+            stripe_size=4,
+            user_rate_per_s=210.0,
+            read_fraction=0.5,
+            mode="recon",
+            algorithm=USER_WRITES,
+            recon_workers=8,
+            scale="tiny",
+            policy=policy,
+            recon_cycle_delay_ms=throttle_ms,
+        )
+    )
+
+
+def main():
+    print("Recovery tuning at alpha=0.15, 210 accesses/s, 8-way sweep\n")
+    print(f"{'policy':18s} {'throttle':>9s} {'recon (s)':>10s} "
+          f"{'mean (ms)':>10s} {'p90 (ms)':>9s}")
+    for policy in ("cvscan", "cvscan+priority"):
+        for throttle in (0.0, 25.0, 100.0, 400.0):
+            result = run_point(policy, throttle)
+            print(
+                f"{policy:18s} {throttle:8.0f}ms {result.reconstruction_time_s:10.1f} "
+                f"{result.response.mean_ms:10.1f} {result.response.p90_ms:9.1f}"
+            )
+    print(
+        "\nReading the dial: move down the throttle column to favor user\n"
+        "service; move up to shrink the window of vulnerability. The\n"
+        "priority scheduler improves response time at every throttle\n"
+        "without the unbounded slowdown heavy throttling causes."
+    )
+
+
+if __name__ == "__main__":
+    main()

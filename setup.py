@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+All metadata lives in pyproject.toml; this file exists so environments
+without PEP 660 editable-install support (e.g. offline boxes missing
+the ``wheel`` package) can still run ``python setup.py develop`` or
+legacy ``pip install -e .``.
+"""
+
+from setuptools import setup
+
+setup()

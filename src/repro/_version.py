@@ -1,0 +1,3 @@
+"""Package version, kept in one place for the CLI and docs."""
+
+__version__ = "1.0.0"

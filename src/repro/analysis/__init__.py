@@ -1,0 +1,11 @@
+"""Analysis: queueing helpers and the Muntz & Lui analytic model."""
+
+from repro.analysis.muntz_lui import MuntzLuiModel, MuntzLuiInputs
+from repro.analysis.queueing import mm1_response_time_ms, offered_load
+
+__all__ = [
+    "MuntzLuiInputs",
+    "MuntzLuiModel",
+    "mm1_response_time_ms",
+    "offered_load",
+]

@@ -1,0 +1,31 @@
+"""Small queueing-theory helpers used for sanity checks.
+
+These are not part of the paper's methodology (its whole point is that
+simple service-time models mislead), but they give tests an independent
+yardstick: a disk fed Poisson arrivals below saturation should show
+mean response times in the M/M/1 ballpark, and utilization must equal
+offered load.
+"""
+
+from __future__ import annotations
+
+
+def offered_load(arrival_rate_per_s: float, mean_service_ms: float) -> float:
+    """Utilization ``rho`` of a single server."""
+    if arrival_rate_per_s < 0 or mean_service_ms < 0:
+        raise ValueError("rates and service times must be non-negative")
+    return arrival_rate_per_s * mean_service_ms / 1000.0
+
+
+def mm1_response_time_ms(arrival_rate_per_s: float, mean_service_ms: float) -> float:
+    """Mean response time of an M/M/1 queue, in ms.
+
+    Raises
+    ------
+    ValueError
+        If the queue is saturated (``rho >= 1``).
+    """
+    rho = offered_load(arrival_rate_per_s, mean_service_ms)
+    if rho >= 1.0:
+        raise ValueError(f"queue saturated: rho = {rho:.3f}")
+    return mean_service_ms / (1.0 - rho)

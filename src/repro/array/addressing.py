@@ -1,0 +1,95 @@
+"""Array addressing: stripe units ⇄ disk sectors, and mapped capacity.
+
+Combines a parity layout with a disk spec and a stripe-unit size. The
+layout's full table tiles down the disks; only whole tables are mapped
+(the remainder at the end of each disk, always under one table depth,
+is left unallocated, as a real driver would reserve it).
+"""
+
+from __future__ import annotations
+
+
+from dataclasses import dataclass
+
+from repro.disk.specs import DiskSpec
+from repro.layout.base import ParityLayout, UnitAddress
+
+
+@dataclass(frozen=True)
+class ArrayAddressing:
+    """Address arithmetic for one array configuration."""
+
+    layout: ParityLayout
+    spec: DiskSpec
+    stripe_unit_bytes: int = 4096
+
+    def __post_init__(self):
+        if self.stripe_unit_bytes % self.spec.bytes_per_sector != 0:
+            raise ValueError(
+                f"stripe unit of {self.stripe_unit_bytes} B is not a whole "
+                f"number of {self.spec.bytes_per_sector} B sectors"
+            )
+        if self.units_per_disk < 1:
+            raise ValueError(
+                f"disk {self.spec.name} holds no complete stripe units"
+            )
+        if self.tables_per_disk < 1:
+            raise ValueError(
+                f"disk {self.spec.name} ({self.units_per_disk} units) cannot "
+                f"hold one full layout table (depth {self.layout.table_depth})"
+            )
+
+    # ------------------------------------------------------------------
+    # Capacity
+    # ------------------------------------------------------------------
+    @property
+    def sectors_per_unit(self) -> int:
+        return self.stripe_unit_bytes // self.spec.bytes_per_sector
+
+    @property
+    def units_per_disk(self) -> int:
+        """Raw stripe-unit slots per disk."""
+        return self.spec.total_sectors // self.sectors_per_unit
+
+    @property
+    def tables_per_disk(self) -> int:
+        return self.units_per_disk // self.layout.table_depth
+
+    @property
+    def mapped_units_per_disk(self) -> int:
+        """Unit slots actually mapped to parity stripes (whole tables)."""
+        return self.tables_per_disk * self.layout.table_depth
+
+    @property
+    def num_stripes(self) -> int:
+        """Complete parity stripes in the array."""
+        return self.tables_per_disk * self.layout.stripes_per_table
+
+    @property
+    def num_data_units(self) -> int:
+        """Addressable logical data units."""
+        return self.num_stripes * self.layout.data_units_per_stripe
+
+    @property
+    def data_capacity_bytes(self) -> int:
+        return self.num_data_units * self.stripe_unit_bytes
+
+    # ------------------------------------------------------------------
+    # Address conversion
+    # ------------------------------------------------------------------
+    def unit_to_sector(self, address: UnitAddress) -> int:
+        """Start sector of a stripe-unit slot on its disk."""
+        if address.offset >= self.mapped_units_per_disk:
+            raise ValueError(
+                f"offset {address.offset} beyond mapped capacity "
+                f"{self.mapped_units_per_disk}"
+            )
+        return address.offset * self.sectors_per_unit
+
+    def logical_unit_address(self, logical_unit: int) -> UnitAddress:
+        """Physical slot of a logical data unit, bounds-checked."""
+        if not 0 <= logical_unit < self.num_data_units:
+            raise ValueError(
+                f"logical unit {logical_unit} outside 0..{self.num_data_units - 1}"
+            )
+        return self.layout.logical_to_physical(logical_unit)

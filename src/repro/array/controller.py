@@ -1,0 +1,508 @@
+"""The array controller: the striping driver of the reproduction.
+
+Translates user requests into physical disk accesses under the current
+fault state and reconstruction algorithm, maintaining parity
+consistency through per-stripe locks. See the package docstring for the
+full access-sequence table.
+
+Access paths are labeled so tests and experiments can account for every
+disk access the paper's driver would issue:
+
+- ``read`` / ``redirected-read`` / ``on-the-fly-read``
+- ``rmw-write`` / ``small-stripe-write`` / ``large-write``
+- ``fold-write`` (data lost, parity absorbs the new value)
+- ``reconstruct-write`` (user-writes algorithms: data sent to the
+  replacement, parity rebuilt from surviving peers)
+- ``data-only-write`` (parity lost and not yet rebuilt)
+"""
+
+from __future__ import annotations
+
+import typing
+from dataclasses import dataclass, field
+
+from repro.array.addressing import ArrayAddressing
+from repro.array.datastore import DataStore
+from repro.array.faults import ArrayFaults
+from repro.array.locks import StripeLockTable
+from repro.array.requests import UserRequest
+from repro.disk.drive import KIND_USER, Disk
+from repro.layout.base import UnitAddress
+from repro.recon.algorithms import BASELINE, ReconAlgorithm
+from repro.recon.status import ReconStatus
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim import Environment
+
+
+@dataclass
+class ControllerStats:
+    """Counts of user operations by access path."""
+
+    user_reads: int = 0
+    user_writes: int = 0
+    by_path: typing.Dict[str, int] = field(default_factory=dict)
+    piggyback_writes: int = 0
+    straddled_accesses: int = 0
+
+    def record_path(self, path: str) -> None:
+        self.by_path[path] = self.by_path.get(path, 0) + 1
+
+
+class ArrayController:
+    """Owns the disks, layout, fault state, and request translation."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        addressing: ArrayAddressing,
+        policy: str = "cvscan",
+        algorithm: ReconAlgorithm = BASELINE,
+        with_datastore: bool = False,
+        disk_factory: typing.Optional[typing.Callable[..., Disk]] = None,
+    ):
+        self.env = env
+        self.addressing = addressing
+        self.layout = addressing.layout
+        self.spec = addressing.spec
+        self.policy = policy
+        self.algorithm = algorithm
+        self._disk_factory = disk_factory if disk_factory is not None else Disk
+        self.disks: typing.List[Disk] = [
+            self._disk_factory(env, addressing.spec, disk_id=d, policy=policy)
+            for d in range(self.layout.num_disks)
+        ]
+        self.faults = ArrayFaults(self.layout.num_disks)
+        self.locks = StripeLockTable(env)
+        self.datastore: typing.Optional[DataStore] = (
+            DataStore(addressing) if with_datastore else None
+        )
+        self.recon_status: typing.Optional[ReconStatus] = None
+        self.stats = ControllerStats()
+
+    # ------------------------------------------------------------------
+    # Fault management
+    # ------------------------------------------------------------------
+    def fail_disk(self, disk: int) -> None:
+        """Mark a disk failed; its contents become unreadable."""
+        self.faults.fail(disk)
+        if self.datastore is not None:
+            self.datastore.poison_disk(disk)
+        self.recon_status = None
+
+    def install_replacement(self) -> ReconStatus:
+        """Install a blank replacement in the failed slot.
+
+        Returns the :class:`ReconStatus` a reconstructor will drive.
+        """
+        self.faults.install_replacement()
+        failed = self.faults.failed_disk
+        self.disks[failed] = self._disk_factory(
+            self.env, self.spec, disk_id=failed, policy=self.policy
+        )
+        if self.datastore is not None:
+            self.datastore.clear_disk(failed)
+        self.recon_status = ReconStatus(
+            self.env, total_units=self.addressing.mapped_units_per_disk
+        )
+        return self.recon_status
+
+    def finish_repair(self) -> None:
+        """Return to fault-free operation once every unit is rebuilt."""
+        if self.recon_status is None or not self.recon_status.all_built:
+            raise RuntimeError("finish_repair before reconstruction completed")
+        self.faults.repair_complete()
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, request: UserRequest):
+        """Begin servicing a user request; returns its completion event."""
+        if request.logical_unit + request.num_units > self.addressing.num_data_units:
+            raise ValueError(
+                f"request [{request.logical_unit}, +{request.num_units}) exceeds "
+                f"data space of {self.addressing.num_data_units} units"
+            )
+        request.done = self.env.event()
+        request.submit_ms = self.env.now
+        self.env.process(self._handle(request), name="user-request")
+        return request.done
+
+    def read(self, logical_unit: int, num_units: int = 1):
+        """Convenience: submit a read, returning its completion event."""
+        request = UserRequest(logical_unit=logical_unit, is_write=False, num_units=num_units)
+        return self.submit(request)
+
+    def write(self, logical_unit: int, values: typing.Optional[typing.List[int]] = None,
+              num_units: int = 1):
+        """Convenience: submit a write, returning its completion event."""
+        if values is not None:
+            num_units = len(values)
+        request = UserRequest(
+            logical_unit=logical_unit, is_write=True, num_units=num_units, values=values
+        )
+        return self.submit(request)
+
+    # ------------------------------------------------------------------
+    # Request decomposition
+    # ------------------------------------------------------------------
+    def _handle(self, request: UserRequest):
+        if request.is_write:
+            self.stats.user_writes += 1
+            subops = self._plan_write(request)
+        else:
+            self.stats.user_reads += 1
+            request.read_values = [0] * request.num_units
+            subops = [
+                self.env.process(self._read_unit(request, i), name="read-unit")
+                for i in range(request.num_units)
+            ]
+        if len(subops) == 1:
+            yield subops[0]
+        else:
+            yield self.env.all_of(subops)
+        request.complete_ms = self.env.now
+        request.done.succeed(request)
+
+    def _plan_write(self, request: UserRequest):
+        """Split a write into large-write groups and per-unit updates."""
+        g_data = self.layout.data_units_per_stripe
+        subops = []
+        index = 0
+        while index < request.num_units:
+            logical = request.logical_unit + index
+            at_boundary = logical % g_data == 0
+            remaining = request.num_units - index
+            stripe = self.layout.stripe_of_logical(logical)
+            if (
+                self.layout.supports_large_write
+                and at_boundary
+                and remaining >= g_data
+                and self._stripe_is_healthy(stripe)
+            ):
+                values = self._write_values(request, index, g_data)
+                subops.append(
+                    self.env.process(
+                        self._large_write(request, stripe, values), name="large-write"
+                    )
+                )
+                index += g_data
+            else:
+                value = self._write_values(request, index, 1)[0]
+                subops.append(
+                    self.env.process(
+                        self._write_unit(request, logical, value), name="write-unit"
+                    )
+                )
+                index += 1
+        return subops
+
+    def _write_values(self, request: UserRequest, index: int, count: int) -> typing.List[int]:
+        if request.values is not None:
+            return list(request.values[index : index + count])
+        return [0] * count
+
+    def _stripe_is_healthy(self, stripe: int) -> bool:
+        """True if no unit of the stripe lives on a failed, unbuilt slot."""
+        if self.faults.fault_free:
+            return True
+        failed = self.faults.failed_disk
+        for address in self.layout.stripe_units(stripe):
+            if address.disk == failed and not self._unit_built(address.offset):
+                return False
+        return True
+
+    def _unit_built(self, offset: int) -> bool:
+        return self.recon_status is not None and self.recon_status.is_built(offset)
+
+    def _unit_live(self, offset: int) -> bool:
+        """A failed-slot unit counts as live once rebuilt.
+
+        Under strict replacement isolation, rebuilt units stay off-limits
+        to user work until the whole repair is done.
+        """
+        if not self._unit_built(offset):
+            return False
+        if not self.algorithm.isolate_replacement:
+            return True
+        return self.recon_status.all_built
+
+
+    # ------------------------------------------------------------------
+    # Disk access helpers
+    # ------------------------------------------------------------------
+    def _disk_access(self, address: UnitAddress, is_write: bool, kind: str = KIND_USER):
+        """Issue one stripe-unit-sized access; returns the disk event.
+
+        An access can legitimately land on a failed, unreplaced disk
+        when the operation was planned just before the failure (the
+        paper's driver would see an I/O error there). The transfer is
+        still timed on the dead spindle and counted in
+        ``stats.straddled_accesses``; its data is lost, which is safe
+        because parity arithmetic uses values sampled before the
+        failure.
+        """
+        failed = self.faults.failed_disk
+        if address.disk == failed and not self.faults.replacement_installed:
+            self.stats.straddled_accesses += 1
+        sector = self.addressing.unit_to_sector(address)
+        return self.disks[address.disk].access(
+            sector, self.addressing.sectors_per_unit, is_write=is_write, kind=kind
+        )
+
+    def _surviving_peers(self, stripe: int, exclude: UnitAddress) -> typing.List[UnitAddress]:
+        """All stripe units except ``exclude`` (data peers and parity)."""
+        return [u for u in self.layout.stripe_units(stripe) if u != exclude]
+
+    def _data_peers(self, stripe: int, exclude: UnitAddress) -> typing.List[UnitAddress]:
+        """Data units of the stripe other than ``exclude``."""
+        return [
+            self.layout.data_unit(stripe, j)
+            for j in range(self.layout.data_units_per_stripe)
+            if self.layout.data_unit(stripe, j) != exclude
+        ]
+
+    def _ds_read(self, address: UnitAddress) -> int:
+        if self.datastore is None:
+            return 0
+        return self.datastore.read_unit(address.disk, address.offset)
+
+    def _ds_write(self, address: UnitAddress, value: int) -> None:
+        if self.datastore is not None:
+            self.datastore.write_unit(address.disk, address.offset, value)
+
+    @staticmethod
+    def _xor(values: typing.Iterable[int]) -> int:
+        result = 0
+        for value in values:
+            result ^= value
+        return result
+
+    # ------------------------------------------------------------------
+    # Read paths
+    # ------------------------------------------------------------------
+    def _read_unit(self, request: UserRequest, unit_index: int):
+        logical = request.logical_unit + unit_index
+        address = self.addressing.logical_unit_address(logical)
+        failed = self.faults.failed_disk
+        if address.disk != failed:
+            target = address
+            if self.layout.stripe_size == 2:
+                # Mirrored reads balance across the two copies: take the
+                # replica whose disk has the shorter queue (never the
+                # failed slot — its copy may not be rebuilt yet).
+                mirror = self.layout.parity_unit(self.layout.stripe_of_logical(logical))
+                if (
+                    mirror.disk != failed
+                    and self.disks[mirror.disk].queue_length
+                    < self.disks[target.disk].queue_length
+                ):
+                    target = mirror
+            yield self._disk_access(target, is_write=False)
+            request.read_values[unit_index] = self._ds_read(target)
+            request.paths.append("read")
+            self.stats.record_path("read")
+            return
+        if self.algorithm.redirect_reads and self._unit_built(address.offset):
+            # Redirection of reads: the rebuilt unit lives on the replacement.
+            yield self._disk_access(address, is_write=False)
+            request.read_values[unit_index] = self._ds_read(address)
+            request.paths.append("redirected-read")
+            self.stats.record_path("redirected-read")
+            return
+        # On-the-fly reconstruction: XOR of all surviving stripe units.
+        stripe = self.layout.stripe_of_logical(logical)
+        yield self.locks.acquire(stripe)
+        peers = self._surviving_peers(stripe, address)
+        value = self._xor(self._ds_read(peer) for peer in peers)
+        yield self.env.all_of([self._disk_access(peer, is_write=False) for peer in peers])
+        request.read_values[unit_index] = value
+        request.paths.append("on-the-fly-read")
+        self.stats.record_path("on-the-fly-read")
+        if (
+            self.algorithm.piggyback
+            and self.faults.replacement_installed
+            and not self.recon_status.is_built(address.offset)
+            and not self.recon_status.is_claimed(address.offset)
+        ):
+            # Piggybacking of writes: store the recovered unit on the
+            # replacement while still holding the stripe lock. The user
+            # response is not delayed — it completed above; only the
+            # stripe stays locked for the piggyback write's duration.
+            self.stats.piggyback_writes += 1
+            self.env.process(
+                self._piggyback_write(stripe, address, value), name="piggyback"
+            )
+        else:
+            self.locks.release(stripe)
+
+    def _piggyback_write(self, stripe: int, address: UnitAddress, value: int):
+        yield self._disk_access(address, is_write=True)
+        self._ds_write(address, value)
+        self.recon_status.mark_built(address.offset)
+        self.locks.release(stripe)
+
+    # ------------------------------------------------------------------
+    # Write paths
+    # ------------------------------------------------------------------
+    def _write_unit(self, request: UserRequest, logical: int, value: int):
+        address = self.addressing.logical_unit_address(logical)
+        stripe = self.layout.stripe_of_logical(logical)
+        parity = self.layout.parity_unit(stripe)
+        yield self.locks.acquire(stripe)
+        try:
+            failed = self.faults.failed_disk
+            on_failed_data = address.disk == failed
+            on_failed_parity = parity.disk == failed
+            data_ok = not on_failed_data or self._unit_live(address.offset)
+            parity_ok = not on_failed_parity or self._unit_live(parity.offset)
+            if data_ok and parity_ok:
+                peers_readable = all(
+                    peer.disk != failed or self._unit_live(peer.offset)
+                    for peer in self._data_peers(stripe, address)
+                )
+                if self.layout.stripe_size == 3 and peers_readable:
+                    path = yield from self._small_stripe_write(stripe, address, parity, value)
+                else:
+                    path = yield from self._read_modify_write(address, parity, value)
+            elif on_failed_data:
+                if self.faults.replacement_installed and self.algorithm.writes_to_replacement:
+                    path = yield from self._reconstruct_write(stripe, address, parity, value)
+                else:
+                    # Under strict isolation the unit may be rebuilt but
+                    # about to go stale: dirty it *before* the fold so
+                    # reconstruction cannot declare completion meanwhile.
+                    if self.recon_status is not None:
+                        self.recon_status.mark_dirty(address.offset)
+                    path = yield from self._fold_write(stripe, address, parity, value)
+            else:
+                if self.recon_status is not None:
+                    self.recon_status.mark_dirty(parity.offset)
+                path = yield from self._data_only_write(address, value)
+        finally:
+            self.locks.release(stripe)
+        request.paths.append(path)
+        self.stats.record_path(path)
+
+    def _read_modify_write(self, address: UnitAddress, parity: UnitAddress, value: int):
+        """The 4-access parity update: 2 pre-reads then 2 writes."""
+        old_data = self._ds_read(address)
+        old_parity = self._ds_read(parity)
+        yield self.env.all_of(
+            [
+                self._disk_access(address, is_write=False),
+                self._disk_access(parity, is_write=False),
+            ]
+        )
+        new_parity = old_parity ^ old_data ^ value
+        yield self.env.all_of(
+            [
+                self._disk_access(address, is_write=True),
+                self._disk_access(parity, is_write=True),
+            ]
+        )
+        self._ds_write(address, value)
+        self._ds_write(parity, new_parity)
+        return "rmw-write"
+
+    # Note on mirroring: G=2 stripes have one data unit, so the parity
+    # unit is a byte-identical copy and *every* aligned write is a
+    # full-stripe write — the large-write path below gives mirrored
+    # writes their two-access, no-pre-read behaviour for free, and G=2
+    # declustered layouts realize Copeland & Keller's interleaved
+    # declustering (see tests/array/test_mirroring.py).
+
+    def _small_stripe_write(self, stripe: int, address: UnitAddress,
+                            parity: UnitAddress, value: int):
+        """G=3 optimization: read the *other* data unit, then 2 writes.
+
+        With only two data units per stripe the new parity depends on
+        the other unit and the new value alone, saving one access
+        (Section 6's alpha = 0.1 exception).
+        """
+        other = self._data_peers(stripe, address)[0]
+        other_value = self._ds_read(other)
+        yield self._disk_access(other, is_write=False)
+        new_parity = other_value ^ value
+        yield self.env.all_of(
+            [
+                self._disk_access(address, is_write=True),
+                self._disk_access(parity, is_write=True),
+            ]
+        )
+        self._ds_write(address, value)
+        self._ds_write(parity, new_parity)
+        return "small-stripe-write"
+
+    def _reconstruct_write(self, stripe: int, address: UnitAddress,
+                           parity: UnitAddress, value: int):
+        """Send a lost unit's new data straight to the replacement.
+
+        Parity must be rebuilt from the surviving data peers, after
+        which the unit is up to date on the replacement and needs no
+        sweep cycle (the user-writes family's "free reconstruction").
+        """
+        peers = self._data_peers(stripe, address)
+        peer_values = [self._ds_read(peer) for peer in peers]
+        if peers:
+            yield self.env.all_of(
+                [self._disk_access(peer, is_write=False) for peer in peers]
+            )
+        new_parity = self._xor(peer_values) ^ value
+        yield self.env.all_of(
+            [
+                self._disk_access(address, is_write=True),
+                self._disk_access(parity, is_write=True),
+            ]
+        )
+        self._ds_write(address, value)
+        self._ds_write(parity, new_parity)
+        self.recon_status.mark_built(address.offset)
+        return "reconstruct-write"
+
+    def _fold_write(self, stripe: int, address: UnitAddress,
+                    parity: UnitAddress, value: int):
+        """Fold a write to a lost unit into its parity unit (baseline).
+
+        After the fold, on-the-fly reconstruction of the lost unit
+        yields the *new* data, so no information is lost — but the
+        replacement gains nothing.
+        """
+        peers = self._data_peers(stripe, address)
+        peer_values = [self._ds_read(peer) for peer in peers]
+        if peers:
+            yield self.env.all_of(
+                [self._disk_access(peer, is_write=False) for peer in peers]
+            )
+        new_parity = self._xor(peer_values) ^ value
+        yield self._disk_access(parity, is_write=True)
+        self._ds_write(parity, new_parity)
+        return "fold-write"
+
+    def _data_only_write(self, address: UnitAddress, value: int):
+        """Parity is lost and unrebuilt: just write the data (1 access).
+
+        The sweep recomputes the parity unit from current data when it
+        reaches it, so skipping the parity update is safe.
+        """
+        yield self._disk_access(address, is_write=True)
+        self._ds_write(address, value)
+        return "data-only-write"
+
+    def _large_write(self, request: UserRequest, stripe: int, values: typing.List[int]):
+        """Full-stripe aligned write: G writes, no pre-reads (criterion 5)."""
+        yield self.locks.acquire(stripe)
+        try:
+            accesses = []
+            for j in range(self.layout.data_units_per_stripe):
+                address = self.layout.data_unit(stripe, j)
+                accesses.append(self._disk_access(address, is_write=True))
+                self._ds_write(address, values[j])
+            parity = self.layout.parity_unit(stripe)
+            accesses.append(self._disk_access(parity, is_write=True))
+            self._ds_write(parity, self._xor(values))
+            yield self.env.all_of(accesses)
+        finally:
+            self.locks.release(stripe)
+        request.paths.append("large-write")
+        self.stats.record_path("large-write")

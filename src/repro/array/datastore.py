@@ -1,0 +1,104 @@
+"""In-memory unit contents for end-to-end data-integrity checking.
+
+Each stripe unit carries a 64-bit word; parity units hold the XOR of
+their stripe's data words. The simulator's timing never depends on this
+store — it exists so tests can verify that the layout, the striping
+driver's parity arithmetic, and the reconstruction engine together
+recover a failed disk bit-exactly. Large performance runs disable it.
+
+A failed disk's contents are overwritten with a poison pattern the
+moment it fails: any code path that wrongly reads a failed disk
+surfaces immediately as a poisoned value propagating into a checksum.
+"""
+
+from __future__ import annotations
+
+import typing
+
+import numpy as np
+
+from repro.array.addressing import ArrayAddressing
+from repro.layout.base import PARITY_ROLE
+
+#: Value planted on failed disks to catch reads-after-failure.
+POISON = np.uint64(0xDEADBEEFDEADBEEF)
+
+
+def initial_data_pattern(disk: int, offset: int) -> int:
+    """Deterministic initial content of the data unit at (disk, offset)."""
+    return ((disk + 1) * 0x9E3779B97F4A7C15 + (offset + 1) * 0xC2B2AE3D27D4EB4F) % (1 << 64)
+
+
+class DataStore:
+    """Per-unit 64-bit contents for one array."""
+
+    def __init__(self, addressing: ArrayAddressing):
+        self.addressing = addressing
+        layout = addressing.layout
+        self._units = np.zeros(
+            (layout.num_disks, addressing.mapped_units_per_disk), dtype=np.uint64
+        )
+        self._fill_initial()
+
+    def _fill_initial(self) -> None:
+        layout = self.addressing.layout
+        for disk in range(layout.num_disks):
+            for offset in range(self.addressing.mapped_units_per_disk):
+                _stripe, role = layout.stripe_of(disk, offset)
+                if role != PARITY_ROLE:
+                    self._units[disk, offset] = np.uint64(
+                        initial_data_pattern(disk, offset)
+                    )
+        # Parity pass: XOR each stripe's data into its parity slot.
+        for stripe in range(self.addressing.num_stripes):
+            self.recompute_parity(stripe)
+
+    # ------------------------------------------------------------------
+    # Unit access
+    # ------------------------------------------------------------------
+    def read_unit(self, disk: int, offset: int) -> int:
+        return int(self._units[disk, offset])
+
+    def write_unit(self, disk: int, offset: int, value: int) -> None:
+        self._units[disk, offset] = np.uint64(value % (1 << 64))
+
+    def poison_disk(self, disk: int) -> None:
+        """Destroy a failed disk's contents (see module docstring)."""
+        self._units[disk, :] = POISON
+
+    def clear_disk(self, disk: int) -> None:
+        """Blank a freshly-installed replacement disk."""
+        self._units[disk, :] = np.uint64(0)
+
+    # ------------------------------------------------------------------
+    # Stripe helpers
+    # ------------------------------------------------------------------
+    def stripe_data_values(self, stripe: int) -> typing.List[int]:
+        layout = self.addressing.layout
+        return [
+            self.read_unit(*self._slot(layout.data_unit(stripe, j)))
+            for j in range(layout.data_units_per_stripe)
+        ]
+
+    def parity_value(self, stripe: int) -> int:
+        layout = self.addressing.layout
+        return self.read_unit(*self._slot(layout.parity_unit(stripe)))
+
+    def recompute_parity(self, stripe: int) -> None:
+        """Set the stripe's parity slot to the XOR of its data slots."""
+        parity = 0
+        for value in self.stripe_data_values(stripe):
+            parity ^= value
+        address = self.addressing.layout.parity_unit(stripe)
+        self.write_unit(address.disk, address.offset, parity)
+
+    def stripe_is_consistent(self, stripe: int) -> bool:
+        """True if parity equals the XOR of the stripe's data units."""
+        parity = 0
+        for value in self.stripe_data_values(stripe):
+            parity ^= value
+        return parity == self.parity_value(stripe)
+
+    @staticmethod
+    def _slot(address) -> typing.Tuple[int, int]:
+        return address.disk, address.offset

@@ -1,0 +1,57 @@
+"""Array fault state: which disk is failed, replaced, or healthy."""
+
+from __future__ import annotations
+
+import enum
+import typing
+
+
+class DiskMode(enum.Enum):
+    """Operational state of one disk slot."""
+
+    OK = "ok"
+    FAILED = "failed"            # lost; no replacement installed yet
+    RECONSTRUCTING = "reconstructing"  # replacement installed, rebuild underway
+
+
+class ArrayFaults:
+    """Tracks the single tolerated fault of a parity-protected array."""
+
+    def __init__(self, num_disks: int):
+        self.num_disks = num_disks
+        self.failed_disk: typing.Optional[int] = None
+        self.replacement_installed = False
+
+    @property
+    def fault_free(self) -> bool:
+        return self.failed_disk is None
+
+    def mode_of(self, disk: int) -> DiskMode:
+        if disk != self.failed_disk:
+            return DiskMode.OK
+        return DiskMode.RECONSTRUCTING if self.replacement_installed else DiskMode.FAILED
+
+    def fail(self, disk: int) -> None:
+        if not 0 <= disk < self.num_disks:
+            raise ValueError(f"disk {disk} outside array of {self.num_disks}")
+        if self.failed_disk is not None:
+            raise RuntimeError(
+                f"disk {self.failed_disk} already failed; a second failure "
+                "loses data in a single-failure-correcting array"
+            )
+        self.failed_disk = disk
+        self.replacement_installed = False
+
+    def install_replacement(self) -> None:
+        if self.failed_disk is None:
+            raise RuntimeError("no failed disk to replace")
+        if self.replacement_installed:
+            raise RuntimeError("replacement already installed")
+        self.replacement_installed = True
+
+    def repair_complete(self) -> None:
+        """Reconstruction finished: the slot is healthy again."""
+        if self.failed_disk is None or not self.replacement_installed:
+            raise RuntimeError("repair_complete without an active reconstruction")
+        self.failed_disk = None
+        self.replacement_installed = False

@@ -1,0 +1,181 @@
+"""Command-line interface: ``python -m repro <experiment> [--scale ...]``.
+
+Each experiment name corresponds to one table or figure of the paper
+(plus the derived reliability table); ``list`` shows them all.
+``--json DIR`` additionally saves each experiment's raw rows as a
+self-describing JSON document for downstream comparison (see
+:mod:`repro.experiments.persistence`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import typing
+
+from repro._version import __version__
+
+Rows = typing.List[dict]
+RunResult = typing.Tuple[Rows, str]
+
+
+def _fig4_3(scale: str) -> RunResult:
+    from repro.experiments import fig4_3
+
+    rows = fig4_3.run(scale)
+    return rows, fig4_3.format_rows(rows)
+
+
+def _table5_1(scale: str) -> RunResult:
+    from repro.experiments import table5_1
+
+    rows = table5_1.run(scale)
+    return rows, table5_1.format_rows(rows)
+
+
+def _fig6_1(scale: str) -> RunResult:
+    from repro.experiments import fig6
+
+    rows = fig6.run_fig6_1(scale)
+    return rows, fig6.format_rows(rows, "Figure 6-1: response time, 100% reads")
+
+
+def _fig6_2(scale: str) -> RunResult:
+    from repro.experiments import fig6
+
+    rows = fig6.run_fig6_2(scale)
+    return rows, fig6.format_rows(rows, "Figure 6-2: response time, 100% writes")
+
+
+def _fig8_chart(rows: Rows) -> str:
+    from repro.experiments.charting import chart_rows
+
+    recon = chart_rows(
+        rows, key_fields=["algorithm", "rate"], x_field="alpha",
+        y_field="recon_time_s", title="Reconstruction time vs alpha",
+    )
+    response = chart_rows(
+        rows, key_fields=["algorithm", "rate"], x_field="alpha",
+        y_field="mean_response_ms", title="User response time vs alpha",
+    )
+    return f"\n{recon}\n\n{response}"
+
+
+def _fig8_single(scale: str) -> RunResult:
+    from repro.experiments import fig8
+
+    rows = fig8.run_single_thread(scale)
+    text = fig8.format_rows(
+        rows,
+        "Figures 8-1/8-2: single-thread reconstruction (50% reads, 50% writes)",
+    )
+    return rows, text + _fig8_chart(rows)
+
+
+def _fig8_parallel(scale: str) -> RunResult:
+    from repro.experiments import fig8
+
+    rows = fig8.run_parallel(scale)
+    text = fig8.format_rows(
+        rows,
+        "Figures 8-3/8-4: eight-way parallel reconstruction (50% reads, 50% writes)",
+    )
+    return rows, text + _fig8_chart(rows)
+
+
+def _table8_1(scale: str) -> RunResult:
+    from repro.experiments import table8_1
+
+    rows = table8_1.run(scale)
+    return rows, table8_1.format_rows(rows)
+
+
+def _fig8_6(scale: str) -> RunResult:
+    from repro.experiments import fig8_6
+
+    rows = fig8_6.run(scale)
+    return rows, fig8_6.format_rows(rows)
+
+
+def _reliability(scale: str) -> RunResult:
+    from repro.experiments import reliability
+
+    rows = reliability.run(scale)
+    return rows, reliability.format_rows(rows)
+
+
+def _saturation(scale: str) -> RunResult:
+    from repro.experiments import saturation
+
+    rows = saturation.run(scale)
+    return rows, saturation.format_rows(rows)
+
+
+EXPERIMENTS: typing.Dict[str, typing.Tuple[str, typing.Callable[[str], RunResult]]] = {
+    "fig4-3": ("scatter of known block designs", _fig4_3),
+    "table5-1": ("simulation configuration", _table5_1),
+    "fig6-1": ("fault-free & degraded response time, 100% reads", _fig6_1),
+    "fig6-2": ("fault-free & degraded response time, 100% writes", _fig6_2),
+    "fig8-1-2": ("single-thread reconstruction time & response time", _fig8_single),
+    "fig8-3-4": ("8-way parallel reconstruction time & response time", _fig8_parallel),
+    "table8-1": ("reconstruction cycle read/write phases", _table8_1),
+    "fig8-6": ("Muntz & Lui model vs simulation", _fig8_6),
+    "reliability": ("derived MTTDL from measured repair times", _reliability),
+    "saturation": ("response time vs offered load (capacity knee)", _saturation),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduce Holland & Gibson, 'Parity Declustering for Continuous "
+            "Operation in Redundant Disk Arrays' (ASPLOS 1992)."
+        ),
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["list", "all"],
+        help="experiment to run ('list' shows descriptions)",
+    )
+    parser.add_argument(
+        "--scale",
+        default="tiny",
+        choices=["tiny", "small", "paper"],
+        help="simulation scale preset (default: tiny)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="DIR",
+        default=None,
+        help="also save raw rows as JSON documents under DIR",
+    )
+    return parser
+
+
+def main(argv: typing.Optional[typing.Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.experiment == "list":
+        for name, (description, _fn) in sorted(EXPERIMENTS.items()):
+            print(f"{name:12s} {description}")
+        return 0
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        _description, runner = EXPERIMENTS[name]
+        rows, text = runner(args.scale)
+        print(text)
+        print()
+        if args.json:
+            import pathlib
+
+            from repro.experiments.persistence import save_rows
+
+            path = pathlib.Path(args.json) / f"{name}-{args.scale}.json"
+            save_rows(path, experiment=name, scale=args.scale, rows=rows)
+            print(f"[rows saved to {path}]\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

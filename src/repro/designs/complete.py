@@ -1,0 +1,44 @@
+"""Complete block designs: all k-subsets of v objects.
+
+A complete design always exists and is always balanced
+(``b = C(v, k)``, ``r = C(v-1, k-1)``, ``lam = C(v-2, k-2)``), but its
+size grows combinatorially — the paper's example is a 41-disk, G=5
+array whose complete design would need ~3.75 million tuples, violating
+the efficient-mapping criterion. The catalog therefore prefers
+incomplete designs and falls back to complete ones only when small.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+from repro.designs.design import BlockDesign, DesignError
+
+
+def complete_design_size(v: int, k: int) -> int:
+    """Number of tuples a complete design on ``(v, k)`` would have."""
+    return math.comb(v, k)
+
+
+def complete_design(v: int, k: int, max_tuples: int = 2_000_000) -> BlockDesign:
+    """The complete design on ``v`` objects with tuple size ``k``.
+
+    Parameters
+    ----------
+    v, k:
+        Object count and tuple size.
+    max_tuples:
+        Safety limit; exceeding it raises :class:`DesignError` rather
+        than silently building an enormous table.
+    """
+    if not 2 <= k <= v:
+        raise DesignError(f"need 2 <= k <= v, got k={k}, v={v}")
+    size = complete_design_size(v, k)
+    if size > max_tuples:
+        raise DesignError(
+            f"complete design on (v={v}, k={k}) has {size} tuples, "
+            f"exceeding the limit of {max_tuples}"
+        )
+    tuples = tuple(itertools.combinations(range(v), k))
+    return BlockDesign(v=v, tuples=tuples, name=f"complete-{v}-{k}")

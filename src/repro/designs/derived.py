@@ -1,0 +1,80 @@
+"""Designs built from other designs: derived and complement designs.
+
+*Derived* designs come from the paper's appendix: given a symmetric
+design (``b = v``, ``k = r``), pick one tuple ``B0`` and intersect every
+other tuple with it. Any two tuples of a symmetric design meet in
+exactly ``lam`` objects, so the intersections form a new design with
+``b' = b-1, v' = k, k' = lam, r' = r-1, lam' = lam-1``. The paper uses
+this to get its ``alpha = 0.45`` design (v=21, k=10) from a symmetric
+(43, 21, 10) design.
+
+*Complement* designs replace each tuple by its complement, turning a
+``(v, b, r, k, lam)`` design into ``(v, b, b-r, v-k, b-2r+lam)``. The
+paper's future-work section notes that small designs with
+``0.5 < alpha < 0.8`` were unknown to the authors; complementation
+fills much of that gap (e.g. the complement of their alpha=0.2 design
+is a 21-tuple design with alpha=0.75).
+"""
+
+from __future__ import annotations
+
+from repro.designs.design import BlockDesign, DesignError
+
+
+def derived_design(symmetric: BlockDesign, base_index: int = 0, name: str = "") -> BlockDesign:
+    """The derived design of a symmetric design at tuple ``base_index``."""
+    if not symmetric.is_symmetric():
+        raise DesignError(
+            f"derived designs need a symmetric design (b == v), got "
+            f"b={symmetric.b}, v={symmetric.v}"
+        )
+    if symmetric.lam < 2:
+        raise DesignError(
+            f"derived design would have tuple size lam={symmetric.lam} < 2"
+        )
+    if not 0 <= base_index < symmetric.b:
+        raise DesignError(f"base_index {base_index} outside 0..{symmetric.b - 1}")
+    base = symmetric.tuples[base_index]
+    base_set = frozenset(base)
+    # Relabel the k objects of the base tuple to 0..k-1, preserving the
+    # base tuple's element order so the construction is deterministic.
+    relabel = {obj: i for i, obj in enumerate(base)}
+    tuples = []
+    for i, t in enumerate(symmetric.tuples):
+        if i == base_index:
+            continue
+        intersection = tuple(relabel[obj] for obj in t if obj in base_set)
+        if len(intersection) != symmetric.lam:
+            raise DesignError(
+                f"tuples {base_index} and {i} intersect in {len(intersection)} "
+                f"objects, expected lam={symmetric.lam}; input is not a valid "
+                "symmetric design"
+            )
+        tuples.append(intersection)
+    design = BlockDesign(
+        v=symmetric.k,
+        tuples=tuple(tuples),
+        name=name or (f"derived({symmetric.name})" if symmetric.name else "derived"),
+    )
+    design.validate()
+    return design
+
+
+def complement_design(design: BlockDesign, name: str = "") -> BlockDesign:
+    """The complement design: each tuple replaced by its complement."""
+    new_k = design.v - design.k
+    if new_k < 2:
+        raise DesignError(
+            f"complement tuples would have size {new_k} < 2 (v={design.v}, k={design.k})"
+        )
+    all_objects = range(design.v)
+    tuples = tuple(
+        tuple(obj for obj in all_objects if obj not in set(t)) for t in design.tuples
+    )
+    result = BlockDesign(
+        v=design.v,
+        tuples=tuples,
+        name=name or (f"complement({design.name})" if design.name else "complement"),
+    )
+    result.validate()
+    return result

@@ -1,0 +1,235 @@
+"""The disk drive server process.
+
+Each :class:`Disk` is a single server inside the event-driven
+simulation: requests are submitted to its scheduler queue; the drive
+process services one request at a time, advancing the clock by a
+physically-computed service time (seek + rotational latency + transfer,
+split per track with skew-aware head switches), then fires the
+request's completion event.
+
+The drive is deliberately *not* work-preserving: service time depends
+on the head position left by the previous request and on the platter's
+rotational phase at the moment service starts — the properties the
+paper shows the Muntz & Lui analytic model cannot capture.
+"""
+
+from __future__ import annotations
+
+import typing
+from dataclasses import dataclass, field
+
+from repro.disk.geometry import DiskGeometry
+from repro.disk.scheduling.base import Scheduler, make_scheduler
+from repro.disk.seek import SeekModel
+from repro.disk.specs import DiskSpec
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim import Environment
+
+#: Request provenance tags used by the statistics and the paper's
+#: user-vs-reconstruction accounting.
+KIND_USER = "user"
+KIND_RECON = "recon"
+
+
+@dataclass
+class DiskRequest:
+    """One physical disk access.
+
+    ``done`` fires with the completion time when the transfer finishes.
+    """
+
+    start_sector: int
+    sector_count: int
+    is_write: bool
+    kind: str = KIND_USER
+    done: object = None  # Event, attached at submit time
+    submit_ms: float = 0.0
+    start_service_ms: float = 0.0
+    complete_ms: float = 0.0
+    cylinder: int = 0  # cached for the scheduler
+
+    @property
+    def queue_wait_ms(self) -> float:
+        return self.start_service_ms - self.submit_ms
+
+    @property
+    def service_ms(self) -> float:
+        return self.complete_ms - self.start_service_ms
+
+    @property
+    def response_ms(self) -> float:
+        return self.complete_ms - self.submit_ms
+
+
+@dataclass
+class DiskStats:
+    """Cumulative per-disk counters."""
+
+    completed: int = 0
+    completed_by_kind: typing.Dict[str, int] = field(default_factory=dict)
+    buffer_hits: int = 0
+    busy_ms: float = 0.0
+    total_service_ms: float = 0.0
+    total_queue_wait_ms: float = 0.0
+    total_seek_ms: float = 0.0
+    total_rotation_ms: float = 0.0
+    total_transfer_ms: float = 0.0
+
+    def record(self, request: DiskRequest, seek_ms: float, rotation_ms: float,
+               transfer_ms: float) -> None:
+        self.completed += 1
+        self.completed_by_kind[request.kind] = self.completed_by_kind.get(request.kind, 0) + 1
+        self.busy_ms += request.service_ms
+        self.total_service_ms += request.service_ms
+        self.total_queue_wait_ms += request.queue_wait_ms
+        self.total_seek_ms += seek_ms
+        self.total_rotation_ms += rotation_ms
+        self.total_transfer_ms += transfer_ms
+
+    def mean_service_ms(self) -> float:
+        return self.total_service_ms / self.completed if self.completed else 0.0
+
+
+class Disk:
+    """One disk drive: queue, head state, and the server process."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        spec: DiskSpec,
+        disk_id: int = 0,
+        scheduler: typing.Optional[Scheduler] = None,
+        policy: str = "cvscan",
+        track_buffer: bool = False,
+        buffer_hit_ms: float = 0.5,
+    ):
+        self.env = env
+        self.spec = spec
+        self.disk_id = disk_id
+        self.geometry = DiskGeometry(spec)
+        self.seek_model = SeekModel(spec)
+        self.scheduler = scheduler if scheduler is not None else make_scheduler(
+            policy, spec.cylinders
+        )
+        self.head_cylinder = 0
+        self.direction = 1
+        self.stats = DiskStats()
+        #: Optional single-track read buffer (the 0661 had one). A read
+        #: wholly inside the most recently read track is served from the
+        #: buffer at ``buffer_hit_ms``; any write to that track
+        #: invalidates it. Off by default — the paper's driver used no
+        #: caching.
+        self.track_buffer = track_buffer
+        self.buffer_hit_ms = buffer_hit_ms
+        self._buffered_track: typing.Optional[typing.Tuple[int, int]] = None
+        self._idle_wakeup = None
+        self._process = env.process(self._run(), name=f"disk-{disk_id}")
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, request: DiskRequest):
+        """Queue a request; returns the request's completion event."""
+        if request.sector_count < 1:
+            raise ValueError("requests must transfer at least one sector")
+        request.done = self.env.event()
+        request.submit_ms = self.env.now
+        request.cylinder = self.geometry.cylinder_of(request.start_sector)
+        self.scheduler.push(request)
+        if self._idle_wakeup is not None and not self._idle_wakeup.triggered:
+            self._idle_wakeup.succeed()
+        return request.done
+
+    def access(self, start_sector: int, sector_count: int, is_write: bool,
+               kind: str = KIND_USER):
+        """Convenience: build and submit a request, returning its event."""
+        request = DiskRequest(
+            start_sector=start_sector,
+            sector_count=sector_count,
+            is_write=is_write,
+            kind=kind,
+        )
+        return self.submit(request)
+
+    @property
+    def queue_length(self) -> int:
+        return len(self.scheduler)
+
+    # ------------------------------------------------------------------
+    # Server process
+    # ------------------------------------------------------------------
+    def _run(self):
+        while True:
+            while not self.scheduler:
+                self._idle_wakeup = self.env.event()
+                yield self._idle_wakeup
+            self._idle_wakeup = None
+            request = self.scheduler.pop(self.head_cylinder, self.direction)
+            request.start_service_ms = self.env.now
+            service_ms, seek_ms, rotation_ms, transfer_ms = self._service_time(request)
+            yield self.env.timeout(service_ms)
+            request.complete_ms = self.env.now
+            self.stats.record(request, seek_ms, rotation_ms, transfer_ms)
+            request.done.succeed(request)
+
+    # ------------------------------------------------------------------
+    # Physical timing
+    # ------------------------------------------------------------------
+    def _rotational_position(self, at_ms: float) -> float:
+        """Platter angle at an absolute time, in (fractional) sector slots."""
+        return (at_ms / self.spec.sector_time_ms) % self.spec.sectors_per_track
+
+    def _service_time(self, request: DiskRequest) -> typing.Tuple[float, float, float, float]:
+        """Compute service time; updates head cylinder and direction."""
+        spec = self.spec
+        clock = self.env.now
+        seek_ms = rotation_ms = transfer_ms = 0.0
+        current_cylinder = self.head_cylinder
+        runs = self.geometry.split_by_track(request.start_sector, request.sector_count)
+        if self.track_buffer:
+            tracks = {(run.cylinder, run.track) for run in runs}
+            if (
+                not request.is_write
+                and len(tracks) == 1
+                and next(iter(tracks)) == self._buffered_track
+            ):
+                # Whole read served from the track buffer: no mechanical work.
+                self.stats.buffer_hits += 1
+                return self.buffer_hit_ms, 0.0, 0.0, self.buffer_hit_ms
+            if request.is_write and self._buffered_track in tracks:
+                self._buffered_track = None
+            elif not request.is_write:
+                self._buffered_track = (runs[-1].cylinder, runs[-1].track)
+        for index, run in enumerate(runs):
+            if run.cylinder != current_cylinder:
+                this_seek = self.seek_model.seek_time(abs(run.cylinder - current_cylinder))
+                self.direction = 1 if run.cylinder > current_cylinder else -1
+                current_cylinder = run.cylinder
+                seek_ms += this_seek
+                clock += this_seek
+            elif index > 0:
+                # Same cylinder, next head: pay the switch settle time.
+                switch = spec.head_switch_ms
+                seek_ms += switch
+                clock += switch
+            position = self._rotational_position(clock)
+            slots_to_wait = (run.rotational_start - position) % spec.sectors_per_track
+            # Float round-off can turn an exact hit (wait 0) into a wait
+            # of one full revolution minus epsilon; snap it back to zero.
+            if slots_to_wait > spec.sectors_per_track - 1e-6:
+                slots_to_wait = 0.0
+            wait = slots_to_wait * spec.sector_time_ms
+            rotation_ms += wait
+            clock += wait
+            transfer = run.count * spec.sector_time_ms
+            transfer_ms += transfer
+            clock += transfer
+        self.head_cylinder = current_cylinder
+        return clock - self.env.now, seek_ms, rotation_ms, transfer_ms
+
+    def __repr__(self) -> str:
+        return (
+            f"<Disk {self.disk_id} {self.spec.name} head@{self.head_cylinder} "
+            f"queue={self.queue_length}>"
+        )

@@ -1,0 +1,85 @@
+"""Disk geometry: logical sector addresses ⇄ physical positions.
+
+Logical sectors (LBA) number the disk cylinder-major: all sectors of
+cylinder 0 (track by track), then cylinder 1, and so on. Track skew
+offsets each successive track's sector 0 by ``track_skew_sectors``
+rotational positions so that a sequential transfer crossing a track
+boundary finds its next sector arriving under the head right after the
+head switch completes.
+"""
+
+from __future__ import annotations
+
+import typing
+from dataclasses import dataclass
+
+from repro.disk.specs import DiskSpec
+
+
+@dataclass(frozen=True)
+class SectorRange:
+    """A contiguous run of sectors on a single track.
+
+    ``rotational_start`` is the angular position (in sector slots,
+    0..sectors_per_track-1) at which the run begins on the platter,
+    after accounting for skew.
+    """
+
+    cylinder: int
+    track: int
+    rotational_start: int
+    count: int
+
+
+class DiskGeometry:
+    """Address arithmetic for one disk spec."""
+
+    def __init__(self, spec: DiskSpec):
+        self.spec = spec
+
+    def locate(self, sector: int) -> typing.Tuple[int, int, int]:
+        """``(cylinder, track, sector_in_track)`` of a logical sector."""
+        if not 0 <= sector < self.spec.total_sectors:
+            raise ValueError(
+                f"sector {sector} outside disk of {self.spec.total_sectors} sectors"
+            )
+        cylinder, rest = divmod(sector, self.spec.sectors_per_cylinder)
+        track, within = divmod(rest, self.spec.sectors_per_track)
+        return cylinder, track, within
+
+    def cylinder_of(self, sector: int) -> int:
+        """Cylinder containing a logical sector."""
+        return self.locate(sector)[0]
+
+    def rotational_position(self, cylinder: int, track: int, sector_in_track: int) -> int:
+        """Angular slot of a sector, applying cumulative track skew."""
+        global_track = cylinder * self.spec.tracks_per_cylinder + track
+        skew = (global_track * self.spec.track_skew_sectors) % self.spec.sectors_per_track
+        return (sector_in_track + skew) % self.spec.sectors_per_track
+
+    def split_by_track(self, start_sector: int, count: int) -> typing.List[SectorRange]:
+        """Decompose a transfer into per-track contiguous runs, in order."""
+        if count < 1:
+            raise ValueError(f"transfer needs at least one sector, got {count}")
+        if start_sector + count > self.spec.total_sectors:
+            raise ValueError(
+                f"transfer [{start_sector}, {start_sector + count}) exceeds disk "
+                f"of {self.spec.total_sectors} sectors"
+            )
+        runs = []
+        sector = start_sector
+        remaining = count
+        while remaining > 0:
+            cylinder, track, within = self.locate(sector)
+            on_this_track = min(remaining, self.spec.sectors_per_track - within)
+            runs.append(
+                SectorRange(
+                    cylinder=cylinder,
+                    track=track,
+                    rotational_start=self.rotational_position(cylinder, track, within),
+                    count=on_this_track,
+                )
+            )
+            sector += on_this_track
+            remaining -= on_this_track
+        return runs

@@ -1,0 +1,23 @@
+"""First-come first-served scheduling."""
+
+from __future__ import annotations
+
+import collections
+
+from repro.disk.scheduling.base import Scheduler
+
+
+class FifoScheduler(Scheduler):
+    """Service requests strictly in arrival order."""
+
+    def __init__(self):
+        self._queue = collections.deque()
+
+    def push(self, request) -> None:
+        self._queue.append(request)
+
+    def pop(self, head_cylinder: int, direction: int):
+        return self._queue.popleft()
+
+    def __len__(self) -> int:
+        return len(self._queue)

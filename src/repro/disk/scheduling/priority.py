@@ -1,0 +1,54 @@
+"""User-priority scheduling (the paper's future-work extension).
+
+Section 9 proposes "a flexible prioritization scheme that reduces user
+response time degradation without starving reconstruction". This
+scheduler wraps any position-aware policy with a two-class discipline:
+user requests are always scheduled first among themselves; requests
+tagged as reconstruction traffic are only served when no user request
+is waiting. Starvation is bounded because reconstruction workers issue
+a finite number of outstanding accesses and user queues drain between
+arrivals.
+
+Pair this with one of the *user-writes* family of reconstruction
+algorithms. Under the baseline algorithm a prioritized sweep can fail
+to converge on a busy array: baseline folds writes to already-rebuilt
+units into parity and marks them dirty for re-sweep, and a
+de-prioritized sweep may rebuild units no faster than sustained user
+writes re-dirty them — exactly the "starving reconstruction" failure
+mode the paper's Section 9 warns a prioritization scheme must avoid.
+The user-writes algorithms are immune: their user writes *advance*
+reconstruction instead of undoing it.
+"""
+
+from __future__ import annotations
+
+from repro.disk.drive import KIND_USER
+from repro.disk.scheduling.base import Scheduler
+
+
+class UserPriorityScheduler(Scheduler):
+    """Two-class wrapper: user requests preempt reconstruction requests.
+
+    Parameters
+    ----------
+    user_queue, recon_queue:
+        The underlying single-class schedulers (any policy each).
+    """
+
+    def __init__(self, user_queue: Scheduler, recon_queue: Scheduler):
+        self.user_queue = user_queue
+        self.recon_queue = recon_queue
+
+    def push(self, request) -> None:
+        if request.kind == KIND_USER:
+            self.user_queue.push(request)
+        else:
+            self.recon_queue.push(request)
+
+    def pop(self, head_cylinder: int, direction: int):
+        if self.user_queue:
+            return self.user_queue.pop(head_cylinder, direction)
+        return self.recon_queue.pop(head_cylinder, direction)
+
+    def __len__(self) -> int:
+        return len(self.user_queue) + len(self.recon_queue)

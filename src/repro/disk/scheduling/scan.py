@@ -1,0 +1,40 @@
+"""LOOK (elevator) scheduling.
+
+The head sweeps in one direction servicing requests in cylinder order
+and reverses when no requests remain ahead of it (LOOK, the practical
+variant of SCAN that does not travel to the physical edge).
+"""
+
+from __future__ import annotations
+
+from repro.disk.scheduling.base import Scheduler
+
+
+class LookScheduler(Scheduler):
+    """Elevator scheduling with reversal at the last pending request."""
+
+    def __init__(self):
+        self._queue: list = []
+        self._arrival = 0
+
+    def push(self, request) -> None:
+        self._queue.append((self._arrival, request))
+        self._arrival += 1
+
+    def pop(self, head_cylinder: int, direction: int):
+        direction = 1 if direction >= 0 else -1
+        ahead = [
+            (i, arrival, req)
+            for i, (arrival, req) in enumerate(self._queue)
+            if (req.cylinder - head_cylinder) * direction >= 0
+        ]
+        if not ahead:
+            # Reverse the sweep: everything is behind the head.
+            ahead = [(i, arrival, req) for i, (arrival, req) in enumerate(self._queue)]
+        index, _arrival, _req = min(
+            ahead, key=lambda item: (abs(item[2].cylinder - head_cylinder), item[1])
+        )
+        return self._queue.pop(index)[1]
+
+    def __len__(self) -> int:
+        return len(self._queue)

@@ -1,0 +1,32 @@
+"""Shortest-seek-time-first scheduling."""
+
+from __future__ import annotations
+
+from repro.disk.scheduling.base import Scheduler
+
+
+class SstfScheduler(Scheduler):
+    """Service the queued request closest to the head.
+
+    Ties break toward the earlier arrival (stable by insertion index),
+    which avoids pathological starvation between two equidistant hot
+    cylinders.
+    """
+
+    def __init__(self):
+        self._queue: list = []
+        self._arrival = 0
+
+    def push(self, request) -> None:
+        self._queue.append((self._arrival, request))
+        self._arrival += 1
+
+    def pop(self, head_cylinder: int, direction: int):
+        best_index = min(
+            range(len(self._queue)),
+            key=lambda i: (abs(self._queue[i][1].cylinder - head_cylinder), self._queue[i][0]),
+        )
+        return self._queue.pop(best_index)[1]
+
+    def __len__(self) -> int:
+        return len(self._queue)

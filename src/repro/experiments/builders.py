@@ -1,0 +1,37 @@
+"""Layout and array construction shared by all experiments."""
+
+from __future__ import annotations
+
+from repro.designs.catalog import default_catalog
+from repro.designs.design import BlockDesign
+from repro.layout.base import ParityLayout
+from repro.layout.declustered import DeclusteredLayout
+from repro.layout.raid5 import LeftSymmetricRaid5Layout
+
+#: The paper's array width (Table 5-1(c)).
+PAPER_NUM_DISKS = 21
+
+#: The paper's parity stripe sizes and the alphas they induce on C=21.
+PAPER_STRIPE_SIZES = (3, 4, 5, 6, 10, 18, 21)
+
+
+def design_for(num_disks: int, stripe_size: int) -> BlockDesign:
+    """The block design backing a declustered layout for (C, G).
+
+    Uses the shared catalog (paper appendix designs first, then
+    programmatic families, then small complete designs, then the
+    closest feasible alpha).
+    """
+    return default_catalog().select(num_disks, stripe_size)
+
+
+def build_layout(num_disks: int, stripe_size: int) -> ParityLayout:
+    """A parity layout for ``G`` on ``C`` disks (RAID 5 when G == C)."""
+    if stripe_size == num_disks:
+        return LeftSymmetricRaid5Layout(num_disks)
+    return DeclusteredLayout(design_for(num_disks, stripe_size))
+
+
+def alpha_of(num_disks: int, stripe_size: int) -> float:
+    """Declustering ratio of the (C, G) pair."""
+    return (stripe_size - 1) / (num_disks - 1)

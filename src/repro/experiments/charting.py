@@ -1,0 +1,87 @@
+"""ASCII line charts for experiment output.
+
+The paper's figures are xgraph plots; the CLI renders the same series
+as monospace charts so the shapes — who wins, where curves cross — are
+visible straight from a terminal, with no plotting dependency.
+"""
+
+from __future__ import annotations
+
+import typing
+
+#: Symbols assigned to successive series.
+SERIES_MARKS = "ox+*#@%&"
+
+
+def _scale(value: float, low: float, high: float, size: int) -> int:
+    if high <= low:
+        return 0
+    position = (value - low) / (high - low)
+    return min(size - 1, max(0, round(position * (size - 1))))
+
+
+def ascii_chart(
+    series: typing.Mapping[str, typing.Sequence[typing.Tuple[float, float]]],
+    width: int = 60,
+    height: int = 16,
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render named (x, y) series as an ASCII chart.
+
+    Parameters
+    ----------
+    series:
+        Mapping of series name to its points; each series gets a mark
+        from :data:`SERIES_MARKS` and a legend entry.
+    width, height:
+        Plot area size in characters.
+    """
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        raise ValueError("nothing to plot")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    if y_low == y_high:  # flat data still deserves a visible line
+        y_low, y_high = y_low - 1.0, y_high + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for index, (name, pts) in enumerate(series.items()):
+        mark = SERIES_MARKS[index % len(SERIES_MARKS)]
+        legend.append(f"{mark} = {name}")
+        for x, y in pts:
+            column = _scale(x, x_low, x_high, width)
+            row = height - 1 - _scale(y, y_low, y_high, height)
+            grid[row][column] = mark
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_label} (top {y_high:g}, bottom {y_low:g})")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label}: {x_low:g} .. {x_high:g}")
+    lines.append(" " + "   ".join(legend))
+    return "\n".join(lines)
+
+
+def chart_rows(
+    rows: typing.Sequence[dict],
+    key_fields: typing.Sequence[str],
+    x_field: str,
+    y_field: str,
+    **chart_kwargs,
+) -> str:
+    """Group experiment rows into series and chart them."""
+    from repro.experiments.reporting import series_by
+
+    grouped = series_by(rows, key_fields=key_fields, x_field=x_field, y_field=y_field)
+    named = {
+        " ".join(str(k) for k in key): points for key, points in sorted(grouped.items())
+    }
+    return ascii_chart(named, x_label=x_field, y_label=y_field, **chart_kwargs)

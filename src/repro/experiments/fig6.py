@@ -1,0 +1,82 @@
+"""Figures 6-1 and 6-2: fault-free and degraded response time vs alpha.
+
+Figure 6-1 is 100 % reads at 105, 210, and 378 user accesses/s;
+Figure 6-2 is 100 % writes at 105 and 210 (the array cannot sustain
+378 writes/s — each write costs four accesses). Each figure carries
+two curves per rate: fault-free and degraded (failed disk, no
+replacement).
+
+Expected shapes: fault-free response is flat in alpha (except the
+G = 3 write optimization at alpha = 0.1); degraded response falls as
+alpha falls, and degraded *writes* at small alpha can beat fault-free
+thanks to write folding.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.experiments.builders import PAPER_NUM_DISKS, PAPER_STRIPE_SIZES, alpha_of
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import ScenarioConfig, run_scenario
+
+READ_RATES = (105.0, 210.0, 378.0)
+WRITE_RATES = (105.0, 210.0)
+
+
+def run_figure(
+    read_fraction: float,
+    rates: typing.Sequence[float],
+    scale: str = "tiny",
+    stripe_sizes: typing.Sequence[int] = PAPER_STRIPE_SIZES,
+    seed: int = 1992,
+) -> typing.List[dict]:
+    """Grid of (alpha, rate, mode) → mean user response time."""
+    rows = []
+    for g in stripe_sizes:
+        for rate in rates:
+            for mode in ("fault-free", "degraded"):
+                result = run_scenario(
+                    ScenarioConfig(
+                        stripe_size=g,
+                        user_rate_per_s=rate,
+                        read_fraction=read_fraction,
+                        mode=mode,
+                        scale=scale,
+                        seed=seed,
+                    )
+                )
+                rows.append(
+                    {
+                        "g": g,
+                        "alpha": round(alpha_of(PAPER_NUM_DISKS, g), 3),
+                        "rate": rate,
+                        "mode": mode,
+                        "mean_response_ms": round(result.response.mean_ms, 2),
+                        "p90_ms": round(result.response.p90_ms, 2),
+                        "requests": result.requests_completed,
+                    }
+                )
+    return rows
+
+
+def run_fig6_1(scale: str = "tiny", **kwargs) -> typing.List[dict]:
+    """Figure 6-1: 100 % reads."""
+    return run_figure(read_fraction=1.0, rates=READ_RATES, scale=scale, **kwargs)
+
+
+def run_fig6_2(scale: str = "tiny", **kwargs) -> typing.List[dict]:
+    """Figure 6-2: 100 % writes."""
+    return run_figure(read_fraction=0.0, rates=WRITE_RATES, scale=scale, **kwargs)
+
+
+def format_rows(rows: typing.Sequence[dict], title: str) -> str:
+    return format_table(
+        headers=["alpha", "G", "rate/s", "mode", "mean resp (ms)", "p90 (ms)", "requests"],
+        rows=[
+            [r["alpha"], r["g"], r["rate"], r["mode"], r["mean_response_ms"],
+             r["p90_ms"], r["requests"]]
+            for r in rows
+        ],
+        title=title,
+    )

@@ -1,0 +1,97 @@
+"""Figures 8-1 through 8-4: reconstruction time and response time.
+
+One simulation per (alpha, rate, algorithm, workers) point supplies
+both the reconstruction-time figure and the response-time figure for
+that worker count:
+
+- Figures 8-1/8-2 — single-threaded sweep (workers = 1);
+- Figures 8-3/8-4 — eight-way parallel sweep (workers = 8).
+
+Workload: 50 % reads / 50 % writes at 105 and 210 user accesses/s.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.experiments.builders import PAPER_NUM_DISKS, PAPER_STRIPE_SIZES, alpha_of
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import ScenarioConfig, run_scenario
+from repro.recon.algorithms import ALGORITHMS, ReconAlgorithm
+
+RECON_RATES = (105.0, 210.0)
+READ_FRACTION = 0.5
+
+#: The paper plots all its reconstruction figures over the full alpha
+#: grid minus the G=3 point it sets aside for the small-stripe-write
+#: discussion.
+RECON_STRIPE_SIZES = tuple(g for g in PAPER_STRIPE_SIZES if g != 3)
+
+
+def run_grid(
+    workers: int,
+    scale: str = "tiny",
+    stripe_sizes: typing.Sequence[int] = RECON_STRIPE_SIZES,
+    rates: typing.Sequence[float] = RECON_RATES,
+    algorithms: typing.Sequence[ReconAlgorithm] = ALGORITHMS,
+    seed: int = 1992,
+) -> typing.List[dict]:
+    """Reconstruction grid → one row per simulation point."""
+    rows = []
+    for g in stripe_sizes:
+        for rate in rates:
+            for algorithm in algorithms:
+                result = run_scenario(
+                    ScenarioConfig(
+                        stripe_size=g,
+                        user_rate_per_s=rate,
+                        read_fraction=READ_FRACTION,
+                        mode="recon",
+                        algorithm=algorithm,
+                        recon_workers=workers,
+                        scale=scale,
+                        seed=seed,
+                    )
+                )
+                recon = result.reconstruction
+                rows.append(
+                    {
+                        "g": g,
+                        "alpha": round(alpha_of(PAPER_NUM_DISKS, g), 3),
+                        "rate": rate,
+                        "algorithm": algorithm.name,
+                        "workers": workers,
+                        "recon_time_s": round(result.reconstruction_time_s, 2),
+                        "recon_ms_per_unit": round(result.normalized_recon_ms_per_unit, 3),
+                        "mean_response_ms": round(result.response.mean_ms, 2),
+                        "user_built_units": recon.user_built_units,
+                        "total_units": recon.total_units,
+                    }
+                )
+    return rows
+
+
+def run_single_thread(scale: str = "tiny", **kwargs) -> typing.List[dict]:
+    """Figures 8-1 (reconstruction time) and 8-2 (response time)."""
+    return run_grid(workers=1, scale=scale, **kwargs)
+
+
+def run_parallel(scale: str = "tiny", **kwargs) -> typing.List[dict]:
+    """Figures 8-3 (reconstruction time) and 8-4 (response time)."""
+    return run_grid(workers=8, scale=scale, **kwargs)
+
+
+def format_rows(rows: typing.Sequence[dict], title: str) -> str:
+    return format_table(
+        headers=[
+            "alpha", "G", "rate/s", "algorithm", "workers",
+            "recon time (s)", "ms/unit", "mean resp (ms)", "user-built",
+        ],
+        rows=[
+            [r["alpha"], r["g"], r["rate"], r["algorithm"], r["workers"],
+             r["recon_time_s"], r["recon_ms_per_unit"], r["mean_response_ms"],
+             r["user_built_units"]]
+            for r in rows
+        ],
+        title=title,
+    )

@@ -1,0 +1,86 @@
+"""Figure 8-6: the Muntz & Lui analytic model vs simulation.
+
+For each alpha, the M&L fluid model's predicted reconstruction time
+(with the paper's input conversions and the 46 random-accesses/s
+service rate) is placed next to the simulated reconstruction time of
+the corresponding algorithm. The expected qualitative result is the
+paper's: the model is significantly pessimistic, because it prices
+every access — including the replacement's sequential reconstruction
+writes — at the random-access rate.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.analysis.muntz_lui import MuntzLuiInputs, MuntzLuiModel
+from repro.experiments.builders import PAPER_NUM_DISKS, alpha_of
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import ScenarioConfig, run_scenario
+from repro.recon.algorithms import REDIRECT, REDIRECT_PIGGYBACK, USER_WRITES
+
+FIG_RATE = 210.0
+READ_FRACTION = 0.5
+#: M&L model the user-writes case as their baseline; their two
+#: optimizations are redirection and piggybacking.
+FIG_ALGORITHMS = (USER_WRITES, REDIRECT, REDIRECT_PIGGYBACK)
+FIG_STRIPE_SIZES = (4, 5, 6, 10, 21)
+
+
+def run(
+    scale: str = "tiny",
+    workers: int = 8,
+    stripe_sizes: typing.Sequence[int] = FIG_STRIPE_SIZES,
+    seed: int = 1992,
+) -> typing.List[dict]:
+    rows = []
+    for g in stripe_sizes:
+        for algorithm in FIG_ALGORITHMS:
+            result = run_scenario(
+                ScenarioConfig(
+                    stripe_size=g,
+                    user_rate_per_s=FIG_RATE,
+                    read_fraction=READ_FRACTION,
+                    mode="recon",
+                    algorithm=algorithm,
+                    recon_workers=workers,
+                    scale=scale,
+                    seed=seed,
+                )
+            )
+            model = MuntzLuiModel(
+                MuntzLuiInputs(
+                    num_disks=PAPER_NUM_DISKS,
+                    stripe_size=g,
+                    user_rate_per_s=FIG_RATE,
+                    user_read_fraction=READ_FRACTION,
+                    units_per_disk=result.reconstruction.total_units,
+                )
+            )
+            predicted = model.reconstruction_time_s(algorithm)
+            simulated = result.reconstruction_time_s
+            rows.append(
+                {
+                    "g": g,
+                    "alpha": round(alpha_of(PAPER_NUM_DISKS, g), 3),
+                    "algorithm": algorithm.name,
+                    "model_s": round(predicted, 1),
+                    "simulated_s": round(simulated, 1),
+                    "model_over_sim": round(predicted / simulated, 2)
+                    if simulated > 0
+                    else float("inf"),
+                }
+            )
+    return rows
+
+
+def format_rows(rows: typing.Sequence[dict]) -> str:
+    return format_table(
+        headers=["alpha", "G", "algorithm", "M&L model (s)", "simulated (s)", "model/sim"],
+        rows=[
+            [r["alpha"], r["g"], r["algorithm"], r["model_s"], r["simulated_s"],
+             r["model_over_sim"]]
+            for r in rows
+        ],
+        title="Figure 8-6: Muntz & Lui model vs simulation (rate 210, 50/50)",
+    )

@@ -1,0 +1,46 @@
+"""Plain-text table rendering for experiment output."""
+
+from __future__ import annotations
+
+import typing
+
+
+def format_table(
+    headers: typing.Sequence[str],
+    rows: typing.Sequence[typing.Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render rows as an aligned monospace table."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def series_by(
+    rows: typing.Sequence[dict],
+    key_fields: typing.Sequence[str],
+    x_field: str,
+    y_field: str,
+) -> typing.Dict[tuple, typing.List[typing.Tuple[object, object]]]:
+    """Group rows into (x, y) series keyed by the given fields.
+
+    Mirrors how the paper's figures are organized: one curve per
+    (rate, algorithm, ...) combination over the alpha axis.
+    """
+    series: typing.Dict[tuple, list] = {}
+    for row in rows:
+        key = tuple(row[f] for f in key_fields)
+        series.setdefault(key, []).append((row[x_field], row[y_field]))
+    for points in series.values():
+        points.sort()
+    return series

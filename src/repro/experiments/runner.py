@@ -1,0 +1,170 @@
+"""The scenario runner: one simulation point, any mode.
+
+A *scenario* is one (layout, rate, read fraction, mode) point:
+
+- ``fault-free`` — steady-state response-time measurement;
+- ``degraded``  — disk 0 failed, no replacement, steady-state;
+- ``recon``     — disk 0 failed, replacement installed, the sweep and
+  the user workload run concurrently until reconstruction completes.
+
+Runner output carries everything any figure or table needs: user
+response summaries, reconstruction time, per-cycle phase records, and
+per-disk utilization.
+"""
+
+from __future__ import annotations
+
+import typing
+from dataclasses import dataclass, field
+
+from repro.array.addressing import ArrayAddressing
+from repro.array.controller import ArrayController
+from repro.disk.constant import ConstantRateDisk
+from repro.experiments.builders import PAPER_NUM_DISKS, build_layout
+from repro.experiments.scales import ScalePreset, get_scale
+from repro.recon.algorithms import BASELINE, ReconAlgorithm
+from repro.recon.sweeper import ReconstructionResult, Reconstructor
+from repro.sim.environment import Environment
+from repro.workload.recorder import ResponseRecorder, ResponseSummary
+from repro.workload.synthetic import SyntheticWorkload, WorkloadConfig
+
+MODES = ("fault-free", "degraded", "recon")
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """One simulation point."""
+
+    stripe_size: int
+    user_rate_per_s: float
+    read_fraction: float
+    mode: str = "fault-free"
+    algorithm: ReconAlgorithm = BASELINE
+    recon_workers: int = 1
+    scale: typing.Union[str, ScalePreset] = "tiny"
+    num_disks: int = PAPER_NUM_DISKS
+    seed: int = 1992
+    policy: str = "cvscan"
+    with_datastore: bool = False
+    failed_disk: int = 0
+    #: Ablation switch: replace the sector-accurate disks with fixed
+    #: service-time servers (the Muntz & Lui work-preserving world).
+    constant_rate_disks: bool = False
+    #: Extension: idle time each sweep worker inserts between cycles
+    #: (reconstruction throttling, Section 9 future work).
+    recon_cycle_delay_ms: float = 0.0
+
+    def __post_init__(self):
+        if self.mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}, got {self.mode!r}")
+        if self.recon_workers < 1:
+            raise ValueError("recon_workers must be >= 1")
+
+    @property
+    def alpha(self) -> float:
+        return (self.stripe_size - 1) / (self.num_disks - 1)
+
+    def scale_preset(self) -> ScalePreset:
+        if isinstance(self.scale, ScalePreset):
+            return self.scale
+        return get_scale(self.scale)
+
+
+@dataclass
+class ScenarioResult:
+    """Everything measured in one scenario."""
+
+    config: ScenarioConfig
+    response: ResponseSummary
+    read_response: ResponseSummary
+    write_response: ResponseSummary
+    simulated_ms: float
+    requests_completed: int
+    mapped_units_per_disk: int
+    disk_utilization: typing.List[float] = field(default_factory=list)
+    reconstruction: typing.Optional[ReconstructionResult] = None
+    integrity_errors: typing.List[str] = field(default_factory=list)
+
+    @property
+    def reconstruction_time_s(self) -> float:
+        if self.reconstruction is None:
+            raise RuntimeError("scenario did not run a reconstruction")
+        return self.reconstruction.reconstruction_time_ms / 1000.0
+
+    @property
+    def normalized_recon_ms_per_unit(self) -> float:
+        """Reconstruction time per rebuilt unit — scale-independent."""
+        if self.reconstruction is None:
+            raise RuntimeError("scenario did not run a reconstruction")
+        return self.reconstruction.reconstruction_time_ms / self.reconstruction.total_units
+
+
+def run_scenario(config: ScenarioConfig) -> ScenarioResult:
+    """Simulate one scenario point and summarize it."""
+    scale = config.scale_preset()
+    env = Environment()
+    layout = build_layout(config.num_disks, config.stripe_size)
+    addressing = ArrayAddressing(layout, scale.spec())
+    disk_factory = ConstantRateDisk if config.constant_rate_disks else None
+    controller = ArrayController(
+        env,
+        addressing,
+        policy=config.policy,
+        algorithm=config.algorithm,
+        with_datastore=config.with_datastore,
+        disk_factory=disk_factory,
+    )
+    recorder = ResponseRecorder(warmup_ms=scale.warmup_ms)
+    workload = SyntheticWorkload(
+        controller,
+        WorkloadConfig(
+            access_rate_per_s=config.user_rate_per_s,
+            read_fraction=config.read_fraction,
+            seed=config.seed,
+        ),
+        recorder=recorder,
+    )
+
+    reconstruction: typing.Optional[ReconstructionResult] = None
+    if config.mode == "fault-free":
+        workload.run(duration_ms=scale.steady_duration_ms)
+        env.run(until=scale.steady_duration_ms)
+        measure_since = None
+    elif config.mode == "degraded":
+        controller.fail_disk(config.failed_disk)
+        workload.run(duration_ms=scale.steady_duration_ms)
+        env.run(until=scale.steady_duration_ms)
+        measure_since = None
+    else:  # recon
+        controller.fail_disk(config.failed_disk)
+        controller.install_replacement()
+        reconstructor = Reconstructor(
+            controller,
+            workers=config.recon_workers,
+            cycle_delay_ms=config.recon_cycle_delay_ms,
+        )
+        done = reconstructor.start()
+        workload.run(duration_ms=float("inf"))
+        env.run(until=done)
+        workload.stop()
+        env.run(until=workload.drained())
+        reconstruction = reconstructor.result()
+        measure_since = None  # warm-up alone; the whole window is recovery
+
+    workload.stop()
+    end_ms = env.now
+    utilization = [
+        disk.stats.busy_ms / end_ms if end_ms > 0 else 0.0 for disk in controller.disks
+    ]
+    return ScenarioResult(
+        config=config,
+        response=recorder.summary(since_ms=measure_since),
+        read_response=recorder.summary(reads_only=True, since_ms=measure_since),
+        write_response=recorder.summary(writes_only=True, since_ms=measure_since),
+        simulated_ms=end_ms,
+        requests_completed=workload.completed,
+        mapped_units_per_disk=addressing.mapped_units_per_disk,
+        disk_utilization=utilization,
+        reconstruction=reconstruction,
+        integrity_errors=list(workload.integrity_errors),
+    )

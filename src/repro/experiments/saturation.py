@@ -1,0 +1,89 @@
+"""Throughput saturation sweep: where the array's capacity knee sits.
+
+Not a numbered figure, but the capacity arithmetic Section 6 does in
+prose: 21 disks at ~46 random 4 KB accesses/s each give the array a
+ceiling of ~966 disk accesses/s; user writes cost four accesses, so a
+write-heavy workload saturates at far lower *user* rates (the paper
+could not run 378 writes/s). This sweep measures mean response time
+versus offered user rate for a given read fraction and reports the
+measured knee against the analytic ceiling.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.experiments.builders import PAPER_NUM_DISKS, alpha_of
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import ScenarioConfig, run_scenario
+
+#: ~46 random 4 KB accesses/s per disk (measured from the disk model).
+DISK_CAPACITY_PER_S = 46.0
+
+
+def analytic_user_rate_ceiling(read_fraction: float,
+                               num_disks: int = PAPER_NUM_DISKS) -> float:
+    """User accesses/s at which total disk accesses hit the array ceiling.
+
+    Each user read is 1 access, each user write 4, so the expansion
+    factor is ``4 - 3R``.
+    """
+    expansion = 4.0 - 3.0 * read_fraction
+    return num_disks * DISK_CAPACITY_PER_S / expansion
+
+
+def run(
+    scale: str = "tiny",
+    stripe_size: int = 4,
+    read_fraction: float = 0.5,
+    rates: typing.Optional[typing.Sequence[float]] = None,
+    seed: int = 1992,
+) -> typing.List[dict]:
+    ceiling = analytic_user_rate_ceiling(read_fraction)
+    if rates is None:
+        rates = [round(ceiling * f) for f in (0.3, 0.5, 0.7, 0.85, 0.95)]
+    rows = []
+    for rate in rates:
+        result = run_scenario(
+            ScenarioConfig(
+                stripe_size=stripe_size,
+                user_rate_per_s=float(rate),
+                read_fraction=read_fraction,
+                mode="fault-free",
+                scale=scale,
+                seed=seed,
+            )
+        )
+        rows.append(
+            {
+                "alpha": round(alpha_of(PAPER_NUM_DISKS, stripe_size), 3),
+                "read_fraction": read_fraction,
+                "rate": float(rate),
+                "offered_fraction_of_ceiling": round(rate / ceiling, 3),
+                "mean_response_ms": round(result.response.mean_ms, 2),
+                "p90_ms": round(result.response.p90_ms, 2),
+                "max_disk_utilization": round(max(result.disk_utilization), 3),
+            }
+        )
+    return rows
+
+
+def format_rows(rows: typing.Sequence[dict]) -> str:
+    if rows:
+        ceiling = analytic_user_rate_ceiling(rows[0]["read_fraction"])
+        title = (
+            f"Saturation sweep (alpha={rows[0]['alpha']}, "
+            f"read fraction {rows[0]['read_fraction']:.0%}, analytic ceiling "
+            f"~{ceiling:.0f} user accesses/s)"
+        )
+    else:
+        title = "Saturation sweep"
+    return format_table(
+        headers=["rate/s", "of ceiling", "mean resp (ms)", "p90 (ms)", "max disk util"],
+        rows=[
+            [r["rate"], r["offered_fraction_of_ceiling"], r["mean_response_ms"],
+             r["p90_ms"], r["max_disk_utilization"]]
+            for r in rows
+        ],
+        title=title,
+    )

@@ -1,0 +1,87 @@
+"""Table 8-1: reconstruction cycle read/write phase times.
+
+At rate 210 (50/50 read/write), for alpha in {0.15, 0.45, 1.0} and all
+four algorithms, single-threaded and eight-way parallel: the mean (and
+standard deviation) of the read phase and write phase over the last
+300 reconstruction cycles.
+
+Expected shape: complex algorithms lower the read phase (surviving
+disks are off-loaded) but raise the write phase (the replacement's
+sequential write stream is disturbed by random user work) — redirect
+roughly triples baseline's write phase.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.experiments.builders import PAPER_NUM_DISKS, alpha_of
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import ScenarioConfig, run_scenario
+from repro.recon.algorithms import ALGORITHMS, ReconAlgorithm
+
+TABLE_STRIPE_SIZES = (4, 10, 21)  # alpha = 0.15, 0.45, 1.0
+TABLE_RATE = 210.0
+READ_FRACTION = 0.5
+LAST_N_CYCLES = 300
+
+
+def run(
+    scale: str = "tiny",
+    workers_list: typing.Sequence[int] = (1, 8),
+    stripe_sizes: typing.Sequence[int] = TABLE_STRIPE_SIZES,
+    algorithms: typing.Sequence[ReconAlgorithm] = ALGORITHMS,
+    seed: int = 1992,
+) -> typing.List[dict]:
+    rows = []
+    for workers in workers_list:
+        for g in stripe_sizes:
+            for algorithm in algorithms:
+                result = run_scenario(
+                    ScenarioConfig(
+                        stripe_size=g,
+                        user_rate_per_s=TABLE_RATE,
+                        read_fraction=READ_FRACTION,
+                        mode="recon",
+                        algorithm=algorithm,
+                        recon_workers=workers,
+                        scale=scale,
+                        seed=seed,
+                    )
+                )
+                read_phase, write_phase = result.reconstruction.phase_summary(
+                    last_n=LAST_N_CYCLES
+                )
+                rows.append(
+                    {
+                        "workers": workers,
+                        "alpha": round(alpha_of(PAPER_NUM_DISKS, g), 3),
+                        "algorithm": algorithm.name,
+                        "read_ms": round(read_phase.mean_ms, 1),
+                        "read_std": round(read_phase.std_ms, 1),
+                        "write_ms": round(write_phase.mean_ms, 1),
+                        "write_std": round(write_phase.std_ms, 1),
+                        "cycle_ms": round(read_phase.mean_ms + write_phase.mean_ms, 1),
+                        "cycles_sampled": read_phase.count,
+                    }
+                )
+    return rows
+
+
+def format_rows(rows: typing.Sequence[dict]) -> str:
+    return format_table(
+        headers=[
+            "workers", "alpha", "algorithm",
+            "read (ms)", "±", "write (ms)", "±", "cycle (ms)", "n",
+        ],
+        rows=[
+            [r["workers"], r["alpha"], r["algorithm"],
+             r["read_ms"], r["read_std"], r["write_ms"], r["write_std"],
+             r["cycle_ms"], r["cycles_sampled"]]
+            for r in rows
+        ],
+        title=(
+            "Table 8-1: reconstruction cycle times at rate 210 "
+            "(read phase + write phase = cycle, last 300 cycles)"
+        ),
+    )

@@ -1,0 +1,35 @@
+"""Parity layouts: mapping parity stripes onto an array of disks.
+
+A layout answers two questions for an array of ``C`` disks with parity
+stripes of ``G`` units (``G - 1`` data units plus one parity unit):
+
+- *forward*: where do stripe ``s``'s data unit ``j`` and parity unit
+  live, as ``(disk, offset)`` pairs; and
+- *inverse*: given ``(disk, offset)``, which stripe and role is that
+  unit.
+
+Two layouts are provided: the left-symmetric RAID 5 layout (Figure 2-1
+of the paper; the special case ``G = C``) and the block-design-based
+declustered layout (Section 4, Figures 2-3 and 4-2). Both are built
+as lookup tables that tile down the disks, and both are scored by the
+executable layout criteria in :mod:`repro.layout.criteria`.
+"""
+
+from repro.layout.base import PARITY_ROLE, LayoutError, ParityLayout, UnitAddress
+from repro.layout.declustered import DeclusteredLayout, build_full_table
+from repro.layout.raid5 import LeftSymmetricRaid5Layout
+from repro.layout.reddy import ReddyTwoGroupLayout
+from repro.layout.criteria import CriterionReport, evaluate_layout
+
+__all__ = [
+    "CriterionReport",
+    "DeclusteredLayout",
+    "LayoutError",
+    "LeftSymmetricRaid5Layout",
+    "PARITY_ROLE",
+    "ParityLayout",
+    "ReddyTwoGroupLayout",
+    "UnitAddress",
+    "build_full_table",
+    "evaluate_layout",
+]

@@ -1,0 +1,278 @@
+"""The layout interface and its table-based implementation.
+
+Every layout in this project is periodic: a *full table* assigns one
+iteration's worth of stripes to ``(disk, offset)`` slots, and the whole
+disk is covered by tiling the table down the disks. The paper's
+declustered layout has a table of ``G * b`` stripes occupying
+``G * r`` units on each disk; the RAID 5 layout has a table of ``C``
+stripes occupying ``C`` units per disk.
+"""
+
+from __future__ import annotations
+
+import typing
+from dataclasses import dataclass
+
+#: Role index used for the parity unit of a stripe. Data units use their
+#: position 0..G-2 within the stripe.
+PARITY_ROLE = -1
+
+
+class LayoutError(ValueError):
+    """Raised for malformed layout tables or out-of-range addresses."""
+
+
+@dataclass(frozen=True, order=True)
+class UnitAddress:
+    """A physical stripe-unit slot: ``offset``-th unit of ``disk``."""
+
+    disk: int
+    offset: int
+
+
+class ParityLayout:
+    """A periodic parity layout over ``C`` disks with stripes of ``G`` units.
+
+    Subclasses build the table; this base class implements tiling,
+    forward/inverse unit mapping, and the data mapping (logical data
+    unit → physical slot) used by the striping driver. The data mapping
+    is "by parity stripe index" (Table 5-1): logical data units fill
+    successive data positions of successive parity stripes, which
+    satisfies the large-write-optimization criterion.
+
+    Parameters
+    ----------
+    num_disks:
+        ``C``.
+    stripe_size:
+        ``G``, counting the parity unit.
+    table:
+        One full table: a sequence of stripes, each a sequence of ``G``
+        :class:`UnitAddress` where index ``G-1`` is the **parity** slot
+        and indices ``0..G-2`` are data slots in order.
+    name:
+        Human-readable layout label.
+    data_mapping:
+        How logical data units are ordered onto the table's data slots:
+
+        - ``"stripe"`` (default, the paper's Table 5-1 choice): logical
+          units fill successive data positions of successive parity
+          stripes. Satisfies the large-write optimization (criterion 5)
+          but not maximal parallelism (criterion 6).
+        - ``"row-major"``: logical units fill data slots offset row by
+          offset row across the disks. Since each row holds one unit
+          per disk, consecutive logical units land on distinct disks —
+          recovering most of criterion 6 at the cost of criterion 5.
+          This explores the open trade-off of Section 4.2.
+    """
+
+    def __init__(
+        self,
+        num_disks: int,
+        stripe_size: int,
+        table: typing.Sequence[typing.Sequence[UnitAddress]],
+        name: str = "",
+        data_mapping: str = "stripe",
+    ):
+        if stripe_size < 2:
+            raise LayoutError(f"stripe size must be >= 2, got {stripe_size}")
+        if stripe_size > num_disks:
+            raise LayoutError(
+                f"stripe size {stripe_size} exceeds array width {num_disks}"
+            )
+        if data_mapping not in ("stripe", "row-major"):
+            raise LayoutError(
+                f"unknown data mapping {data_mapping!r}; use 'stripe' or 'row-major'"
+            )
+        self.num_disks = num_disks
+        self.stripe_size = stripe_size
+        self.name = name or type(self).__name__
+        self.data_mapping = data_mapping
+        self._table = [list(stripe) for stripe in table]
+        self._check_and_index_table()
+        if data_mapping == "row-major":
+            self._build_row_major_order()
+
+    # ------------------------------------------------------------------
+    # Construction-time checks
+    # ------------------------------------------------------------------
+    def _check_and_index_table(self) -> None:
+        """Verify the table is a bijection onto a C x depth rectangle."""
+        if not self._table:
+            raise LayoutError("layout table is empty")
+        per_disk_used: typing.List[typing.Set[int]] = [set() for _ in range(self.num_disks)]
+        for s, stripe in enumerate(self._table):
+            if len(stripe) != self.stripe_size:
+                raise LayoutError(
+                    f"stripe {s} has {len(stripe)} units, expected {self.stripe_size}"
+                )
+            for unit in stripe:
+                if not 0 <= unit.disk < self.num_disks:
+                    raise LayoutError(f"stripe {s} uses disk {unit.disk} outside array")
+                if unit.offset in per_disk_used[unit.disk]:
+                    raise LayoutError(
+                        f"slot disk={unit.disk} offset={unit.offset} assigned twice"
+                    )
+                per_disk_used[unit.disk].add(unit.offset)
+        depths = {max(used) + 1 if used else 0 for used in per_disk_used}
+        counts = {len(used) for used in per_disk_used}
+        if len(depths) != 1 or len(counts) != 1 or depths != counts:
+            raise LayoutError(
+                f"table does not tile: per-disk depths {sorted(depths)}, "
+                f"unit counts {sorted(counts)} — every disk must hold the "
+                "same, gap-free number of units"
+            )
+        self.table_depth = depths.pop()
+        # Inverse index: (disk, offset-in-table) -> (stripe-in-table, role).
+        self._inverse: typing.List[typing.List[typing.Tuple[int, int]]] = [
+            [(-1, 0)] * self.table_depth for _ in range(self.num_disks)
+        ]
+        for s, stripe in enumerate(self._table):
+            for pos, unit in enumerate(stripe):
+                role = PARITY_ROLE if pos == self.stripe_size - 1 else pos
+                self._inverse[unit.disk][unit.offset] = (s, role)
+
+    # ------------------------------------------------------------------
+    # Basic parameters
+    # ------------------------------------------------------------------
+    @property
+    def stripes_per_table(self) -> int:
+        """Stripes in one full table."""
+        return len(self._table)
+
+    @property
+    def data_units_per_stripe(self) -> int:
+        """``G - 1``."""
+        return self.stripe_size - 1
+
+    def declustering_ratio(self) -> float:
+        """``alpha = (G-1)/(C-1)`` — 1.0 for RAID 5."""
+        return (self.stripe_size - 1) / (self.num_disks - 1)
+
+    def parity_overhead(self) -> float:
+        """Fraction of disk space consumed by parity, ``1/G``."""
+        return 1.0 / self.stripe_size
+
+    # ------------------------------------------------------------------
+    # Forward mapping
+    # ------------------------------------------------------------------
+    def stripe_unit(self, stripe: int, role: int) -> UnitAddress:
+        """Physical slot of stripe ``stripe``'s unit with role ``role``.
+
+        ``role`` is ``0..G-2`` for data or :data:`PARITY_ROLE`.
+        """
+        iteration, s = divmod(stripe, self.stripes_per_table)
+        pos = self.stripe_size - 1 if role == PARITY_ROLE else role
+        if not 0 <= pos < self.stripe_size:
+            raise LayoutError(f"role {role} invalid for stripe size {self.stripe_size}")
+        base = self._table[s][pos]
+        return UnitAddress(base.disk, base.offset + iteration * self.table_depth)
+
+    def parity_unit(self, stripe: int) -> UnitAddress:
+        """Physical slot of stripe ``stripe``'s parity unit."""
+        return self.stripe_unit(stripe, PARITY_ROLE)
+
+    def data_unit(self, stripe: int, j: int) -> UnitAddress:
+        """Physical slot of stripe ``stripe``'s ``j``-th data unit."""
+        if not 0 <= j < self.data_units_per_stripe:
+            raise LayoutError(f"data index {j} outside 0..{self.data_units_per_stripe - 1}")
+        return self.stripe_unit(stripe, j)
+
+    def stripe_units(self, stripe: int) -> typing.List[UnitAddress]:
+        """All ``G`` slots of a stripe: data units in order, then parity."""
+        return [self.stripe_unit(stripe, j) for j in range(self.data_units_per_stripe)] + [
+            self.parity_unit(stripe)
+        ]
+
+    # ------------------------------------------------------------------
+    # Inverse mapping
+    # ------------------------------------------------------------------
+    def stripe_of(self, disk: int, offset: int) -> typing.Tuple[int, int]:
+        """``(stripe, role)`` of the unit at ``(disk, offset)``."""
+        if not 0 <= disk < self.num_disks:
+            raise LayoutError(f"disk {disk} outside array of {self.num_disks}")
+        if offset < 0:
+            raise LayoutError(f"negative offset {offset}")
+        iteration, table_offset = divmod(offset, self.table_depth)
+        s, role = self._inverse[disk][table_offset]
+        return iteration * self.stripes_per_table + s, role
+
+    # ------------------------------------------------------------------
+    # Data mapping (logical data unit numbering)
+    # ------------------------------------------------------------------
+    def _build_row_major_order(self) -> None:
+        """Index data slots row by row for the row-major data mapping."""
+        order: typing.List[UnitAddress] = []
+        for offset in range(self.table_depth):
+            for disk in range(self.num_disks):
+                _stripe, role = self._inverse[disk][offset]
+                if role != PARITY_ROLE:
+                    order.append(UnitAddress(disk, offset))
+        self._row_major_order = order
+        self._row_major_index = {
+            (slot.disk, slot.offset): i for i, slot in enumerate(order)
+        }
+
+    @property
+    def data_units_per_table(self) -> int:
+        """Data slots in one full table."""
+        return self.stripes_per_table * self.data_units_per_stripe
+
+    @property
+    def supports_large_write(self) -> bool:
+        """True when aligned logical windows coincide with parity stripes."""
+        return self.data_mapping == "stripe"
+
+    def logical_to_physical(self, logical_unit: int) -> UnitAddress:
+        """Physical slot of logical data unit ``logical_unit``."""
+        if logical_unit < 0:
+            raise LayoutError(f"negative logical unit {logical_unit}")
+        if self.data_mapping == "stripe":
+            stripe, j = divmod(logical_unit, self.data_units_per_stripe)
+            return self.data_unit(stripe, j)
+        iteration, within = divmod(logical_unit, self.data_units_per_table)
+        base = self._row_major_order[within]
+        return UnitAddress(base.disk, base.offset + iteration * self.table_depth)
+
+    def physical_to_logical(self, disk: int, offset: int) -> typing.Optional[int]:
+        """Logical data unit at ``(disk, offset)``, or None for parity."""
+        stripe, role = self.stripe_of(disk, offset)
+        if role == PARITY_ROLE:
+            return None
+        if self.data_mapping == "stripe":
+            return stripe * self.data_units_per_stripe + role
+        iteration, table_offset = divmod(offset, self.table_depth)
+        within = self._row_major_index[(disk, table_offset)]
+        return iteration * self.data_units_per_table + within
+
+    def stripe_of_logical(self, logical_unit: int) -> int:
+        """The parity stripe containing logical data unit ``logical_unit``."""
+        if self.data_mapping == "stripe":
+            return logical_unit // self.data_units_per_stripe
+        address = self.logical_to_physical(logical_unit)
+        return self.stripe_of(address.disk, address.offset)[0]
+
+    # ------------------------------------------------------------------
+    # Rendering (for docs, tests, and the layout explorer example)
+    # ------------------------------------------------------------------
+    def render_table(self, depth: typing.Optional[int] = None) -> str:
+        """ASCII rendering in the style of the paper's Figures 2-1/2-3."""
+        depth = self.table_depth if depth is None else depth
+        header = "Offset | " + " ".join(f"DISK{d:<3d}" for d in range(self.num_disks))
+        lines = [header, "-" * len(header)]
+        for offset in range(depth):
+            cells = []
+            for disk in range(self.num_disks):
+                stripe, role = self.stripe_of(disk, offset)
+                cells.append(
+                    f"P{stripe:<6d}" if role == PARITY_ROLE else f"D{stripe}.{role:<4d}"
+                )
+            lines.append(f"{offset:6d} | " + " ".join(cells))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"<{type(self).__name__} C={self.num_disks} G={self.stripe_size} "
+            f"alpha={self.declustering_ratio():.3f} table={self.stripes_per_table}x"
+            f"{self.table_depth}>"
+        )

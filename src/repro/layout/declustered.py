@@ -1,0 +1,89 @@
+"""The block-design-based declustered parity layout (paper Section 4.2).
+
+Construction, exactly as the paper describes:
+
+1. Associate disks with design objects and parity stripes with tuples.
+2. Lay out one *block design table*: stripe unit ``j`` of stripe ``i``
+   goes to the lowest free offset of the disk named by the ``j``-th
+   element of tuple ``i mod b``; the parity unit occupies one chosen
+   element position.
+3. A single table puts parity on the same element of every tuple and
+   violates the distributed-parity criterion (Figure 2-3), so the table
+   is duplicated ``G`` times — the *full block design table* — rotating
+   the parity position across duplications (Figure 4-2). Each disk then
+   holds exactly ``r`` parity units per full table.
+4. The full table tiles down the disks until every unit is mapped.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.designs.design import BlockDesign
+from repro.layout.base import LayoutError, ParityLayout, UnitAddress
+
+
+def build_full_table(
+    design: BlockDesign, rotate_parity: bool = True
+) -> typing.List[typing.List[UnitAddress]]:
+    """Build the full block design table as a list of stripes.
+
+    Each stripe is a list of ``G`` slots with the parity slot last.
+
+    Parameters
+    ----------
+    design:
+        A block design with ``v = C`` objects and tuples of size
+        ``k = G``.
+    rotate_parity:
+        When True (the paper's scheme), make ``G`` duplications of the
+        design, assigning parity to element position ``G-1-d`` in
+        duplication ``d``. When False, build a single table with parity
+        always on the last element — this deliberately violates the
+        distributed-parity criterion and exists for the ablation bench.
+    """
+    g = design.k
+    next_free = [0] * design.v
+    table: typing.List[typing.List[UnitAddress]] = []
+    duplications = range(g) if rotate_parity else (0,)
+    for dup in duplications:
+        parity_position = (g - 1 - dup) % g
+        for tup in design.tuples:
+            slots = []
+            for element in tup:
+                slots.append(UnitAddress(disk=element, offset=next_free[element]))
+                next_free[element] += 1
+            data_slots = [slot for pos, slot in enumerate(slots) if pos != parity_position]
+            table.append(data_slots + [slots[parity_position]])
+    return table
+
+
+class DeclusteredLayout(ParityLayout):
+    """Parity declustering over ``C = design.v`` disks with ``G = design.k``.
+
+    The design is validated for BIBD balance before use; an unbalanced
+    design would silently break the distributed-reconstruction
+    guarantee (criterion 2).
+    """
+
+    def __init__(
+        self,
+        design: BlockDesign,
+        rotate_parity: bool = True,
+        data_mapping: str = "stripe",
+    ):
+        design.validate()
+        if design.k == design.v:
+            raise LayoutError(
+                "G == C is RAID 5; use LeftSymmetricRaid5Layout for that case"
+            )
+        self.design = design
+        self.rotate_parity = rotate_parity
+        table = build_full_table(design, rotate_parity=rotate_parity)
+        super().__init__(
+            num_disks=design.v,
+            stripe_size=design.k,
+            table=table,
+            name=f"declustered-{design.name or f'{design.v}-{design.k}'}",
+            data_mapping=data_mapping,
+        )

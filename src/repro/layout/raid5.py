@@ -1,0 +1,31 @@
+"""Left-symmetric RAID 5 layout (Figure 2-1 of the paper).
+
+Parity rotates one disk to the left at each stripe, and data units of
+stripe ``i`` begin on the disk just after the parity disk, wrapping
+around. This is the ``G = C`` special case against which declustering
+is compared (``alpha = 1``), and it satisfies all six layout criteria.
+"""
+
+from __future__ import annotations
+
+from repro.layout.base import LayoutError, ParityLayout, UnitAddress
+
+
+class LeftSymmetricRaid5Layout(ParityLayout):
+    """RAID 5 with left-symmetric parity placement over ``C`` disks."""
+
+    def __init__(self, num_disks: int):
+        if num_disks < 2:
+            raise LayoutError(f"RAID 5 needs at least 2 disks, got {num_disks}")
+        c = num_disks
+        table = []
+        for i in range(c):
+            parity_disk = (c - 1 - i) % c
+            stripe = [
+                UnitAddress(disk=(parity_disk + 1 + j) % c, offset=i) for j in range(c - 1)
+            ]
+            stripe.append(UnitAddress(disk=parity_disk, offset=i))
+            table.append(stripe)
+        super().__init__(
+            num_disks=c, stripe_size=c, table=table, name=f"left-symmetric-raid5-{c}"
+        )

@@ -1,0 +1,78 @@
+"""Reddy & Banerjee's gracefully-degradable two-group layout.
+
+Section 3 of Holland & Gibson describes the prior scheme: "[Reddy's]
+organization uses a block design containing b tuples on C objects to
+divide the array into exactly two parity groups: track j on disk i is a
+member of parity group one if object i is a member of block (j mod b)
+... restricted to the case where G = C/2."
+
+Concretely, each offset row of the array is split into two parity
+stripes of C/2 units each — the disks inside row ``j mod b``'s tuple
+and the disks outside it. Parity positions rotate within each group by
+row so parity stays distributed. Balance across disk pairs follows from
+the design's balance: two disks share a group in ``lam`` rows (both
+inside) plus ``b - 2r + lam`` rows (both outside), a constant.
+
+The layout exists for comparison with the paper's scheme at the fixed
+``alpha = (C/2 - 1)/(C - 1) ≈ 0.5`` it is restricted to.
+"""
+
+from __future__ import annotations
+
+from repro.designs.design import BlockDesign
+from repro.layout.base import LayoutError, ParityLayout, UnitAddress
+
+
+class ReddyTwoGroupLayout(ParityLayout):
+    """Two parity groups per offset row, selected by a block design.
+
+    Parameters
+    ----------
+    design:
+        A balanced design with ``v = C`` objects and tuples of size
+        ``k = C/2``; each tuple names the disks of group one for one
+        row.
+    """
+
+    def __init__(self, design: BlockDesign):
+        design.validate()
+        if design.v % 2 != 0:
+            raise LayoutError(
+                f"Reddy's layout needs an even number of disks, got {design.v}"
+            )
+        if design.k != design.v // 2:
+            raise LayoutError(
+                f"Reddy's layout requires G = C/2: got k={design.k} on "
+                f"C={design.v} disks"
+            )
+        self.design = design
+        table = self._build_table(design)
+        super().__init__(
+            num_disks=design.v,
+            stripe_size=design.k,
+            table=table,
+            name=f"reddy-{design.name or f'{design.v}-{design.k}'}",
+        )
+
+    @staticmethod
+    def _build_table(design: BlockDesign):
+        # As with the paper's own layout (Figure 4-2), a single pass
+        # cannot balance parity, so the row set is duplicated k times
+        # with the parity position rotating through the group: each disk
+        # sits in exactly one group per row, so over the k duplications
+        # it takes parity exactly b times — perfectly distributed.
+        table = []
+        all_disks = set(range(design.v))
+        k = design.k
+        for duplication in range(k):
+            for row, tuple_members in enumerate(design.tuples):
+                offset = duplication * design.b + row
+                inside = list(tuple_members)
+                outside = sorted(all_disks - set(tuple_members))
+                for group in (inside, outside):
+                    parity_index = (row + duplication) % k
+                    data_disks = [d for i, d in enumerate(group) if i != parity_index]
+                    stripe = [UnitAddress(disk=d, offset=offset) for d in data_disks]
+                    stripe.append(UnitAddress(disk=group[parity_index], offset=offset))
+                    table.append(stripe)
+        return table

@@ -1,0 +1,33 @@
+"""Reconstruction: rebuilding a failed disk onto a replacement.
+
+Implements the single-sweep reconstruction of Section 8 with the four
+algorithms the paper compares (baseline, user-writes, redirect,
+redirect+piggyback), single-threaded or N-way parallel sweep workers,
+and the per-cycle read/write phase instrumentation behind Table 8-1.
+"""
+
+from repro.recon.algorithms import (
+    ALGORITHMS,
+    BASELINE,
+    REDIRECT,
+    REDIRECT_PIGGYBACK,
+    STRICT_BASELINE,
+    USER_WRITES,
+    ReconAlgorithm,
+)
+from repro.recon.status import ReconStatus
+from repro.recon.sweeper import CycleRecord, Reconstructor, ReconstructionResult
+
+__all__ = [
+    "ALGORITHMS",
+    "BASELINE",
+    "CycleRecord",
+    "REDIRECT",
+    "REDIRECT_PIGGYBACK",
+    "ReconAlgorithm",
+    "STRICT_BASELINE",
+    "ReconStatus",
+    "ReconstructionResult",
+    "Reconstructor",
+    "USER_WRITES",
+]

@@ -1,0 +1,106 @@
+"""The four reconstruction algorithms of Section 8.
+
+The algorithms differ only in how much non-reconstruction work the
+driver sends to the replacement disk:
+
+- **baseline** — nothing extra. User writes to still-lost units are
+  folded into the parity unit; reads of lost units always reconstruct
+  on-the-fly, even if the unit is already rebuilt. (See also
+  :data:`STRICT_BASELINE`, a non-paper variant that folds writes to
+  rebuilt units as well.)
+- **user-writes** — user writes aimed at the failed disk go directly to
+  the replacement (a reconstruct-write), which also marks the unit as
+  rebuilt, saving the sweeper a cycle.
+- **redirect** — user-writes, plus Muntz & Lui's *redirection of
+  reads*: reads of already-rebuilt units are serviced by the
+  replacement.
+- **redirect+piggyback** — redirect, plus Muntz & Lui's *piggybacking
+  of writes*: an on-the-fly reconstruction triggered by a user read
+  also writes the recovered unit to the replacement, marking it
+  rebuilt.
+
+Regardless of algorithm, once a unit is marked rebuilt, user *writes*
+involving it treat the replacement as a live disk — anything else would
+leave stale state on the replacement and lose data at repair
+completion.
+"""
+
+from __future__ import annotations
+
+import typing
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ReconAlgorithm:
+    """Feature flags distinguishing the reconstruction algorithms.
+
+    ``isolate_replacement`` is a strict variant of baseline this
+    reproduction adds for study: it keeps the replacement disk free of
+    *all* user work by folding even writes to already-rebuilt units into
+    parity and marking those units dirty for re-sweep. The replacement's
+    write stream then stays perfectly sequential — but under sustained
+    writes the sweep can reach an equilibrium where units are re-dirtied
+    as fast as they are rebuilt, so reconstruction may never complete.
+    The standard algorithms treat rebuilt units as live for writes.
+    """
+
+    name: str
+    writes_to_replacement: bool
+    redirect_reads: bool
+    piggyback: bool
+    isolate_replacement: bool = False
+
+    def __post_init__(self):
+        if self.piggyback and not self.redirect_reads:
+            raise ValueError("piggybacking is defined as an addition to redirection")
+        if self.redirect_reads and not self.writes_to_replacement:
+            raise ValueError("redirection is defined as an addition to user-writes")
+        if self.isolate_replacement and self.writes_to_replacement:
+            raise ValueError("replacement isolation contradicts writing to it")
+
+    def __str__(self) -> str:
+        return self.name
+
+
+BASELINE = ReconAlgorithm(
+    name="baseline", writes_to_replacement=False, redirect_reads=False, piggyback=False
+)
+USER_WRITES = ReconAlgorithm(
+    name="user-writes", writes_to_replacement=True, redirect_reads=False, piggyback=False
+)
+REDIRECT = ReconAlgorithm(
+    name="redirect", writes_to_replacement=True, redirect_reads=True, piggyback=False
+)
+REDIRECT_PIGGYBACK = ReconAlgorithm(
+    name="redirect+piggyback", writes_to_replacement=True, redirect_reads=True, piggyback=True
+)
+
+#: Strict replacement isolation (not one of the paper's four; see the
+#: class docstring for why it can fail to converge under writes).
+STRICT_BASELINE = ReconAlgorithm(
+    name="strict-baseline",
+    writes_to_replacement=False,
+    redirect_reads=False,
+    piggyback=False,
+    isolate_replacement=True,
+)
+
+#: All four, in the paper's order.
+ALGORITHMS: typing.Tuple[ReconAlgorithm, ...] = (
+    BASELINE,
+    USER_WRITES,
+    REDIRECT,
+    REDIRECT_PIGGYBACK,
+)
+
+
+def algorithm_by_name(name: str) -> ReconAlgorithm:
+    """Look up one of the four algorithms by its paper name."""
+    for algorithm in ALGORITHMS:
+        if algorithm.name == name:
+            return algorithm
+    raise ValueError(
+        f"unknown reconstruction algorithm {name!r}; choose from "
+        f"{[a.name for a in ALGORITHMS]}"
+    )

@@ -1,0 +1,104 @@
+"""The simulation environment: clock, event heap, and run loop."""
+
+from __future__ import annotations
+
+import heapq
+import typing
+
+from repro.sim.events import AllOf, AnyOf, Event, SimulationError, Timeout
+from repro.sim.process import GeneratorType, Process
+
+
+class Environment:
+    """Coordinates simulated time and event dispatch.
+
+    Time is a float in **milliseconds** by convention throughout this
+    project (disk service times are naturally expressed in ms), though
+    the kernel itself is unit-agnostic.
+    """
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = initial_time
+        self._heap: list = []
+        self._seq = 0  # tie-breaker keeps FIFO order among same-time events
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    # ------------------------------------------------------------------
+    # Event construction helpers
+    # ------------------------------------------------------------------
+    def event(self) -> Event:
+        """A fresh untriggered event, to be succeeded/failed by user code."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: object = None) -> Timeout:
+        """An event firing ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: GeneratorType, name: str = "") -> Process:
+        """Start a new process running ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: typing.Sequence[Event]) -> AllOf:
+        """An event firing once every event in ``events`` has fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: typing.Sequence[Event]) -> AnyOf:
+        """An event firing once any event in ``events`` has fired."""
+        return AnyOf(self, events)
+
+    # ------------------------------------------------------------------
+    # Scheduling and the run loop
+    # ------------------------------------------------------------------
+    def schedule(self, event: Event, delay: float = 0.0) -> None:
+        """Queue a triggered event for callback dispatch after ``delay``."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        heapq.heappush(self._heap, (self._now + delay, self._seq, event))
+        self._seq += 1
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Advance to the next event and run its callbacks."""
+        if not self._heap:
+            raise SimulationError("step() on an empty schedule")
+        when, _seq, event = heapq.heappop(self._heap)
+        self._now = when
+        event._run_callbacks()
+        if not event.ok and not event.defused:
+            raise event._exception
+
+    def run(self, until: typing.Union[None, float, Event] = None) -> object:
+        """Run until the schedule drains, a deadline, or an event fires.
+
+        Parameters
+        ----------
+        until:
+            ``None`` runs until no events remain. A number runs until the
+            clock reaches that time. An :class:`Event` runs until that
+            event has fired, returning its value.
+        """
+        if until is None:
+            while self._heap:
+                self.step()
+            return None
+        if isinstance(until, Event):
+            stop_on = until
+            while not stop_on.processed:
+                if not self._heap:
+                    raise SimulationError("schedule drained before `until` event fired")
+                self.step()
+            return stop_on.value
+        deadline = float(until)
+        if deadline < self._now:
+            raise SimulationError(f"run(until={deadline}) is in the past (now={self._now})")
+        while self._heap and self.peek() <= deadline:
+            self.step()
+        self._now = deadline
+        return None

@@ -1,0 +1,191 @@
+"""Event primitives for the discrete-event kernel.
+
+An :class:`Event` is a one-shot occurrence: it starts *pending*, is
+*triggered* exactly once with either a value (``succeed``) or an
+exception (``fail``), and then has its callbacks run by the environment.
+Processes suspend by yielding events; the environment resumes them from
+the event's callback list.
+"""
+
+from __future__ import annotations
+
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.environment import Environment
+
+
+class SimulationError(Exception):
+    """Raised for kernel misuse (double trigger, yielding non-events...)."""
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another process interrupted.
+
+    The interrupting party supplies ``cause``, available as
+    ``interrupt.cause`` in the interrupted process.
+    """
+
+    def __init__(self, cause: object = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+# Event lifecycle states.
+PENDING = 0
+TRIGGERED = 1
+PROCESSED = 2
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    Parameters
+    ----------
+    env:
+        The environment that will dispatch this event's callbacks.
+    """
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: list = []
+        self._state = PENDING
+        self._value: object = None
+        self._exception: typing.Optional[BaseException] = None
+        #: Set by a waiting process when the failure is consumed, so the
+        #: kernel does not complain about unhandled failures.
+        self.defused = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled with a value or error."""
+        return self._state >= TRIGGERED
+
+    @property
+    def processed(self) -> bool:
+        """True once the environment has run this event's callbacks."""
+        return self._state == PROCESSED
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self.triggered and self._exception is None
+
+    @property
+    def value(self) -> object:
+        """The value the event succeeded with.
+
+        Raises
+        ------
+        SimulationError
+            If the event has not been triggered yet.
+        """
+        if not self.triggered:
+            raise SimulationError("event value read before trigger")
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    def succeed(self, value: object = None) -> "Event":
+        """Trigger the event successfully, delivering ``value`` to waiters."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._state = TRIGGERED
+        self._value = value
+        self.env.schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception, delivered to waiters."""
+        if not isinstance(exception, BaseException):
+            raise SimulationError(f"fail() needs an exception, got {exception!r}")
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._state = TRIGGERED
+        self._exception = exception
+        self.env.schedule(self)
+        return self
+
+    def _run_callbacks(self) -> None:
+        """Invoked by the environment when the event comes off the heap."""
+        self._state = PROCESSED
+        callbacks, self.callbacks = self.callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def __repr__(self) -> str:
+        state = {PENDING: "pending", TRIGGERED: "triggered", PROCESSED: "processed"}
+        return f"<{type(self).__name__} {state[self._state]} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay."""
+
+    def __init__(self, env: "Environment", delay: float, value: object = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay!r}")
+        super().__init__(env)
+        self.delay = delay
+        self._state = TRIGGERED
+        self._value = value
+        env.schedule(self, delay=delay)
+
+    def __repr__(self) -> str:
+        return f"<Timeout delay={self.delay}>"
+
+
+class Condition(Event):
+    """Base for composite events over a fixed list of child events.
+
+    Subclasses define :meth:`_satisfied`. The condition fires as soon as
+    the predicate holds (checked whenever a child fires). A failing
+    child fails the whole condition immediately.
+    """
+
+    def __init__(self, env: "Environment", events: typing.Sequence[Event]):
+        super().__init__(env)
+        self.events = list(events)
+        for event in self.events:
+            if event.env is not env:
+                raise SimulationError("condition mixes events from different environments")
+        self._fired_count = 0
+        if not self.events:
+            self.succeed(self._collect())
+            return
+        for event in self.events:
+            if event.processed:
+                self._on_child(event)
+            else:
+                event.callbacks.append(self._on_child)
+
+    def _satisfied(self) -> bool:
+        raise NotImplementedError
+
+    def _collect(self) -> dict:
+        """Values of all successfully fired children, keyed by event."""
+        return {e: e._value for e in self.events if e.processed and e.ok}
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            event.defused = True
+            self.fail(event._exception)
+            return
+        self._fired_count += 1
+        if self._satisfied():
+            self.succeed(self._collect())
+
+
+class AllOf(Condition):
+    """Fires when every child event has fired (a join / barrier)."""
+
+    def _satisfied(self) -> bool:
+        return self._fired_count == len(self.events)
+
+
+class AnyOf(Condition):
+    """Fires as soon as any single child event fires."""
+
+    def _satisfied(self) -> bool:
+        return self._fired_count >= 1

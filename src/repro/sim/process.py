@@ -1,0 +1,94 @@
+"""Generator-based simulation processes.
+
+A process wraps a Python generator. The generator yields events; the
+process registers itself as a callback on each yielded event and resumes
+the generator with the event's value (or throws the event's exception
+into it) when the event fires. A :class:`Process` is itself an
+:class:`~repro.sim.events.Event` that fires when the generator returns,
+so processes can wait on each other by yielding them.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.sim.events import Event, Interrupt, SimulationError
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.environment import Environment
+
+GeneratorType = typing.Generator[Event, object, object]
+
+
+class Process(Event):
+    """A running simulation process (and the event of its completion)."""
+
+    def __init__(self, env: "Environment", generator: GeneratorType, name: str = ""):
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise SimulationError(f"process body must be a generator, got {generator!r}")
+        super().__init__(env)
+        self.name = name or getattr(generator, "__name__", "process")
+        self._generator = generator
+        self._waiting_on: typing.Optional[Event] = None
+        # Kick the process off via an immediately-scheduled event so that
+        # creation order does not matter within a time step.
+        start = Event(env)
+        start.callbacks.append(self._resume)
+        start.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: object = None) -> None:
+        """Throw :class:`Interrupt` into the process at its wait point."""
+        if self.triggered:
+            raise SimulationError(f"cannot interrupt finished process {self.name!r}")
+        target = self._waiting_on
+        if target is not None and self._resume in target.callbacks:
+            target.callbacks.remove(self._resume)
+        self._waiting_on = None
+        interrupt_event = Event(self.env)
+        interrupt_event.callbacks.append(self._resume)
+        interrupt_event.fail(Interrupt(cause))
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the fired event's outcome."""
+        self._waiting_on = None
+        try:
+            if event.ok:
+                next_event = self._generator.send(event._value)
+            else:
+                event.defused = True
+                next_event = self._generator.throw(event._exception)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.fail(exc)
+            return
+        if not isinstance(next_event, Event):
+            error = SimulationError(
+                f"process {self.name!r} yielded {next_event!r}, which is not an Event"
+            )
+            self._generator.close()
+            self.fail(error)
+            return
+        self._waiting_on = next_event
+        if next_event.processed:
+            # Already fired and dispatched: resume on a fresh tick so the
+            # value/exception is still delivered exactly once.
+            relay = Event(self.env)
+            relay.callbacks.append(self._resume)
+            if next_event.ok:
+                relay.succeed(next_event._value)
+            else:
+                next_event.defused = True
+                relay.fail(next_event._exception)
+        else:
+            next_event.callbacks.append(self._resume)
+
+    def __repr__(self) -> str:
+        status = "alive" if self.is_alive else "finished"
+        return f"<Process {self.name!r} {status}>"

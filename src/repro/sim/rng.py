@@ -1,0 +1,33 @@
+"""Deterministic per-purpose random number streams.
+
+Simulation reproducibility requires that adding a new consumer of
+randomness must not perturb existing streams. ``RandomStreams`` hands
+out independent :class:`random.Random` instances keyed by name, each
+seeded from the master seed and the name, so every subsystem (arrival
+times, addresses, read/write coin flips...) owns a stable stream.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+
+class RandomStreams:
+    """A factory of named, independently-seeded random streams."""
+
+    def __init__(self, seed: int = 1992):
+        self.seed = int(seed)
+        self._streams: dict = {}
+
+    def stream(self, name: str) -> random.Random:
+        """The stream for ``name``, created on first use."""
+        if name not in self._streams:
+            digest = hashlib.sha256(f"{self.seed}/{name}".encode("utf-8")).digest()
+            self._streams[name] = random.Random(int.from_bytes(digest[:8], "big"))
+        return self._streams[name]
+
+    def spawn(self, name: str) -> "RandomStreams":
+        """A child factory whose streams are independent of the parent's."""
+        digest = hashlib.sha256(f"{self.seed}//{name}".encode("utf-8")).digest()
+        return RandomStreams(int.from_bytes(digest[:8], "big"))

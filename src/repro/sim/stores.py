@@ -1,0 +1,50 @@
+"""FIFO stores for producer/consumer coordination between processes."""
+
+from __future__ import annotations
+
+import collections
+import typing
+
+from repro.sim.events import Event
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.environment import Environment
+
+
+class Store:
+    """An unbounded FIFO channel of items between processes.
+
+    ``put`` never blocks. ``get`` returns an event that fires with the
+    oldest item, immediately if one is available, otherwise when the
+    next ``put`` arrives. Waiting getters are served in FIFO order.
+    """
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self._items: collections.deque = collections.deque()
+        self._getters: collections.deque = collections.deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: object) -> None:
+        """Deposit an item, waking the oldest waiting getter if any."""
+        while self._getters:
+            getter = self._getters.popleft()
+            if not getter.triggered:  # skip getters cancelled by user code
+                getter.succeed(item)
+                return
+        self._items.append(item)
+
+    def get(self) -> Event:
+        """An event that fires with the next available item."""
+        event = Event(self.env)
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def peek_all(self) -> tuple:
+        """Snapshot of queued items (oldest first) without consuming."""
+        return tuple(self._items)

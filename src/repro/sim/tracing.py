@@ -1,0 +1,103 @@
+"""Kernel-level event tracing for debugging simulations.
+
+Wraps an :class:`~repro.sim.environment.Environment` with an observer
+that records every dispatched event as a ``(time, kind, name)`` tuple.
+Traces answer the questions that arise when a simulation misbehaves —
+what fired at t, in what order, which processes were alive — without
+sprinkling prints through model code.
+
+Tracing costs a callback per event; enable it for diagnosis, not for
+benchmark runs.
+"""
+
+from __future__ import annotations
+
+import typing
+from dataclasses import dataclass
+
+from repro.sim.environment import Environment
+from repro.sim.events import Timeout
+from repro.sim.process import Process
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One dispatched event."""
+
+    at_ms: float
+    kind: str      # "timeout", "process", "event"
+    name: str
+    ok: bool
+
+
+class EnvironmentTracer:
+    """Records every event the environment dispatches.
+
+    Parameters
+    ----------
+    env:
+        Environment to observe. The tracer replaces ``env.step`` with a
+        recording wrapper; :meth:`detach` restores the original.
+    capacity:
+        Oldest entries are dropped beyond this bound, so long runs
+        cannot exhaust memory.
+    """
+
+    def __init__(self, env: Environment, capacity: int = 100_000):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self.entries: typing.List[TraceEntry] = []
+        self.dropped = 0
+        self._original_step = env.step
+        env.step = self._traced_step  # type: ignore[method-assign]
+
+    def detach(self) -> None:
+        """Stop tracing and restore the environment's step method."""
+        self.env.step = self._original_step  # type: ignore[method-assign]
+
+    def _traced_step(self) -> None:
+        heap = self.env._heap
+        if heap:
+            _when, _seq, event = heap[0]
+            if isinstance(event, Process):
+                kind, name = "process", event.name
+            elif isinstance(event, Timeout):
+                kind, name = "timeout", f"delay={event.delay}"
+            else:
+                kind, name = "event", type(event).__name__
+            entry_builder = (kind, name, event)
+        else:
+            entry_builder = None
+        self._original_step()
+        if entry_builder is not None:
+            kind, name, event = entry_builder
+            self._record(TraceEntry(at_ms=self.env.now, kind=kind, name=name,
+                                    ok=event.ok))
+
+    def _record(self, entry: TraceEntry) -> None:
+        if len(self.entries) >= self.capacity:
+            self.entries.pop(0)
+            self.dropped += 1
+        self.entries.append(entry)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def between(self, start_ms: float, end_ms: float) -> typing.List[TraceEntry]:
+        """Entries dispatched in the half-open window [start, end)."""
+        return [e for e in self.entries if start_ms <= e.at_ms < end_ms]
+
+    def of_kind(self, kind: str) -> typing.List[TraceEntry]:
+        return [e for e in self.entries if e.kind == kind]
+
+    def format_tail(self, count: int = 20) -> str:
+        """The last ``count`` entries, one per line."""
+        lines = [
+            f"{e.at_ms:12.3f}  {e.kind:8s}  {'ok ' if e.ok else 'ERR'}  {e.name}"
+            for e in self.entries[-count:]
+        ]
+        if self.dropped:
+            lines.insert(0, f"... {self.dropped} earlier entries dropped ...")
+        return "\n".join(lines)

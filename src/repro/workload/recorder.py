@@ -1,0 +1,85 @@
+"""Response-time collection for completed user requests."""
+
+from __future__ import annotations
+
+import math
+import typing
+from dataclasses import dataclass
+
+
+@dataclass
+class ResponseSummary:
+    """Aggregate response-time statistics over a measurement window."""
+
+    count: int
+    mean_ms: float
+    std_ms: float
+    min_ms: float
+    max_ms: float
+    p90_ms: float
+    p99_ms: float
+
+    @classmethod
+    def empty(cls) -> "ResponseSummary":
+        return cls(count=0, mean_ms=0.0, std_ms=0.0, min_ms=0.0, max_ms=0.0,
+                   p90_ms=0.0, p99_ms=0.0)
+
+
+class ResponseRecorder:
+    """Collects (completion time, response time, is_write) samples.
+
+    Supports a warm-up boundary: samples completing before ``warmup_ms``
+    are excluded from summaries, which removes the empty-queue
+    transient at simulation start.
+    """
+
+    def __init__(self, warmup_ms: float = 0.0):
+        self.warmup_ms = warmup_ms
+        self._samples: typing.List[typing.Tuple[float, float, bool]] = []
+
+    def record(self, complete_ms: float, response_ms: float, is_write: bool) -> None:
+        self._samples.append((complete_ms, response_ms, is_write))
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def responses(
+        self,
+        reads_only: bool = False,
+        writes_only: bool = False,
+        since_ms: typing.Optional[float] = None,
+        until_ms: typing.Optional[float] = None,
+    ) -> typing.List[float]:
+        """Response times passing the warm-up, window, and kind filters."""
+        lower = self.warmup_ms if since_ms is None else max(self.warmup_ms, since_ms)
+        selected = []
+        for complete, response, is_write in self._samples:
+            if complete < lower:
+                continue
+            if until_ms is not None and complete > until_ms:
+                continue
+            if reads_only and is_write:
+                continue
+            if writes_only and not is_write:
+                continue
+            selected.append(response)
+        return selected
+
+    def summary(self, **filters) -> ResponseSummary:
+        """Aggregate statistics over the filtered samples."""
+        samples = self.responses(**filters)
+        if not samples:
+            return ResponseSummary.empty()
+        n = len(samples)
+        mean = sum(samples) / n
+        variance = sum((s - mean) ** 2 for s in samples) / n
+        ordered = sorted(samples)
+        return ResponseSummary(
+            count=n,
+            mean_ms=mean,
+            std_ms=math.sqrt(variance),
+            min_ms=ordered[0],
+            max_ms=ordered[-1],
+            p90_ms=ordered[min(n - 1, int(0.90 * n))],
+            p99_ms=ordered[min(n - 1, int(0.99 * n))],
+        )

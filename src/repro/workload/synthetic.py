@@ -1,0 +1,102 @@
+"""The synthetic workload generator process."""
+
+from __future__ import annotations
+
+import typing
+from dataclasses import dataclass
+
+from repro.array.controller import ArrayController
+from repro.sim.rng import RandomStreams
+from repro.workload.base import WorkloadBase
+from repro.workload.recorder import ResponseRecorder
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Table 5-1(a) parameters.
+
+    ``access_rate_per_s`` is in *user accesses per second* over the
+    whole array; arrivals are Poisson (exponential interarrival). The
+    address distribution is uniform over all mapped data units, aligned
+    to the access size.
+    """
+
+    access_rate_per_s: float
+    read_fraction: float
+    access_units: int = 1  # 4 KB = one stripe unit in the paper's setup
+    seed: int = 1992
+
+    def __post_init__(self):
+        if self.access_rate_per_s <= 0:
+            raise ValueError("access rate must be positive")
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise ValueError("read fraction must be in [0, 1]")
+        if self.access_units < 1:
+            raise ValueError("accesses must cover at least one unit")
+
+    @property
+    def mean_interarrival_ms(self) -> float:
+        return 1000.0 / self.access_rate_per_s
+
+
+class SyntheticWorkload(WorkloadBase):
+    """Open-loop Poisson request stream against an array controller.
+
+    When the controller carries a data store, reads are verified against
+    the expected logical contents (see :class:`WorkloadBase`).
+    """
+
+    def __init__(
+        self,
+        controller: ArrayController,
+        config: WorkloadConfig,
+        recorder: typing.Optional[ResponseRecorder] = None,
+    ):
+        super().__init__(controller, recorder=recorder)
+        self.config = config
+        streams = RandomStreams(config.seed)
+        self._arrival_rng = streams.stream("arrivals")
+        self._address_rng = streams.stream("addresses")
+        self._kind_rng = streams.stream("read-write")
+        self._value_rng = streams.stream("values")
+
+    def run(self, duration_ms: typing.Optional[float] = None,
+            max_requests: typing.Optional[int] = None):
+        """Start generating; returns the generator process.
+
+        Generation stops after ``duration_ms`` of simulated time or
+        ``max_requests`` submissions, whichever comes first (at least
+        one must be given), or when :meth:`stop` is called.
+        """
+        if duration_ms is None and max_requests is None:
+            raise ValueError("give a duration, a request budget, or both")
+        self._generator_done = False
+        return self.controller.env.process(
+            self._generate(duration_ms, max_requests), name="workload"
+        )
+
+    def _generate(self, duration_ms, max_requests):
+        env = self.controller.env
+        start = env.now
+        while not self._stopped:
+            if max_requests is not None and self.submitted >= max_requests:
+                break
+            delay = self._arrival_rng.expovariate(1.0 / self.config.mean_interarrival_ms)
+            yield env.timeout(delay)
+            if duration_ms is not None and env.now - start >= duration_ms:
+                break
+            if self._stopped:
+                break
+            self._submit_one()
+        self._generator_done = True
+        self._maybe_drain()
+
+    def _submit_one(self) -> None:
+        units = self.config.access_units
+        max_start = self.controller.addressing.num_data_units - units
+        aligned = (self._address_rng.randrange(max_start + 1) // units) * units
+        is_write = self._kind_rng.random() >= self.config.read_fraction
+        values = None
+        if is_write and self.verify:
+            values = [self._value_rng.getrandbits(64) for _ in range(units)]
+        self._submit(aligned, is_write, units, values=values)

@@ -1,0 +1,60 @@
+"""Unit tests for load-balance metrics."""
+
+import pytest
+
+from repro.analysis.balance import (
+    balance_report,
+    gini_coefficient,
+    imbalance_ratio,
+    spread,
+)
+
+
+class TestSpread:
+    def test_balanced(self):
+        assert spread([0.5, 0.5, 0.5]) == 0.0
+
+    def test_unbalanced(self):
+        assert spread([0.2, 0.8]) == pytest.approx(0.6)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            spread([])
+
+
+class TestImbalanceRatio:
+    def test_balanced_is_one(self):
+        assert imbalance_ratio([0.4, 0.4, 0.4]) == pytest.approx(1.0)
+
+    def test_hot_disk(self):
+        # mean = 0.5, max = 1.0 -> ratio 2.
+        assert imbalance_ratio([0.0, 1.0]) == pytest.approx(2.0)
+
+    def test_idle_array(self):
+        assert imbalance_ratio([0.0, 0.0]) == 1.0
+
+
+class TestGini:
+    def test_perfect_equality(self):
+        assert gini_coefficient([0.3, 0.3, 0.3, 0.3]) == pytest.approx(0.0)
+
+    def test_perfect_inequality_approaches_limit(self):
+        # One disk does everything: Gini -> (n-1)/n.
+        assert gini_coefficient([0, 0, 0, 1.0]) == pytest.approx(0.75)
+
+    def test_scale_invariance(self):
+        assert gini_coefficient([1, 2, 3]) == pytest.approx(
+            gini_coefficient([10, 20, 30])
+        )
+
+    def test_all_zero(self):
+        assert gini_coefficient([0.0, 0.0]) == 0.0
+
+
+class TestReport:
+    def test_all_metrics_present(self):
+        report = balance_report([0.2, 0.4, 0.6])
+        assert report["mean"] == pytest.approx(0.4)
+        assert report["spread"] == pytest.approx(0.4)
+        assert report["imbalance_ratio"] == pytest.approx(1.5)
+        assert 0 < report["gini"] < 1

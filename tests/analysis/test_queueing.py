@@ -1,0 +1,26 @@
+"""Unit tests for the queueing helpers."""
+
+import pytest
+
+from repro.analysis import mm1_response_time_ms, offered_load
+
+
+class TestOfferedLoad:
+    def test_basic(self):
+        assert offered_load(20, 25.0) == pytest.approx(0.5)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            offered_load(-1, 10)
+
+
+class TestMm1:
+    def test_light_load_near_service_time(self):
+        assert mm1_response_time_ms(1, 10.0) == pytest.approx(10.1, rel=0.01)
+
+    def test_half_load_doubles_response(self):
+        assert mm1_response_time_ms(50, 10.0) == pytest.approx(20.0)
+
+    def test_saturation_rejected(self):
+        with pytest.raises(ValueError, match="saturated"):
+            mm1_response_time_ms(100, 10.0)

@@ -1,0 +1,72 @@
+"""Property-based tests for striping-driver access-count invariants."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from tests.conftest import build_array, total_disk_accesses
+
+#: (num_disks, stripe_size) pairs with catalog/complete designs that fit
+#: a 10-cylinder test disk.
+SHAPES = [(5, 3), (5, 4), (6, 3), (7, 3), (7, 4), (5, 5)]
+
+
+class TestFaultFreeAccessCounts:
+    @given(st.sampled_from(SHAPES), st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_read_costs_one_access_everywhere(self, shape, seed_unit):
+        num_disks, g = shape
+        array = build_array(num_disks=num_disks, stripe_size=g, with_datastore=False)
+        unit = seed_unit % array.addressing.num_data_units
+        array.run_op(array.controller.read(unit))
+        assert total_disk_accesses(array.controller) == 1
+
+    @given(st.sampled_from(SHAPES), st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_write_cost_formula(self, shape, seed_unit):
+        num_disks, g = shape
+        array = build_array(num_disks=num_disks, stripe_size=g, with_datastore=False)
+        unit = seed_unit % array.addressing.num_data_units
+        array.run_op(array.controller.write(unit, values=None, num_units=1))
+        expected = 3 if g == 3 else 4
+        assert total_disk_accesses(array.controller) == expected
+
+    @given(st.sampled_from([s for s in SHAPES if s[1] > 3]))
+    @settings(max_examples=len([s for s in SHAPES if s[1] > 3]), deadline=None)
+    def test_full_stripe_write_costs_g(self, shape):
+        num_disks, g = shape
+        array = build_array(num_disks=num_disks, stripe_size=g, with_datastore=False)
+        array.run_op(array.controller.write(0, num_units=g - 1))
+        assert total_disk_accesses(array.controller) == g
+
+
+class TestDegradedAccessCounts:
+    @given(
+        st.sampled_from([s for s in SHAPES if s[1] < s[0]]),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_degraded_read_cost_is_one_or_g_minus_one(self, shape, seed_unit):
+        num_disks, g = shape
+        array = build_array(num_disks=num_disks, stripe_size=g, with_datastore=False)
+        array.controller.fail_disk(0)
+        unit = seed_unit % array.addressing.num_data_units
+        address = array.addressing.logical_unit_address(unit)
+        array.run_op(array.controller.read(unit))
+        expected = g - 1 if address.disk == 0 else 1
+        assert total_disk_accesses(array.controller) == expected
+
+    @given(
+        st.sampled_from([s for s in SHAPES if s[1] < s[0]]),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_degraded_write_cost_never_exceeds_rmw(self, shape, seed_unit):
+        # Section 7: degraded writes get *cheaper* (folding, lost
+        # parity) or at worst fall back to the 4-access RMW (the G=3
+        # optimization is unavailable when the sibling unit is lost).
+        num_disks, g = shape
+        array = build_array(num_disks=num_disks, stripe_size=g, with_datastore=False)
+        array.controller.fail_disk(0)
+        unit = seed_unit % array.addressing.num_data_units
+        array.run_op(array.controller.write(unit, num_units=1))
+        assert total_disk_accesses(array.controller) <= 4

@@ -1,0 +1,67 @@
+"""Unit tests for the fault state machine."""
+
+import pytest
+
+from repro.array import ArrayFaults, DiskMode
+
+
+class TestFaultTransitions:
+    def test_initially_fault_free(self):
+        faults = ArrayFaults(5)
+        assert faults.fault_free
+        assert all(faults.mode_of(d) is DiskMode.OK for d in range(5))
+
+    def test_fail_marks_disk(self):
+        faults = ArrayFaults(5)
+        faults.fail(2)
+        assert not faults.fault_free
+        assert faults.mode_of(2) is DiskMode.FAILED
+        assert faults.mode_of(1) is DiskMode.OK
+
+    def test_replacement_transitions_to_reconstructing(self):
+        faults = ArrayFaults(5)
+        faults.fail(2)
+        faults.install_replacement()
+        assert faults.mode_of(2) is DiskMode.RECONSTRUCTING
+
+    def test_repair_complete_restores_fault_free(self):
+        faults = ArrayFaults(5)
+        faults.fail(2)
+        faults.install_replacement()
+        faults.repair_complete()
+        assert faults.fault_free
+
+    def test_second_failure_rejected(self):
+        faults = ArrayFaults(5)
+        faults.fail(2)
+        with pytest.raises(RuntimeError, match="second failure"):
+            faults.fail(3)
+
+    def test_failure_cycle_can_repeat_after_repair(self):
+        faults = ArrayFaults(5)
+        faults.fail(2)
+        faults.install_replacement()
+        faults.repair_complete()
+        faults.fail(4)
+        assert faults.failed_disk == 4
+
+    def test_replacement_without_failure_rejected(self):
+        with pytest.raises(RuntimeError):
+            ArrayFaults(5).install_replacement()
+
+    def test_double_replacement_rejected(self):
+        faults = ArrayFaults(5)
+        faults.fail(0)
+        faults.install_replacement()
+        with pytest.raises(RuntimeError):
+            faults.install_replacement()
+
+    def test_repair_without_replacement_rejected(self):
+        faults = ArrayFaults(5)
+        faults.fail(0)
+        with pytest.raises(RuntimeError):
+            faults.repair_complete()
+
+    def test_out_of_range_disk_rejected(self):
+        with pytest.raises(ValueError):
+            ArrayFaults(5).fail(5)

@@ -1,0 +1,104 @@
+"""Unit tests for per-stripe locks."""
+
+import pytest
+
+from repro.array import StripeLockTable
+from repro.sim import Environment
+
+
+class TestMutualExclusion:
+    def test_second_acquire_waits_for_release(self):
+        env = Environment()
+        locks = StripeLockTable(env)
+        order = []
+
+        def holder(env):
+            yield locks.acquire(7)
+            order.append("holder-in")
+            yield env.timeout(10.0)
+            locks.release(7)
+            order.append("holder-out")
+
+        def waiter(env):
+            yield env.timeout(1.0)
+            yield locks.acquire(7)
+            order.append(("waiter-in", env.now))
+            locks.release(7)
+
+        env.process(holder(env))
+        env.process(waiter(env))
+        env.run()
+        assert order == ["holder-in", "holder-out", ("waiter-in", 10.0)]
+
+    def test_different_stripes_do_not_contend(self):
+        env = Environment()
+        locks = StripeLockTable(env)
+        times = {}
+
+        def worker(env, stripe):
+            yield locks.acquire(stripe)
+            times[stripe] = env.now
+            yield env.timeout(5.0)
+            locks.release(stripe)
+
+        env.process(worker(env, 1))
+        env.process(worker(env, 2))
+        env.run()
+        assert times == {1: 0.0, 2: 0.0}
+
+    def test_fifo_fairness(self):
+        env = Environment()
+        locks = StripeLockTable(env)
+        admitted = []
+
+        def holder(env):
+            yield locks.acquire(0)
+            yield env.timeout(5.0)
+            locks.release(0)
+
+        def waiter(env, tag, delay):
+            yield env.timeout(delay)
+            yield locks.acquire(0)
+            admitted.append(tag)
+            yield env.timeout(1.0)
+            locks.release(0)
+
+        env.process(holder(env))
+        env.process(waiter(env, "a", 1.0))
+        env.process(waiter(env, "b", 2.0))
+        env.process(waiter(env, "c", 3.0))
+        env.run()
+        assert admitted == ["a", "b", "c"]
+
+
+class TestHousekeeping:
+    def test_idle_locks_are_discarded(self):
+        env = Environment()
+        locks = StripeLockTable(env)
+
+        def body(env):
+            yield locks.acquire(3)
+            locks.release(3)
+
+        env.process(body(env))
+        env.run()
+        assert locks.held_count == 0
+
+    def test_held_count_while_locked(self):
+        env = Environment()
+        locks = StripeLockTable(env)
+
+        def body(env):
+            yield locks.acquire(3)
+            yield env.timeout(1.0)
+            locks.release(3)
+
+        env.process(body(env))
+        env.run(until=0.5)
+        assert locks.held_count == 1
+
+    def test_release_unheld_raises(self):
+        env = Environment()
+        locks = StripeLockTable(env)
+        with pytest.raises(KeyError):
+            locks.release(9)

@@ -1,0 +1,98 @@
+"""Unit tests for background parity scrubbing."""
+
+import pytest
+
+from repro.array.scrubber import ParityScrubber
+from repro.workload import SyntheticWorkload, WorkloadConfig
+from tests.conftest import build_array
+
+
+def corrupt_parity(array, stripe):
+    parity = array.layout.parity_unit(stripe)
+    store = array.controller.datastore
+    store.write_unit(parity.disk, parity.offset, store.parity_value(stripe) ^ 0xFF)
+
+
+class TestCleanScrub:
+    def test_clean_array_has_no_mismatches(self, small_array):
+        scrubber = ParityScrubber(small_array.controller)
+        report = small_array.env.run(until=scrubber.start())
+        assert report.stripes_checked == small_array.addressing.num_stripes
+        assert report.mismatches_found == 0
+        assert report.duration_ms > 0
+
+    def test_scrub_reads_every_unit(self, small_array):
+        scrubber = ParityScrubber(small_array.controller)
+        small_array.env.run(until=scrubber.start())
+        total_reads = sum(
+            disk.stats.completed_by_kind.get("recon", 0)
+            for disk in small_array.controller.disks
+        )
+        expected = small_array.addressing.num_stripes * small_array.layout.stripe_size
+        assert total_reads == expected
+
+
+class TestRepair:
+    def test_detects_and_repairs_corruption(self, small_array):
+        for stripe in (0, 7, 12):
+            corrupt_parity(small_array, stripe)
+        scrubber = ParityScrubber(small_array.controller)
+        report = small_array.env.run(until=scrubber.start())
+        assert report.mismatches_found == 3
+        assert sorted(report.mismatched_stripes) == [0, 7, 12]
+        assert report.repairs_written == 3
+        store = small_array.controller.datastore
+        for stripe in range(small_array.addressing.num_stripes):
+            assert store.stripe_is_consistent(stripe)
+
+    def test_report_only_mode_leaves_corruption(self, small_array):
+        corrupt_parity(small_array, 5)
+        scrubber = ParityScrubber(small_array.controller, repair=False)
+        report = small_array.env.run(until=scrubber.start())
+        assert report.mismatches_found == 1
+        assert report.repairs_written == 0
+        assert not small_array.controller.datastore.stripe_is_consistent(5)
+
+    def test_scrub_under_user_load_stays_consistent(self):
+        array = build_array()
+        workload = SyntheticWorkload(
+            array.controller,
+            WorkloadConfig(access_rate_per_s=40, read_fraction=0.5),
+        )
+        workload.run(duration_ms=float("inf"))
+        corrupt_parity(array, 3)
+        scrubber = ParityScrubber(array.controller)
+        report = array.env.run(until=scrubber.start())
+        workload.stop()
+        array.env.run(until=workload.drained())
+        assert report.mismatches_found >= 1
+        assert workload.integrity_errors == []
+        store = array.controller.datastore
+        for stripe in range(array.addressing.num_stripes):
+            assert store.stripe_is_consistent(stripe)
+
+
+class TestLifecycle:
+    def test_throttle_slows_the_scrub(self):
+        fast = build_array()
+        slow = build_array()
+        fast.env.run(until=ParityScrubber(fast.controller).start())
+        slow.env.run(
+            until=ParityScrubber(slow.controller, cycle_delay_ms=5.0).start()
+        )
+        assert slow.env.now > fast.env.now
+
+    def test_degraded_array_rejected(self, small_array):
+        small_array.controller.fail_disk(1)
+        with pytest.raises(RuntimeError, match="fault-free"):
+            ParityScrubber(small_array.controller).start()
+
+    def test_double_start_rejected(self, small_array):
+        scrubber = ParityScrubber(small_array.controller)
+        scrubber.start()
+        with pytest.raises(RuntimeError, match="already"):
+            scrubber.start()
+
+    def test_negative_delay_rejected(self, small_array):
+        with pytest.raises(ValueError):
+            ParityScrubber(small_array.controller, cycle_delay_ms=-1.0)

@@ -1,0 +1,87 @@
+"""Unit tests for the design catalog and its selection policy."""
+
+import pytest
+
+from repro.designs import DesignCatalog, DesignError, default_catalog
+from repro.designs.catalog import CatalogEntry
+from repro.designs.complete import complete_design
+from repro.designs.paper import PAPER_DESIGN_PARAMETERS
+
+
+class TestDefaultCatalog:
+    def test_paper_designs_are_present(self):
+        catalog = default_catalog()
+        for g, (b, v, k, _r, _lam) in PAPER_DESIGN_PARAMETERS.items():
+            if g == 18:
+                continue  # complete-design fallback case
+            design = catalog.exact(v, k)
+            assert design is not None
+            assert design.b == b
+
+    def test_exact_miss_returns_none(self):
+        assert default_catalog().exact(21, 7) is None
+
+    def test_exact_results_are_cached(self):
+        catalog = default_catalog()
+        assert catalog.exact(21, 4) is catalog.exact(21, 4)
+
+    def test_select_prefers_registered_over_complete(self):
+        # (21, 18): the complete design has 1330 tuples, the registered
+        # complement design only 70.
+        design = default_catalog().select(21, 18)
+        assert design.b < 1330
+
+    def test_select_falls_back_to_complete(self):
+        design = default_catalog().select(9, 7)  # no registered (9, 7)
+        assert design.b == 36
+        design.validate()
+
+    def test_select_closest_alpha_when_infeasible(self):
+        # (21, 8) has no registered design and C(21, 8) is too large;
+        # nearest feasible alphas are 0.25 (G=6) and 0.45 (G=10).
+        design = default_catalog().select(21, 8)
+        assert design.k in (6, 10)
+
+    def test_select_bounds_checked(self):
+        with pytest.raises(DesignError):
+            default_catalog().select(5, 1)
+        with pytest.raises(DesignError):
+            default_catalog().select(5, 6)
+
+    def test_every_entry_constructs_and_validates(self):
+        # The whole catalog must be made of genuine BIBDs.
+        for entry in default_catalog().entries():
+            design = default_catalog().exact(entry.v, entry.k)
+            assert design is not None
+            design.validate()
+            assert design.b == entry.b, entry
+
+    def test_catalog_covers_a_broad_alpha_range_on_21_disks(self):
+        alphas = sorted(
+            entry.alpha() for entry in default_catalog().entries() if entry.v == 21
+        )
+        assert alphas[0] <= 0.11
+        assert alphas[-1] >= 0.84
+
+
+class TestRegistration:
+    def test_smaller_b_wins(self):
+        catalog = DesignCatalog()
+        catalog.register(7, 3, b=7, source="good", factory=lambda: complete_design(7, 3))
+        catalog.register(7, 3, b=35, source="bigger", factory=lambda: complete_design(7, 3))
+        assert catalog.entries()[0].source == "good"
+
+    def test_replacement_by_smaller(self):
+        catalog = DesignCatalog()
+        catalog.register(7, 3, b=35, source="big", factory=lambda: complete_design(7, 3))
+        catalog.register(7, 3, b=7, source="small", factory=lambda: complete_design(7, 3))
+        assert catalog.entries()[0].b == 7
+
+    def test_entry_alpha(self):
+        entry = CatalogEntry(v=21, k=5, b=21, source="x")
+        assert entry.alpha() == pytest.approx(0.2)
+
+    def test_feasible_ks_includes_small_complete(self):
+        catalog = DesignCatalog(max_table_tuples=100)
+        assert 2 in catalog.feasible_ks(10)
+        assert 5 not in catalog.feasible_ks(10)  # C(10,5) = 252 > 100

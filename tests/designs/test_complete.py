@@ -1,0 +1,47 @@
+"""Unit tests for complete block designs."""
+
+import math
+
+import pytest
+
+from repro.designs import DesignError, complete_design
+from repro.designs.complete import complete_design_size
+
+
+class TestCompleteDesign:
+    def test_size_formula(self):
+        assert complete_design_size(5, 4) == 5
+        assert complete_design_size(21, 18) == math.comb(21, 18)
+
+    def test_matches_paper_figure_4_1(self):
+        design = complete_design(5, 4)
+        assert design.tuples == (
+            (0, 1, 2, 3),
+            (0, 1, 2, 4),
+            (0, 1, 3, 4),
+            (0, 2, 3, 4),
+            (1, 2, 3, 4),
+        )
+
+    def test_parameters(self):
+        design = complete_design(5, 4)
+        assert (design.b, design.r, design.lam) == (5, 4, 3)
+
+    def test_always_balanced(self):
+        for v, k in [(4, 2), (6, 3), (7, 5), (9, 4)]:
+            complete_design(v, k).validate()
+
+    def test_k_equals_v(self):
+        design = complete_design(4, 4)
+        assert design.b == 1
+        design.validate()
+
+    def test_size_limit_enforced(self):
+        with pytest.raises(DesignError, match="exceeding"):
+            complete_design(41, 5, max_tuples=100_000)
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(DesignError):
+            complete_design(5, 1)
+        with pytest.raises(DesignError):
+            complete_design(5, 6)

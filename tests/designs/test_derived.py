@@ -1,0 +1,90 @@
+"""Unit tests for derived and complement designs."""
+
+import pytest
+
+from repro.designs import (
+    DesignError,
+    complement_design,
+    complete_design,
+    cyclic_design,
+    derived_design,
+    quadratic_residue_design,
+)
+
+
+class TestDerivedDesign:
+    def test_parameters_follow_the_paper_formula(self):
+        # b' = b-1, v' = k, k' = lam, r' = r-1, lam' = lam-1.
+        symmetric = quadratic_residue_design(23)  # (23, 11, 5)
+        derived = derived_design(symmetric)
+        assert derived.b == 22
+        assert derived.v == 11
+        assert derived.k == 5
+        assert derived.r == 10
+        assert derived.lam == 4
+
+    def test_paper_bd5_shape(self):
+        symmetric = quadratic_residue_design(43)  # (43, 21, 10)
+        derived = derived_design(symmetric)
+        assert (derived.b, derived.v, derived.k, derived.r, derived.lam) == (
+            42, 21, 10, 20, 9,
+        )
+
+    def test_derived_is_balanced(self):
+        derived_design(quadratic_residue_design(19)).validate()
+
+    def test_any_base_index_works(self):
+        symmetric = quadratic_residue_design(11)
+        for base_index in (0, 3, 10):
+            derived_design(symmetric, base_index=base_index).validate()
+
+    def test_non_symmetric_rejected(self):
+        with pytest.raises(DesignError, match="symmetric"):
+            derived_design(complete_design(5, 3))
+
+    def test_base_index_out_of_range_rejected(self):
+        with pytest.raises(DesignError, match="base_index"):
+            derived_design(quadratic_residue_design(11), base_index=11)
+
+    def test_lam_too_small_rejected(self):
+        fano = cyclic_design([[1, 2, 4]], modulus=7)  # lam = 1
+        with pytest.raises(DesignError, match="lam"):
+            derived_design(fano)
+
+
+class TestComplementDesign:
+    def test_parameters(self):
+        # (v, b, r, k, lam) -> (v, b, b-r, v-k, b-2r+lam)
+        fano = cyclic_design([[1, 2, 4]], modulus=7)
+        comp = complement_design(fano)
+        assert comp.v == 7
+        assert comp.b == 7
+        assert comp.k == 4
+        assert comp.r == 4
+        assert comp.lam == 2
+
+    def test_complement_is_balanced(self):
+        complement_design(complete_design(6, 2)).validate()
+
+    def test_fills_the_large_alpha_gap(self):
+        # Complement of the paper's alpha=0.2 design: a small alpha=0.75
+        # design, which the paper's future-work section calls unknown.
+        from repro.designs import paper_design
+
+        comp = complement_design(paper_design(5))
+        assert comp.v == 21
+        assert comp.k == 16
+        assert comp.b == 21
+        assert comp.alpha() == pytest.approx(0.75)
+
+    def test_double_complement_restores_parameters(self):
+        fano = cyclic_design([[1, 2, 4]], modulus=7)
+        twice = complement_design(complement_design(fano))
+        assert (twice.v, twice.b, twice.k, twice.r, twice.lam) == (
+            fano.v, fano.b, fano.k, fano.r, fano.lam,
+        )
+
+    def test_tiny_complement_rejected(self):
+        nearly_full = complete_design(4, 3)
+        with pytest.raises(DesignError, match="size"):
+            complement_design(nearly_full)

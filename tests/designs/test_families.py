@@ -1,0 +1,80 @@
+"""Unit tests for the programmatic design families."""
+
+import pytest
+
+from repro.designs import (
+    DesignError,
+    affine_plane,
+    projective_plane,
+    quadratic_residue_design,
+)
+from repro.designs.families import is_prime, quadratic_residues
+
+
+class TestPrimality:
+    def test_small_primes(self):
+        primes = [n for n in range(30) if is_prime(n)]
+        assert primes == [2, 3, 5, 7, 11, 13, 17, 19, 23, 29]
+
+    def test_larger_composites(self):
+        assert not is_prime(91)   # 7 * 13
+        assert not is_prime(221)  # 13 * 17
+
+
+class TestQuadraticResidues:
+    def test_residues_mod_7(self):
+        assert quadratic_residues(7) == [1, 2, 4]
+
+    def test_residue_count(self):
+        for p in (7, 11, 19, 23, 43):
+            assert len(quadratic_residues(p)) == (p - 1) // 2
+
+    def test_non_prime_rejected(self):
+        with pytest.raises(DesignError):
+            quadratic_residues(15)
+
+    @pytest.mark.parametrize("p", [7, 11, 19, 23, 31, 43, 47])
+    def test_qr_design_parameters_and_balance(self, p):
+        design = quadratic_residue_design(p)
+        assert design.v == p
+        assert design.k == (p - 1) // 2
+        assert design.lam == (p - 3) // 4
+        design.validate()
+
+    def test_wrong_residue_class_rejected(self):
+        with pytest.raises(DesignError, match="mod 4"):
+            quadratic_residue_design(13)  # 13 ≡ 1 (mod 4)
+
+
+class TestProjectivePlane:
+    @pytest.mark.parametrize("q", [2, 3, 5, 7])
+    def test_parameters_and_balance(self, q):
+        design = projective_plane(q)
+        assert design.v == q * q + q + 1
+        assert design.b == design.v
+        assert design.k == q + 1
+        assert design.lam == 1
+        design.validate()
+
+    def test_fano_is_pg2_2(self):
+        assert projective_plane(2).v == 7
+
+    def test_non_prime_order_rejected(self):
+        with pytest.raises(DesignError):
+            projective_plane(4)
+
+
+class TestAffinePlane:
+    @pytest.mark.parametrize("q", [2, 3, 5, 7])
+    def test_parameters_and_balance(self, q):
+        design = affine_plane(q)
+        assert design.v == q * q
+        assert design.b == q * q + q
+        assert design.k == q
+        assert design.r == q + 1
+        assert design.lam == 1
+        design.validate()
+
+    def test_non_prime_order_rejected(self):
+        with pytest.raises(DesignError):
+            affine_plane(6)

@@ -1,0 +1,43 @@
+"""The six appendix designs must match the paper's stated parameters."""
+
+import pytest
+
+from repro.designs import DesignError, paper_design
+from repro.designs.paper import PAPER_DESIGN_ALPHAS, PAPER_DESIGN_PARAMETERS
+
+
+class TestPaperDesigns:
+    @pytest.mark.parametrize("g", sorted(PAPER_DESIGN_PARAMETERS))
+    def test_parameters_match_appendix(self, g):
+        b, v, k, r, lam = PAPER_DESIGN_PARAMETERS[g]
+        design = paper_design(g)
+        assert (design.b, design.v, design.k, design.r, design.lam) == (b, v, k, r, lam)
+
+    @pytest.mark.parametrize("g", sorted(PAPER_DESIGN_PARAMETERS))
+    def test_designs_are_balanced(self, g):
+        paper_design(g).validate()
+
+    @pytest.mark.parametrize("g", sorted(PAPER_DESIGN_PARAMETERS))
+    def test_alphas_match_table(self, g):
+        design = paper_design(g)
+        assert design.alpha() == pytest.approx(PAPER_DESIGN_ALPHAS[g], abs=0.005)
+
+    def test_bd3_is_the_printed_perfect_difference_set(self):
+        design = paper_design(5)
+        assert design.tuples[0] == (3, 6, 7, 12, 14)
+
+    def test_bd1_uses_the_short_orbit(self):
+        design = paper_design(3)
+        short_orbit_tuples = [t for t in design.tuples if set(t) == {t[0], (t[0] + 7) % 21, (t[0] + 14) % 21}]
+        assert len(short_orbit_tuples) == 7
+
+    def test_unknown_g_rejected(self):
+        with pytest.raises(DesignError, match="no appendix design"):
+            paper_design(7)
+
+    def test_raid5_case_rejected(self):
+        with pytest.raises(DesignError):
+            paper_design(21)
+
+    def test_alpha_table_includes_raid5(self):
+        assert PAPER_DESIGN_ALPHAS[21] == 1.0

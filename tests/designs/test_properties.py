@@ -1,0 +1,69 @@
+"""Property-based tests for block design invariants."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.designs import complement_design, complete_design, quadratic_residue_design
+from repro.designs.derived import derived_design
+from repro.designs.families import is_prime
+
+
+@st.composite
+def complete_design_params(draw):
+    v = draw(st.integers(min_value=3, max_value=9))
+    k = draw(st.integers(min_value=2, max_value=v - 1))
+    return v, k
+
+
+class TestCompleteDesignProperties:
+    @given(complete_design_params())
+    @settings(max_examples=40, deadline=None)
+    def test_complete_designs_are_always_balanced(self, params):
+        v, k = params
+        complete_design(v, k).validate()
+
+    @given(complete_design_params())
+    @settings(max_examples=40, deadline=None)
+    def test_counting_identities_hold(self, params):
+        v, k = params
+        design = complete_design(v, k)
+        assert design.b * design.k == design.v * design.r
+        assert design.r * (design.k - 1) == design.lam * (design.v - 1)
+
+    @given(complete_design_params())
+    @settings(max_examples=20, deadline=None)
+    def test_complement_of_complete_is_balanced(self, params):
+        v, k = params
+        if v - k < 2:
+            return
+        complement_design(complete_design(v, k)).validate()
+
+
+QR_PRIMES = [p for p in range(7, 60) if is_prime(p) and p % 4 == 3]
+
+
+class TestQrDesignProperties:
+    @given(st.sampled_from(QR_PRIMES))
+    @settings(max_examples=len(QR_PRIMES), deadline=None)
+    def test_qr_designs_are_symmetric_and_balanced(self, p):
+        design = quadratic_residue_design(p)
+        assert design.is_symmetric()
+        design.validate()
+
+    @given(st.sampled_from([p for p in QR_PRIMES if (p - 3) // 4 >= 2]))
+    @settings(max_examples=10, deadline=None)
+    def test_derived_designs_are_balanced(self, p):
+        derived_design(quadratic_residue_design(p)).validate()
+
+    @given(
+        st.sampled_from([p for p in QR_PRIMES if (p - 3) // 4 >= 2]),
+        st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_derived_base_choice_never_changes_parameters(self, p, raw_index):
+        symmetric = quadratic_residue_design(p)
+        base_index = raw_index % symmetric.b
+        derived = derived_design(symmetric, base_index=base_index)
+        assert derived.v == symmetric.k
+        assert derived.k == symmetric.lam
+        assert derived.b == symmetric.b - 1

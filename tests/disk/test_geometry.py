@@ -1,0 +1,91 @@
+"""Unit tests for disk geometry and address decomposition."""
+
+import pytest
+
+from repro.disk import DiskGeometry, IBM_0661, scaled_spec
+
+
+class TestLocate:
+    def test_first_sector(self):
+        assert DiskGeometry(IBM_0661).locate(0) == (0, 0, 0)
+
+    def test_track_boundary(self):
+        geometry = DiskGeometry(IBM_0661)
+        assert geometry.locate(47) == (0, 0, 47)
+        assert geometry.locate(48) == (0, 1, 0)
+
+    def test_cylinder_boundary(self):
+        geometry = DiskGeometry(IBM_0661)
+        sectors_per_cylinder = 14 * 48
+        assert geometry.locate(sectors_per_cylinder - 1) == (0, 13, 47)
+        assert geometry.locate(sectors_per_cylinder) == (1, 0, 0)
+
+    def test_last_sector(self):
+        geometry = DiskGeometry(IBM_0661)
+        assert geometry.locate(IBM_0661.total_sectors - 1) == (948, 13, 47)
+
+    def test_out_of_range_rejected(self):
+        geometry = DiskGeometry(IBM_0661)
+        with pytest.raises(ValueError):
+            geometry.locate(IBM_0661.total_sectors)
+        with pytest.raises(ValueError):
+            geometry.locate(-1)
+
+
+class TestSkew:
+    def test_track_zero_unskewed(self):
+        geometry = DiskGeometry(IBM_0661)
+        assert geometry.rotational_position(0, 0, 0) == 0
+
+    def test_skew_accumulates_per_track(self):
+        geometry = DiskGeometry(IBM_0661)
+        assert geometry.rotational_position(0, 1, 0) == 4
+        assert geometry.rotational_position(0, 2, 0) == 8
+
+    def test_skew_wraps(self):
+        geometry = DiskGeometry(IBM_0661)
+        assert geometry.rotational_position(0, 12, 0) == 0  # 12 * 4 = 48 ≡ 0
+
+
+class TestSplitByTrack:
+    def test_single_track_run(self):
+        geometry = DiskGeometry(IBM_0661)
+        runs = geometry.split_by_track(10, 8)
+        assert len(runs) == 1
+        assert runs[0].count == 8
+        assert runs[0].cylinder == 0
+
+    def test_cross_track_split(self):
+        geometry = DiskGeometry(IBM_0661)
+        runs = geometry.split_by_track(44, 8)
+        assert [r.count for r in runs] == [4, 4]
+        assert runs[0].track == 0
+        assert runs[1].track == 1
+
+    def test_full_cylinder_split(self):
+        geometry = DiskGeometry(IBM_0661)
+        runs = geometry.split_by_track(0, 14 * 48)
+        assert len(runs) == 14
+        assert all(r.count == 48 for r in runs)
+        assert all(r.cylinder == 0 for r in runs)
+
+    def test_counts_sum(self):
+        geometry = DiskGeometry(scaled_spec(3))
+        for start, count in [(0, 1), (5, 100), (47, 2), (100, 500)]:
+            runs = geometry.split_by_track(start, count)
+            assert sum(r.count for r in runs) == count
+
+    def test_rotational_starts_reflect_skew(self):
+        geometry = DiskGeometry(IBM_0661)
+        runs = geometry.split_by_track(44, 8)
+        assert runs[0].rotational_start == 44
+        assert runs[1].rotational_start == 4  # sector 0 of track 1 sits at slot 4
+
+    def test_overflow_rejected(self):
+        geometry = DiskGeometry(scaled_spec(2))
+        with pytest.raises(ValueError):
+            geometry.split_by_track(geometry.spec.total_sectors - 1, 2)
+
+    def test_empty_transfer_rejected(self):
+        with pytest.raises(ValueError):
+            DiskGeometry(IBM_0661).split_by_track(0, 0)

@@ -1,0 +1,47 @@
+"""Unit tests for the seek-time model."""
+
+import pytest
+
+from repro.disk import IBM_0661, SeekModel, scaled_spec
+
+
+class TestCalibration:
+    def test_endpoints_exact(self):
+        model = SeekModel(IBM_0661)
+        assert model.seek_time(1) == pytest.approx(2.0)
+        assert model.seek_time(948) == pytest.approx(25.0)
+
+    def test_average_matches_spec(self):
+        model = SeekModel(IBM_0661)
+        assert model.average_over_random_seeks() == pytest.approx(12.5, abs=1e-6)
+
+    def test_scaled_spec_recalibrates(self):
+        # Smaller disks keep the published (min, avg, max), so seek
+        # behaviour is preserved at every scale.
+        model = SeekModel(scaled_spec(13))
+        assert model.seek_time(1) == pytest.approx(2.0)
+        assert model.seek_time(12) == pytest.approx(25.0)
+        assert model.average_over_random_seeks() == pytest.approx(12.5, abs=1e-6)
+
+
+class TestShape:
+    def test_zero_distance_is_free(self):
+        assert SeekModel(IBM_0661).seek_time(0) == 0.0
+
+    def test_monotonically_nondecreasing(self):
+        model = SeekModel(IBM_0661)
+        times = [model.seek_time(d) for d in range(1, 949)]
+        assert all(b >= a - 1e-9 for a, b in zip(times, times[1:]))
+
+    def test_within_bounds(self):
+        model = SeekModel(IBM_0661)
+        for d in (1, 10, 100, 500, 948):
+            assert 2.0 - 1e-9 <= model.seek_time(d) <= 25.0 + 1e-9
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            SeekModel(IBM_0661).seek_time(-1)
+
+    def test_two_cylinder_degenerate_disk(self):
+        model = SeekModel(scaled_spec(2))
+        assert model.seek_time(1) == pytest.approx(2.0)

@@ -1,0 +1,69 @@
+"""Unit tests for the optional track read buffer."""
+
+import pytest
+
+from repro.disk import Disk, IBM_0661
+from repro.sim import Environment
+
+
+def run_sequence(disk, env, accesses):
+    def body(env):
+        for sector, count, is_write in accesses:
+            yield disk.access(sector, count, is_write=is_write)
+
+    env.run(until=env.process(body(env)))
+
+
+class TestTrackBuffer:
+    def test_reread_of_same_track_hits_the_buffer(self):
+        env = Environment()
+        disk = Disk(env, IBM_0661, policy="fifo", track_buffer=True)
+        run_sequence(disk, env, [(0, 8, False), (16, 8, False)])
+        assert disk.stats.buffer_hits == 1
+
+    def test_hit_costs_only_the_fixed_overhead(self):
+        env = Environment()
+        disk = Disk(env, IBM_0661, policy="fifo", track_buffer=True, buffer_hit_ms=0.5)
+        run_sequence(disk, env, [(0, 8, False)])
+        before = env.now
+        run_sequence(disk, env, [(8, 8, False)])
+        assert env.now - before == pytest.approx(0.5)
+
+    def test_different_track_misses(self):
+        env = Environment()
+        disk = Disk(env, IBM_0661, policy="fifo", track_buffer=True)
+        run_sequence(disk, env, [(0, 8, False), (48, 8, False)])  # track 1
+        assert disk.stats.buffer_hits == 0
+
+    def test_write_to_buffered_track_invalidates(self):
+        env = Environment()
+        disk = Disk(env, IBM_0661, policy="fifo", track_buffer=True)
+        run_sequence(
+            disk, env,
+            [(0, 8, False), (8, 8, True), (16, 8, False)],
+        )
+        assert disk.stats.buffer_hits == 0
+
+    def test_writes_never_hit(self):
+        env = Environment()
+        disk = Disk(env, IBM_0661, policy="fifo", track_buffer=True)
+        run_sequence(disk, env, [(0, 8, False), (16, 8, True)])
+        assert disk.stats.buffer_hits == 0
+
+    def test_multi_track_read_does_not_hit(self):
+        env = Environment()
+        disk = Disk(env, IBM_0661, policy="fifo", track_buffer=True)
+        # Read spanning tracks 0-1: the buffer holds the *last* track
+        # read (track 1), so re-reading track 0 misses...
+        run_sequence(disk, env, [(0, 96, False), (0, 8, False)])
+        assert disk.stats.buffer_hits == 0
+        # ...and that miss re-buffered track 0, so track 0 now hits.
+        run_sequence(disk, env, [(16, 8, False)])
+        assert disk.stats.buffer_hits == 1
+
+    def test_disabled_by_default(self):
+        env = Environment()
+        disk = Disk(env, IBM_0661, policy="fifo")
+        run_sequence(disk, env, [(0, 8, False), (16, 8, False)])
+        assert disk.stats.buffer_hits == 0
+        assert not disk.track_buffer

@@ -1,0 +1,41 @@
+"""Unit tests for experiment layout construction."""
+
+import pytest
+
+from repro.experiments.builders import (
+    PAPER_NUM_DISKS,
+    PAPER_STRIPE_SIZES,
+    alpha_of,
+    build_layout,
+    design_for,
+)
+from repro.layout import DeclusteredLayout, LeftSymmetricRaid5Layout
+
+
+class TestBuildLayout:
+    def test_g_equals_c_gives_raid5(self):
+        layout = build_layout(21, 21)
+        assert isinstance(layout, LeftSymmetricRaid5Layout)
+
+    @pytest.mark.parametrize("g", [g for g in PAPER_STRIPE_SIZES if g != 21])
+    def test_declustered_layouts_have_requested_g(self, g):
+        layout = build_layout(21, g)
+        assert isinstance(layout, DeclusteredLayout)
+        assert layout.stripe_size == g
+        assert layout.num_disks == 21
+
+    def test_paper_grid_alphas(self):
+        alphas = [round(alpha_of(PAPER_NUM_DISKS, g), 2) for g in PAPER_STRIPE_SIZES]
+        assert alphas == [0.10, 0.15, 0.20, 0.25, 0.45, 0.85, 1.00]
+
+    def test_design_for_prefers_small_designs(self):
+        # alpha = 0.85 must come from the 70-tuple complement design,
+        # not the 1,330-tuple complete design the paper had to use.
+        design = design_for(21, 18)
+        assert design.b == 70
+
+    def test_design_validates(self):
+        for g in PAPER_STRIPE_SIZES:
+            if g == 21:
+                continue
+            design_for(21, g).validate()

@@ -1,0 +1,59 @@
+"""Unit tests for ASCII chart rendering."""
+
+import pytest
+
+from repro.experiments.charting import ascii_chart, chart_rows
+
+
+class TestAsciiChart:
+    def test_marks_appear_for_each_series(self):
+        text = ascii_chart(
+            {"one": [(0, 0), (1, 1)], "two": [(0, 1), (1, 0)]},
+            width=20,
+            height=5,
+        )
+        assert "o" in text
+        assert "x" in text
+        assert "o = one" in text
+        assert "x = two" in text
+
+    def test_title_and_ranges(self):
+        text = ascii_chart(
+            {"s": [(0.1, 10.0), (0.45, 25.0), (1.0, 40.0)]},
+            title="Recon time",
+            x_label="alpha",
+            y_label="seconds",
+        )
+        assert text.splitlines()[0] == "Recon time"
+        assert "alpha: 0.1 .. 1" in text
+        assert "seconds" in text
+
+    def test_extremes_land_on_edges(self):
+        text = ascii_chart({"s": [(0, 0), (10, 10)]}, width=10, height=4)
+        rows = [line[1:] for line in text.splitlines() if line.startswith("|")]
+        assert rows[0].rstrip().endswith("o")   # max y at top-right
+        assert rows[-1].startswith("o")          # min y at bottom-left
+
+    def test_flat_series_still_renders(self):
+        text = ascii_chart({"s": [(0, 5.0), (1, 5.0)]}, width=10, height=4)
+        assert "o" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart({})
+
+
+class TestChartRows:
+    def test_groups_by_key_fields(self):
+        rows = [
+            {"rate": 105, "alpha": 0.15, "recon": 40.0},
+            {"rate": 105, "alpha": 1.0, "recon": 80.0},
+            {"rate": 210, "alpha": 0.15, "recon": 60.0},
+            {"rate": 210, "alpha": 1.0, "recon": 120.0},
+        ]
+        text = chart_rows(
+            rows, key_fields=["rate"], x_field="alpha", y_field="recon",
+            width=30, height=8,
+        )
+        assert "o = 105" in text
+        assert "x = 210" in text

@@ -1,0 +1,39 @@
+"""CLI smoke tests (fast experiments only)."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_all_experiments_are_choices(self):
+        parser = build_parser()
+        args = parser.parse_args(["fig4-3"])
+        assert args.experiment == "fig4-3"
+        assert args.scale == "tiny"
+
+    def test_scale_option(self):
+        args = build_parser().parse_args(["table5-1", "--scale", "paper"])
+        assert args.scale == "paper"
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_fig4_3_runs(self, capsys):
+        assert main(["fig4-3"]) == 0
+        assert "Figure 4-3" in capsys.readouterr().out
+
+    def test_table5_1_runs(self, capsys):
+        assert main(["table5-1", "--scale", "paper"]) == 0
+        out = capsys.readouterr().out
+        assert "IBM-0661-370" in out
+        assert "949" in out

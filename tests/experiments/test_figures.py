@@ -1,0 +1,115 @@
+"""Smoke tests for each per-figure experiment module (reduced grids)."""
+
+from repro.experiments import fig4_3, fig6, fig8, fig8_6, table5_1, table8_1
+from repro.experiments.scales import ScalePreset
+
+MICRO = ScalePreset(
+    name="micro", cylinders=13, steady_duration_ms=2_000.0, warmup_ms=300.0,
+    note="test-only",
+)
+
+
+class TestFig43:
+    def test_rows_and_formatting(self):
+        rows = fig4_3.run()
+        assert len(rows) > 50
+        text = fig4_3.format_rows(rows)
+        assert "Figure 4-3" in text
+        assert "alpha" in text
+
+    def test_rows_include_the_paper_designs(self):
+        rows = fig4_3.run()
+        assert any(r["v"] == 21 and r["k"] == 4 and r["b"] == 105 for r in rows)
+
+
+class TestTable51:
+    def test_reports_the_0661(self):
+        rows = table5_1.run(scale="paper")
+        values = {r["parameter"]: r["value"] for r in rows}
+        assert values["cylinders"] == 949
+        assert values["revolution"] == "13.9 ms"
+
+    def test_reports_the_alpha_grid(self):
+        text = table5_1.format_rows(table5_1.run(scale="paper"))
+        assert "G = 10" in text
+        assert "alpha = 0.45" in text
+
+
+class TestFig6:
+    def test_reduced_grid_runs(self):
+        rows = fig6.run_figure(
+            read_fraction=1.0,
+            rates=(105.0,),
+            scale=MICRO,
+            stripe_sizes=(4, 21),
+        )
+        assert len(rows) == 4  # 2 G x 1 rate x 2 modes
+        by_key = {(r["g"], r["mode"]): r for r in rows}
+        # Degraded must be slower than fault-free at the same point.
+        assert (
+            by_key[(21, "degraded")]["mean_response_ms"]
+            > by_key[(21, "fault-free")]["mean_response_ms"]
+        )
+
+    def test_formatting(self):
+        rows = fig6.run_figure(
+            read_fraction=1.0, rates=(105.0,), scale=MICRO, stripe_sizes=(4,)
+        )
+        text = fig6.format_rows(rows, "Figure 6-1 (smoke)")
+        assert "mean resp" in text
+
+
+class TestFig8:
+    def test_reduced_grid_runs(self):
+        from repro.recon import BASELINE
+
+        rows = fig8.run_grid(
+            workers=4,
+            scale=MICRO,
+            stripe_sizes=(4,),
+            rates=(105.0,),
+            algorithms=(BASELINE,),
+        )
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["recon_time_s"] > 0
+        assert row["user_built_units"] == 0  # baseline gets no free work
+
+    def test_formatting(self):
+        from repro.recon import BASELINE
+
+        rows = fig8.run_grid(
+            workers=1, scale=MICRO, stripe_sizes=(4,), rates=(105.0,),
+            algorithms=(BASELINE,),
+        )
+        assert "recon time" in fig8.format_rows(rows, "smoke")
+
+
+class TestTable81:
+    def test_reduced_grid_runs(self):
+        from repro.recon import BASELINE, REDIRECT
+
+        rows = table8_1.run(
+            scale=MICRO,
+            workers_list=(4,),
+            stripe_sizes=(4,),
+            algorithms=(BASELINE, REDIRECT),
+        )
+        assert len(rows) == 2
+        for row in rows:
+            assert row["read_ms"] > 0
+            assert row["write_ms"] > 0
+            assert row["cycles_sampled"] > 0
+
+
+class TestFig86:
+    def test_reduced_grid_runs(self):
+        rows = fig8_6.run(scale=MICRO, workers=4, stripe_sizes=(4,))
+        assert len(rows) == 3  # three M&L algorithms
+        for row in rows:
+            assert row["model_s"] > 0
+            assert row["simulated_s"] > 0
+
+    def test_model_is_pessimistic_as_the_paper_found(self):
+        rows = fig8_6.run(scale=MICRO, workers=4, stripe_sizes=(4,))
+        assert all(row["model_over_sim"] > 1.0 for row in rows)

@@ -1,0 +1,51 @@
+"""Unit tests for experiment result persistence."""
+
+import pytest
+
+from repro.experiments.persistence import diff_rows, load_rows, save_rows
+
+ROWS = [
+    {"alpha": 0.15, "rate": 105, "recon_time_s": 40.0},
+    {"alpha": 1.0, "rate": 105, "recon_time_s": 80.0},
+]
+
+
+class TestSaveLoad:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "fig8.json"
+        save_rows(path, experiment="fig8-1", scale="tiny", rows=ROWS)
+        metadata, rows = load_rows(path)
+        assert rows == ROWS
+        assert metadata["experiment"] == "fig8-1"
+        assert metadata["scale"] == "tiny"
+        assert "alpha" in metadata["fields"]
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "nested" / "deeper" / "out.json"
+        save_rows(path, experiment="x", scale="tiny", rows=ROWS)
+        assert path.exists()
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "old.json"
+        path.write_text('{"format_version": 99, "rows": []}')
+        with pytest.raises(ValueError, match="format version"):
+            load_rows(path)
+
+
+class TestDiff:
+    def test_joins_on_keys(self):
+        current = [
+            {"alpha": 0.15, "rate": 105, "recon_time_s": 44.0},
+            {"alpha": 1.0, "rate": 105, "recon_time_s": 80.0},
+        ]
+        changes = diff_rows(ROWS, current, key_fields=["alpha", "rate"],
+                            value_field="recon_time_s")
+        by_alpha = {c["alpha"]: c for c in changes}
+        assert by_alpha[0.15]["ratio"] == pytest.approx(1.1)
+        assert by_alpha[1.0]["ratio"] == pytest.approx(1.0)
+
+    def test_unmatched_rows_skipped(self):
+        current = [{"alpha": 0.45, "rate": 105, "recon_time_s": 50.0}]
+        changes = diff_rows(ROWS, current, key_fields=["alpha", "rate"],
+                            value_field="recon_time_s")
+        assert changes == []

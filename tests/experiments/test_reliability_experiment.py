@@ -1,0 +1,30 @@
+"""Smoke tests for the derived reliability experiment."""
+
+from repro.experiments import reliability
+from repro.experiments.scales import ScalePreset
+
+MICRO = ScalePreset(
+    name="micro", cylinders=13, steady_duration_ms=2_000.0, warmup_ms=300.0,
+    note="test-only",
+)
+
+
+class TestReliabilityExperiment:
+    def test_rows_have_all_fields(self):
+        rows = reliability.run(scale=MICRO, stripe_sizes=(4,))
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["alpha"] == 0.15
+        assert row["repair_hours_full_disk"] > 0
+        assert row["mttdl_years"] > 0
+
+    def test_mttdl_decreases_with_alpha(self):
+        rows = reliability.run(scale=MICRO, stripe_sizes=(4, 21))
+        by_g = {r["g"]: r for r in rows}
+        assert by_g[4]["mttdl_years"] > by_g[21]["mttdl_years"]
+
+    def test_formatting(self):
+        rows = reliability.run(scale=MICRO, stripe_sizes=(4,))
+        text = reliability.format_rows(rows)
+        assert "MTTDL" in text
+        assert "0.15" in text

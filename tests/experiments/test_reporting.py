@@ -1,0 +1,33 @@
+"""Unit tests for report formatting helpers."""
+
+from repro.experiments.reporting import format_table, series_by
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        text = format_table(
+            headers=["name", "value"],
+            rows=[["alpha", 1], ["longer-name", 22]],
+            title="My Table",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "My Table"
+        assert lines[1].startswith("name")
+        # All rows padded to the same width per column.
+        assert lines[3].index("1") == lines[4].index("22")
+
+    def test_no_title(self):
+        text = format_table(headers=["x"], rows=[[5]])
+        assert text.splitlines()[0] == "x"
+
+
+class TestSeriesBy:
+    def test_grouping_and_sorting(self):
+        rows = [
+            {"rate": 105, "alpha": 0.45, "y": 2},
+            {"rate": 105, "alpha": 0.15, "y": 1},
+            {"rate": 210, "alpha": 0.15, "y": 3},
+        ]
+        series = series_by(rows, key_fields=["rate"], x_field="alpha", y_field="y")
+        assert series[(105,)] == [(0.15, 1), (0.45, 2)]
+        assert series[(210,)] == [(0.15, 3)]

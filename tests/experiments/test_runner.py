@@ -1,0 +1,108 @@
+"""Scenario runner integration tests (micro-sized arrays)."""
+
+import pytest
+
+from repro.experiments import ScenarioConfig, run_scenario
+from repro.experiments.scales import ScalePreset
+from repro.recon import REDIRECT, USER_WRITES
+
+#: A sub-tiny preset so each runner test stays under a second.
+MICRO = ScalePreset(
+    name="micro",
+    cylinders=13,
+    steady_duration_ms=3_000.0,
+    warmup_ms=500.0,
+    note="test-only",
+)
+
+
+def micro_config(**overrides):
+    base = dict(
+        stripe_size=4,
+        user_rate_per_s=105.0,
+        read_fraction=0.5,
+        scale=MICRO,
+        seed=7,
+    )
+    base.update(overrides)
+    return ScenarioConfig(**base)
+
+
+class TestConfigValidation:
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError, match="mode"):
+            micro_config(mode="exploded")
+
+    def test_bad_workers_rejected(self):
+        with pytest.raises(ValueError):
+            micro_config(mode="recon", recon_workers=0)
+
+    def test_alpha(self):
+        assert micro_config(stripe_size=5).alpha == pytest.approx(0.2)
+
+    def test_named_scale_resolution(self):
+        assert micro_config(scale="tiny").scale_preset().name == "tiny"
+
+
+class TestFaultFreeMode:
+    def test_measures_response_times(self):
+        result = run_scenario(micro_config(mode="fault-free"))
+        assert result.response.count > 100
+        assert 0 < result.response.mean_ms < 500
+        assert result.reconstruction is None
+
+    def test_read_write_split(self):
+        result = run_scenario(micro_config(mode="fault-free"))
+        assert result.read_response.count + result.write_response.count == (
+            result.response.count
+        )
+        # Writes cost four accesses; they must be slower than reads.
+        assert result.write_response.mean_ms > result.read_response.mean_ms
+
+    def test_utilization_sane(self):
+        result = run_scenario(micro_config(mode="fault-free"))
+        assert len(result.disk_utilization) == 21
+        assert all(0 <= u < 1 for u in result.disk_utilization)
+
+
+class TestDegradedMode:
+    def test_degraded_is_slower_for_reads(self):
+        fault_free = run_scenario(micro_config(mode="fault-free", read_fraction=1.0))
+        degraded = run_scenario(micro_config(mode="degraded", read_fraction=1.0))
+        assert degraded.response.mean_ms > fault_free.response.mean_ms
+
+
+class TestReconMode:
+    def test_reconstruction_completes_and_reports(self):
+        result = run_scenario(
+            micro_config(mode="recon", algorithm=USER_WRITES, recon_workers=4)
+        )
+        assert result.reconstruction is not None
+        assert result.reconstruction_time_s > 0
+        assert result.normalized_recon_ms_per_unit > 0
+        recon = result.reconstruction
+        assert recon.swept_units + recon.user_built_units == recon.total_units
+
+    def test_datastore_scenario_is_clean(self):
+        result = run_scenario(
+            micro_config(
+                mode="recon",
+                algorithm=REDIRECT,
+                recon_workers=4,
+                with_datastore=True,
+            )
+        )
+        assert result.integrity_errors == []
+
+    def test_recon_time_accessors_raise_without_reconstruction(self):
+        result = run_scenario(micro_config(mode="fault-free"))
+        with pytest.raises(RuntimeError):
+            _ = result.reconstruction_time_s
+
+
+class TestDeterminism:
+    def test_same_config_same_result(self):
+        first = run_scenario(micro_config(mode="fault-free"))
+        second = run_scenario(micro_config(mode="fault-free"))
+        assert first.response.mean_ms == second.response.mean_ms
+        assert first.requests_completed == second.requests_completed

@@ -1,0 +1,39 @@
+"""Tests for the saturation sweep experiment."""
+
+import pytest
+
+from repro.experiments import saturation
+from repro.experiments.scales import ScalePreset
+
+MICRO = ScalePreset(
+    name="micro", cylinders=13, steady_duration_ms=2_000.0, warmup_ms=300.0,
+    note="test-only",
+)
+
+
+class TestAnalyticCeiling:
+    def test_pure_reads(self):
+        # 21 disks * 46/s, expansion factor 1.
+        assert saturation.analytic_user_rate_ceiling(1.0) == pytest.approx(966.0)
+
+    def test_pure_writes(self):
+        # Expansion factor 4.
+        assert saturation.analytic_user_rate_ceiling(0.0) == pytest.approx(241.5)
+
+    def test_paper_unsustainable_case(self):
+        # Section 6: 378 writes/s "would be 72 4 KB accesses per second
+        # per disk" — beyond the 46/s ceiling.
+        assert 378.0 > saturation.analytic_user_rate_ceiling(0.0)
+
+
+class TestSweep:
+    def test_rows_and_monotonicity(self):
+        rows = saturation.run(scale=MICRO, rates=(100.0, 300.0))
+        assert len(rows) == 2
+        assert rows[1]["mean_response_ms"] > rows[0]["mean_response_ms"]
+
+    def test_formatting(self):
+        rows = saturation.run(scale=MICRO, rates=(100.0,))
+        text = saturation.format_rows(rows)
+        assert "ceiling" in text
+        assert "100.0" in text

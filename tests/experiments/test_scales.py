@@ -1,0 +1,41 @@
+"""Unit tests for scale presets."""
+
+import pytest
+
+from repro.disk import IBM_0661
+from repro.experiments import SCALES, get_scale
+
+
+class TestScales:
+    def test_three_presets(self):
+        assert set(SCALES) == {"tiny", "small", "paper"}
+
+    def test_paper_scale_is_the_real_drive(self):
+        assert get_scale("paper").spec() is IBM_0661
+
+    def test_paper_scale_unit_count(self):
+        # 949 * 14 * 48 / 8 = 79,716 four-KB units per disk.
+        assert get_scale("paper").units_per_disk == 79_716
+
+    def test_tiny_scale_fits_every_paper_layout(self):
+        # The deepest table in the experiment grid (alpha = 0.85
+        # complement design) is 1,080 units; tiny must hold it.
+        assert get_scale("tiny").units_per_disk >= 1_080
+
+    def test_scaled_specs_share_track_geometry(self):
+        for name in SCALES:
+            spec = get_scale(name).spec()
+            assert spec.sectors_per_track == IBM_0661.sectors_per_track
+            assert spec.tracks_per_cylinder == IBM_0661.tracks_per_cylinder
+            assert spec.seek_avg_ms == IBM_0661.seek_avg_ms
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError, match="unknown scale"):
+            get_scale("galactic")
+
+    def test_ordering(self):
+        assert (
+            get_scale("tiny").units_per_disk
+            < get_scale("small").units_per_disk
+            < get_scale("paper").units_per_disk
+        )

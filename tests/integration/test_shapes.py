@@ -1,0 +1,80 @@
+"""Coarse reproduction-shape assertions on the paper's 21-disk array.
+
+These run real (micro-scale) simulations and check the *directional*
+claims of the evaluation — who wins, not by how much. They are the
+cheapest-possible versions of the claims EXPERIMENTS.md quantifies.
+"""
+
+import pytest
+
+from repro.experiments import ScenarioConfig, run_scenario
+from repro.experiments.scales import ScalePreset
+from repro.recon import BASELINE
+
+MICRO = ScalePreset(
+    name="micro", cylinders=13, steady_duration_ms=4_000.0, warmup_ms=500.0,
+    note="test-only",
+)
+
+
+def scenario(**overrides):
+    base = dict(
+        stripe_size=4,
+        user_rate_per_s=105.0,
+        read_fraction=0.5,
+        scale=MICRO,
+        seed=17,
+    )
+    base.update(overrides)
+    return run_scenario(ScenarioConfig(**base))
+
+
+class TestSection6Shapes:
+    def test_fault_free_response_flat_in_alpha(self):
+        # Figure 6-1: fault-free reads are insensitive to declustering.
+        low = scenario(stripe_size=4, read_fraction=1.0, mode="fault-free")
+        high = scenario(stripe_size=21, read_fraction=1.0, mode="fault-free")
+        assert high.response.mean_ms == pytest.approx(low.response.mean_ms, rel=0.15)
+
+    def test_degraded_reads_better_at_low_alpha(self):
+        # Figure 6-1: smaller alpha degrades less.
+        low = scenario(stripe_size=4, read_fraction=1.0, mode="degraded")
+        high = scenario(stripe_size=21, read_fraction=1.0, mode="degraded")
+        assert low.response.mean_ms < high.response.mean_ms
+
+    def test_degraded_writes_can_beat_fault_free_at_low_alpha(self):
+        # Section 7: write folding can make degraded *faster* than
+        # fault-free at small alpha.
+        fault_free = scenario(stripe_size=4, read_fraction=0.0, mode="fault-free")
+        degraded = scenario(stripe_size=4, read_fraction=0.0, mode="degraded")
+        assert degraded.response.mean_ms < fault_free.response.mean_ms * 1.05
+
+
+class TestSection8Shapes:
+    def test_declustering_speeds_reconstruction(self):
+        # Figure 8-1: alpha = 0.15 reconstructs about twice as fast as
+        # RAID 5 at rate 105.
+        declustered = scenario(mode="recon", stripe_size=4)
+        raid5 = scenario(mode="recon", stripe_size=21)
+        assert declustered.reconstruction_time_s < raid5.reconstruction_time_s / 1.4
+
+    def test_declustering_lowers_response_during_recovery(self):
+        declustered = scenario(mode="recon", stripe_size=4)
+        raid5 = scenario(mode="recon", stripe_size=21)
+        assert declustered.response.mean_ms < raid5.response.mean_ms
+
+    def test_parallel_reconstruction_is_faster_but_hurts_response(self):
+        # Figures 8-3/8-4 vs 8-1/8-2.
+        single = scenario(mode="recon", recon_workers=1)
+        parallel = scenario(mode="recon", recon_workers=8)
+        assert parallel.reconstruction_time_s < single.reconstruction_time_s / 2
+        assert parallel.response.mean_ms > single.response.mean_ms
+
+    def test_baseline_gets_no_free_reconstruction(self):
+        result = scenario(mode="recon", algorithm=BASELINE)
+        assert result.reconstruction.user_built_units == 0
+
+    def test_higher_load_slows_reconstruction(self):
+        light = scenario(mode="recon", user_rate_per_s=105.0)
+        heavy = scenario(mode="recon", user_rate_per_s=210.0)
+        assert heavy.reconstruction_time_s > light.reconstruction_time_s

@@ -1,0 +1,93 @@
+"""Property-based tests: layout invariants over many designs."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.designs import complete_design, default_catalog
+from repro.layout import DeclusteredLayout, PARITY_ROLE
+
+# A representative slice of the catalog (kept small so the suite stays
+# fast): every paper design plus some family members.
+CATALOG_KEYS = [
+    (21, 3), (21, 4), (21, 5), (21, 6), (21, 10),
+    (7, 3), (11, 5), (13, 4), (9, 3), (25, 5),
+]
+
+
+def catalog_layout(key):
+    v, k = key
+    return DeclusteredLayout(default_catalog().exact(v, k))
+
+
+@st.composite
+def layout_and_offset(draw):
+    layout = catalog_layout(draw(st.sampled_from(CATALOG_KEYS)))
+    disk = draw(st.integers(min_value=0, max_value=layout.num_disks - 1))
+    offset = draw(st.integers(min_value=0, max_value=3 * layout.table_depth - 1))
+    return layout, disk, offset
+
+
+class TestInverseMapping:
+    @given(layout_and_offset())
+    @settings(max_examples=60, deadline=None)
+    def test_stripe_of_roundtrips(self, case):
+        layout, disk, offset = case
+        stripe, role = layout.stripe_of(disk, offset)
+        if role == PARITY_ROLE:
+            address = layout.parity_unit(stripe)
+        else:
+            address = layout.data_unit(stripe, role)
+        assert (address.disk, address.offset) == (disk, offset)
+
+    @given(layout_and_offset())
+    @settings(max_examples=60, deadline=None)
+    def test_logical_roundtrip(self, case):
+        layout, disk, offset = case
+        logical = layout.physical_to_logical(disk, offset)
+        if logical is None:
+            return
+        address = layout.logical_to_physical(logical)
+        assert (address.disk, address.offset) == (disk, offset)
+
+
+class TestStripeInvariants:
+    @given(st.sampled_from(CATALOG_KEYS), st.integers(min_value=0, max_value=500))
+    @settings(max_examples=60, deadline=None)
+    def test_stripes_never_repeat_a_disk(self, key, stripe):
+        layout = catalog_layout(key)
+        disks = [u.disk for u in layout.stripe_units(stripe)]
+        assert len(set(disks)) == layout.stripe_size
+
+    @given(st.sampled_from(CATALOG_KEYS), st.integers(min_value=0, max_value=500))
+    @settings(max_examples=40, deadline=None)
+    def test_every_unit_of_a_stripe_points_back(self, key, stripe):
+        layout = catalog_layout(key)
+        for role, unit in enumerate(layout.stripe_units(stripe)[:-1]):
+            assert layout.stripe_of(unit.disk, unit.offset) == (stripe, role)
+        parity = layout.stripe_units(stripe)[-1]
+        assert layout.stripe_of(parity.disk, parity.offset) == (stripe, PARITY_ROLE)
+
+
+class TestCoverage:
+    @given(st.sampled_from(CATALOG_KEYS))
+    @settings(max_examples=len(CATALOG_KEYS), deadline=None)
+    def test_every_slot_in_a_table_is_mapped_exactly_once(self, key):
+        layout = catalog_layout(key)
+        seen = set()
+        for stripe in range(layout.stripes_per_table):
+            for unit in layout.stripe_units(stripe):
+                slot = (unit.disk, unit.offset)
+                assert slot not in seen
+                seen.add(slot)
+        assert len(seen) == layout.num_disks * layout.table_depth
+
+    @given(st.sampled_from([(5, 3), (5, 4), (7, 3)]))
+    @settings(max_examples=3, deadline=None)
+    def test_complete_design_layouts_cover_all_slots(self, key):
+        v, k = key
+        layout = DeclusteredLayout(complete_design(v, k))
+        logicals = set()
+        for stripe in range(layout.stripes_per_table):
+            for j in range(layout.data_units_per_stripe):
+                logicals.add(stripe * layout.data_units_per_stripe + j)
+        assert len(logicals) == layout.stripes_per_table * (k - 1)

@@ -1,0 +1,51 @@
+"""The left-symmetric RAID 5 layout must match the paper's Figure 2-1."""
+
+import pytest
+
+from repro.layout import LeftSymmetricRaid5Layout, PARITY_ROLE, LayoutError, evaluate_layout
+
+
+class TestFigure21:
+    """Figure 2-1 (C = 5): exact placement of every unit."""
+
+    EXPECTED = [
+        # offset -> [(stripe, role) per disk], role -1 = parity
+        [(0, 0), (0, 1), (0, 2), (0, 3), (0, PARITY_ROLE)],
+        [(1, 1), (1, 2), (1, 3), (1, PARITY_ROLE), (1, 0)],
+        [(2, 2), (2, 3), (2, PARITY_ROLE), (2, 0), (2, 1)],
+        [(3, 3), (3, PARITY_ROLE), (3, 0), (3, 1), (3, 2)],
+        [(4, PARITY_ROLE), (4, 0), (4, 1), (4, 2), (4, 3)],
+    ]
+
+    def test_every_cell_matches_the_figure(self):
+        layout = LeftSymmetricRaid5Layout(5)
+        for offset, row in enumerate(self.EXPECTED):
+            for disk, expected in enumerate(row):
+                assert layout.stripe_of(disk, offset) == expected, (disk, offset)
+
+    def test_data_is_sequential_through_parity_stripes(self):
+        # User data D0.0, D0.1, ... maps to logical units 0, 1, ...
+        layout = LeftSymmetricRaid5Layout(5)
+        assert layout.logical_to_physical(0).disk == 0
+        assert layout.logical_to_physical(3).disk == 3
+        assert layout.logical_to_physical(4).disk == 4  # D1.0 on disk 4
+
+
+class TestProperties:
+    @pytest.mark.parametrize("c", [2, 3, 5, 8, 21])
+    def test_all_six_criteria_pass(self, c):
+        reports = evaluate_layout(LeftSymmetricRaid5Layout(c))
+        failing = [r.name for r in reports if not r.passed]
+        assert failing == []
+
+    def test_alpha_is_one(self):
+        assert LeftSymmetricRaid5Layout(21).declustering_ratio() == 1.0
+
+    def test_table_is_square(self):
+        layout = LeftSymmetricRaid5Layout(7)
+        assert layout.stripes_per_table == 7
+        assert layout.table_depth == 7
+
+    def test_single_disk_rejected(self):
+        with pytest.raises(LayoutError):
+            LeftSymmetricRaid5Layout(1)

@@ -1,0 +1,100 @@
+"""Unit tests for Reddy's two-group layout (Section 3 related work)."""
+
+import pytest
+
+from repro.designs import complete_design
+from repro.layout import LayoutError, evaluate_layout
+from repro.layout.reddy import ReddyTwoGroupLayout
+
+
+def reddy(v=6):
+    return ReddyTwoGroupLayout(complete_design(v, v // 2))
+
+
+class TestConstruction:
+    def test_table_shape(self):
+        layout = reddy(6)
+        # Two stripes per design tuple; one row per tuple.
+        assert layout.stripes_per_table == 2 * 20 * 3  # k duplications
+        assert layout.table_depth == 60
+        assert layout.stripe_size == 3
+
+    def test_each_row_is_partitioned(self):
+        layout = reddy(6)
+        for offset in range(layout.table_depth):
+            disks = set()
+            for disk in range(6):
+                stripe, _role = layout.stripe_of(disk, offset)
+                disks.add(disk)
+                # The two stripes of a row cover the row exactly.
+            stripes = {layout.stripe_of(d, offset)[0] for d in range(6)}
+            assert len(stripes) == 2
+            assert disks == set(range(6))
+
+    def test_alpha_is_fixed_near_half(self):
+        layout = reddy(6)
+        assert layout.declustering_ratio() == pytest.approx(2 / 5)
+        layout10 = reddy(10)
+        assert layout10.declustering_ratio() == pytest.approx(4 / 9)
+
+    def test_odd_disk_count_rejected(self):
+        with pytest.raises(LayoutError, match="even"):
+            ReddyTwoGroupLayout(complete_design(7, 3))
+
+    def test_wrong_k_rejected(self):
+        with pytest.raises(LayoutError, match="C/2"):
+            ReddyTwoGroupLayout(complete_design(6, 2))
+
+
+class TestCriteria:
+    def test_core_criteria_pass(self):
+        layout = reddy(6)
+        reports = {r.name: r for r in evaluate_layout(layout)}
+        assert reports["single-failure-correcting"].passed
+        assert reports["distributed-reconstruction"].passed
+        assert reports["distributed-parity"].passed
+
+    def test_pair_balance_constant_matches_theory(self):
+        # Two disks share a group in lam rows (both inside the tuple)
+        # plus b - 2r + lam rows (both outside); the full table holds k
+        # duplications of the row set.
+        design = complete_design(6, 3)
+        layout = ReddyTwoGroupLayout(design)
+        reports = {r.name: r for r in evaluate_layout(layout)}
+        load = reports["distributed-reconstruction"].metrics[
+            "units_per_survivor_per_table"
+        ]
+        shared_rows = design.lam + design.b - 2 * design.r + design.lam
+        assert load == shared_rows * design.k
+
+    def test_larger_even_array(self):
+        layout = reddy(10)
+        reports = {r.name: r for r in evaluate_layout(layout)}
+        assert reports["distributed-reconstruction"].passed
+        assert reports["distributed-parity"].passed
+
+
+class TestEndToEnd:
+    def test_reconstruction_is_bit_exact(self):
+        from repro.array import ArrayAddressing, ArrayController
+        from repro.disk import scaled_spec
+        from repro.recon import Reconstructor
+        from repro.sim import Environment
+
+        env = Environment()
+        layout = reddy(6)
+        addressing = ArrayAddressing(layout, scaled_spec(10))
+        controller = ArrayController(env, addressing, with_datastore=True)
+        controller.fail_disk(2)
+        controller.install_replacement()
+        env.run(until=Reconstructor(controller, workers=4).start())
+        store = controller.datastore
+        for stripe in range(addressing.num_stripes):
+            assert store.stripe_is_consistent(stripe)
+        for offset in range(addressing.mapped_units_per_disk):
+            stripe, _role = layout.stripe_of(2, offset)
+            expected = 0
+            for unit in layout.stripe_units(stripe):
+                if unit.disk != 2:
+                    expected ^= store.read_unit(unit.disk, unit.offset)
+            assert store.read_unit(2, offset) == expected

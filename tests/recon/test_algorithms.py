@@ -1,0 +1,51 @@
+"""Unit tests for the reconstruction algorithm definitions."""
+
+import pytest
+
+from repro.recon import (
+    ALGORITHMS,
+    BASELINE,
+    REDIRECT,
+    REDIRECT_PIGGYBACK,
+    USER_WRITES,
+    ReconAlgorithm,
+)
+from repro.recon.algorithms import algorithm_by_name
+
+
+class TestDefinitions:
+    def test_four_algorithms_in_paper_order(self):
+        assert [a.name for a in ALGORITHMS] == [
+            "baseline", "user-writes", "redirect", "redirect+piggyback",
+        ]
+
+    def test_feature_lattice(self):
+        # Each algorithm strictly adds one feature to the previous.
+        assert not BASELINE.writes_to_replacement
+        assert USER_WRITES.writes_to_replacement and not USER_WRITES.redirect_reads
+        assert REDIRECT.redirect_reads and not REDIRECT.piggyback
+        assert REDIRECT_PIGGYBACK.piggyback
+
+    def test_piggyback_requires_redirect(self):
+        with pytest.raises(ValueError):
+            ReconAlgorithm(
+                name="bad", writes_to_replacement=True,
+                redirect_reads=False, piggyback=True,
+            )
+
+    def test_redirect_requires_user_writes(self):
+        with pytest.raises(ValueError):
+            ReconAlgorithm(
+                name="bad", writes_to_replacement=False,
+                redirect_reads=True, piggyback=False,
+            )
+
+    def test_lookup_by_name(self):
+        assert algorithm_by_name("redirect") is REDIRECT
+
+    def test_lookup_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            algorithm_by_name("turbo")
+
+    def test_str(self):
+        assert str(BASELINE) == "baseline"

@@ -1,0 +1,127 @@
+"""Tests for the Section-9 extensions: throttling and user priority."""
+
+import pytest
+
+from repro.disk.drive import KIND_RECON, KIND_USER
+from repro.disk.scheduling import make_scheduler
+from repro.disk.scheduling.priority import UserPriorityScheduler
+from repro.recon import Reconstructor
+from repro.workload import SyntheticWorkload, WorkloadConfig
+from tests.conftest import build_array
+from tests.recon.test_sweeper import FAILED, replacement_is_bit_exact
+
+
+class TestThrottle:
+    def test_throttled_reconstruction_is_slower_but_correct(self):
+        plain = build_array()
+        plain.controller.fail_disk(FAILED)
+        plain.controller.install_replacement()
+        plain.env.run(until=Reconstructor(plain.controller, workers=2).start())
+
+        throttled = build_array()
+        throttled.controller.fail_disk(FAILED)
+        throttled.controller.install_replacement()
+        throttled.env.run(
+            until=Reconstructor(
+                throttled.controller, workers=2, cycle_delay_ms=50.0
+            ).start()
+        )
+        assert throttled.env.now > plain.env.now
+        assert replacement_is_bit_exact(throttled)
+
+    def test_negative_delay_rejected(self, small_array):
+        small_array.controller.fail_disk(FAILED)
+        small_array.controller.install_replacement()
+        with pytest.raises(ValueError):
+            Reconstructor(small_array.controller, cycle_delay_ms=-1.0)
+
+    def test_throttle_lowers_response_time_under_load(self):
+        def run(delay):
+            array = build_array(with_datastore=False)
+            controller = array.controller
+            workload = SyntheticWorkload(
+                controller, WorkloadConfig(access_rate_per_s=30, read_fraction=0.5)
+            )
+            workload.run(duration_ms=float("inf"))
+            controller.fail_disk(FAILED)
+            controller.install_replacement()
+            reconstructor = Reconstructor(controller, workers=8, cycle_delay_ms=delay)
+            array.env.run(until=reconstructor.start())
+            workload.stop()
+            return array.env.now, workload.recorder.summary().mean_ms
+
+        fast_time, fast_resp = run(0.0)
+        slow_time, slow_resp = run(100.0)
+        assert slow_time > fast_time       # throttling stretches recovery
+        assert slow_resp < fast_resp       # ...but relieves user traffic
+
+
+class FakeRequest:
+    def __init__(self, kind, cylinder=0):
+        self.kind = kind
+        self.cylinder = cylinder
+
+
+class TestUserPriorityScheduler:
+    def test_user_requests_served_first(self):
+        scheduler = make_scheduler("fifo+priority", cylinders=100)
+        assert isinstance(scheduler, UserPriorityScheduler)
+        scheduler.push(FakeRequest(KIND_RECON))
+        scheduler.push(FakeRequest(KIND_USER))
+        scheduler.push(FakeRequest(KIND_RECON))
+        order = [scheduler.pop(0, 1).kind for _ in range(3)]
+        assert order == [KIND_USER, KIND_RECON, KIND_RECON]
+
+    def test_len_spans_both_classes(self):
+        scheduler = make_scheduler("cvscan+priority", cylinders=100)
+        scheduler.push(FakeRequest(KIND_RECON, 5))
+        scheduler.push(FakeRequest(KIND_USER, 9))
+        assert len(scheduler) == 2
+
+    def test_bad_modifier_rejected(self):
+        with pytest.raises(ValueError):
+            make_scheduler("cvscan+turbo", cylinders=100)
+
+    def test_priority_policy_end_to_end(self):
+        # Reconstruction under a priority scheduler must still complete
+        # correctly with user traffic flowing. The user-writes algorithm
+        # is the recommended pairing (see priority module docstring):
+        # under baseline, sustained writes can re-dirty rebuilt units as
+        # fast as a de-prioritized sweep rebuilds them.
+        from repro.recon import USER_WRITES
+
+        array = build_array(policy="cvscan+priority", algorithm=USER_WRITES)
+        controller = array.controller
+        workload = SyntheticWorkload(
+            controller, WorkloadConfig(access_rate_per_s=60, read_fraction=0.5)
+        )
+        workload.run(duration_ms=float("inf"))
+        controller.fail_disk(FAILED)
+        controller.install_replacement()
+        reconstructor = Reconstructor(controller, workers=4)
+        array.env.run(until=reconstructor.start())
+        workload.stop()
+        array.env.run(until=workload.drained())
+        assert workload.integrity_errors == []
+        assert controller.faults.fault_free
+
+    def test_priority_improves_user_response_during_recovery(self):
+        from repro.recon import USER_WRITES
+
+        def run(policy):
+            array = build_array(
+                policy=policy, with_datastore=False, algorithm=USER_WRITES
+            )
+            controller = array.controller
+            workload = SyntheticWorkload(
+                controller, WorkloadConfig(access_rate_per_s=30, read_fraction=0.5)
+            )
+            workload.run(duration_ms=float("inf"))
+            controller.fail_disk(FAILED)
+            controller.install_replacement()
+            reconstructor = Reconstructor(controller, workers=8)
+            array.env.run(until=reconstructor.start())
+            workload.stop()
+            return workload.recorder.summary().mean_ms
+
+        assert run("cvscan+priority") < run("cvscan")

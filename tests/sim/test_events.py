@@ -1,0 +1,126 @@
+"""Unit tests for the event primitives."""
+
+import pytest
+
+from repro.sim import Environment, SimulationError
+from repro.sim.events import Event, Timeout
+
+
+class TestEventLifecycle:
+    def test_new_event_is_pending(self):
+        env = Environment()
+        event = env.event()
+        assert not event.triggered
+        assert not event.processed
+
+    def test_succeed_delivers_value(self):
+        env = Environment()
+        event = env.event()
+        event.succeed(42)
+        assert event.triggered
+        assert event.value == 42
+
+    def test_succeed_default_value_is_none(self):
+        env = Environment()
+        event = env.event()
+        event.succeed()
+        assert event.value is None
+
+    def test_value_before_trigger_raises(self):
+        env = Environment()
+        event = env.event()
+        with pytest.raises(SimulationError):
+            _ = event.value
+
+    def test_double_succeed_raises(self):
+        env = Environment()
+        event = env.event()
+        event.succeed(1)
+        with pytest.raises(SimulationError):
+            event.succeed(2)
+
+    def test_fail_then_succeed_raises(self):
+        env = Environment()
+        event = env.event()
+        event.fail(RuntimeError("boom"))
+        event.defused = True
+        with pytest.raises(SimulationError):
+            event.succeed()
+
+    def test_fail_requires_exception(self):
+        env = Environment()
+        event = env.event()
+        with pytest.raises(SimulationError):
+            event.fail("not an exception")
+
+    def test_failed_event_value_raises_original(self):
+        env = Environment()
+        event = env.event()
+        event.fail(ValueError("original"))
+        event.defused = True
+        with pytest.raises(ValueError, match="original"):
+            _ = event.value
+
+    def test_ok_reflects_outcome(self):
+        env = Environment()
+        good, bad = env.event(), env.event()
+        good.succeed()
+        bad.fail(RuntimeError())
+        bad.defused = True
+        assert good.ok
+        assert not bad.ok
+
+    def test_callbacks_run_at_dispatch(self):
+        env = Environment()
+        event = env.event()
+        seen = []
+        event.callbacks.append(lambda e: seen.append(e.value))
+        event.succeed("payload")
+        assert seen == []  # not yet dispatched
+        env.run()
+        assert seen == ["payload"]
+
+    def test_unhandled_failure_surfaces_in_run(self):
+        env = Environment()
+        event = env.event()
+        event.fail(RuntimeError("unhandled"))
+        with pytest.raises(RuntimeError, match="unhandled"):
+            env.run()
+
+
+class TestTimeout:
+    def test_timeout_fires_after_delay(self):
+        env = Environment()
+        timeout = env.timeout(5.0, value="done")
+        env.run()
+        assert env.now == 5.0
+        assert timeout.value == "done"
+
+    def test_negative_delay_rejected(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            Timeout(env, -1.0)
+
+    def test_zero_delay_fires_immediately(self):
+        env = Environment()
+        env.timeout(0.0)
+        env.run()
+        assert env.now == 0.0
+
+    def test_timeouts_fire_in_order(self):
+        env = Environment()
+        order = []
+        for delay in (3.0, 1.0, 2.0):
+            t = env.timeout(delay)
+            t.callbacks.append(lambda e, d=delay: order.append(d))
+        env.run()
+        assert order == [1.0, 2.0, 3.0]
+
+    def test_equal_time_fifo_order(self):
+        env = Environment()
+        order = []
+        for tag in range(5):
+            t = env.timeout(1.0)
+            t.callbacks.append(lambda e, tag=tag: order.append(tag))
+        env.run()
+        assert order == [0, 1, 2, 3, 4]

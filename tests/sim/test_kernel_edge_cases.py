@@ -1,0 +1,170 @@
+"""Edge cases in the kernel that the array stack depends on."""
+
+import pytest
+
+from repro.sim import AnyOf, Environment, Interrupt, SimulationError, Store
+
+
+class TestConditionEdges:
+    def test_any_of_ignores_later_children(self):
+        env = Environment()
+        late_fired = []
+        late = env.timeout(10.0)
+        late.callbacks.append(lambda e: late_fired.append(True))
+
+        def body(env):
+            yield env.any_of([env.timeout(1.0), late])
+            return env.now
+
+        process = env.process(body(env))
+        assert env.run(until=process) == 1.0
+        env.run()  # the late child still fires harmlessly
+        assert late_fired == [True]
+
+    def test_any_of_with_failing_first_child(self):
+        env = Environment()
+
+        def failing(env):
+            yield env.timeout(1.0)
+            raise RuntimeError("early death")
+
+        def body(env):
+            try:
+                yield env.any_of([env.process(failing(env)), env.timeout(5.0)])
+            except RuntimeError:
+                return "caught"
+
+        process = env.process(body(env))
+        assert env.run(until=process) == "caught"
+
+    def test_nested_conditions(self):
+        env = Environment()
+
+        def body(env):
+            inner = env.all_of([env.timeout(1.0), env.timeout(2.0)])
+            yield env.all_of([inner, env.timeout(3.0)])
+            return env.now
+
+        process = env.process(body(env))
+        assert env.run(until=process) == 3.0
+
+    def test_condition_over_condition_values(self):
+        env = Environment()
+
+        def body(env):
+            first = env.timeout(1.0, value="a")
+            both = yield env.all_of([first, env.timeout(2.0, value="b")])
+            return set(both.values())
+
+        process = env.process(body(env))
+        assert env.run(until=process) == {"a", "b"}
+
+
+class TestInterruptEdges:
+    def test_interrupt_while_waiting_on_condition(self):
+        env = Environment()
+        outcome = []
+
+        def sleeper(env):
+            try:
+                yield env.all_of([env.timeout(100.0), env.timeout(200.0)])
+            except Interrupt:
+                outcome.append(env.now)
+
+        process = env.process(sleeper(env))
+
+        def interrupter(env):
+            yield env.timeout(5.0)
+            process.interrupt()
+
+        env.process(interrupter(env))
+        env.run()
+        assert outcome == [5.0]
+
+    def test_process_can_continue_after_interrupt(self):
+        env = Environment()
+        log = []
+
+        def resilient(env):
+            try:
+                yield env.timeout(100.0)
+            except Interrupt:
+                log.append("interrupted")
+            yield env.timeout(1.0)
+            log.append(env.now)
+
+        process = env.process(resilient(env))
+
+        def interrupter(env):
+            yield env.timeout(2.0)
+            process.interrupt()
+
+        env.process(interrupter(env))
+        env.run()
+        assert log == ["interrupted", 3.0]
+
+
+class TestStoreEdges:
+    def test_cancelled_getter_is_skipped(self):
+        env = Environment()
+        store = Store(env)
+        abandoned = store.get()
+        abandoned.succeed("cancelled-by-user-code")  # caller gave up
+        received = []
+
+        def consumer(env):
+            item = yield store.get()
+            received.append(item)
+
+        env.process(consumer(env))
+
+        def producer(env):
+            yield env.timeout(1.0)
+            store.put("real-item")
+
+        env.process(producer(env))
+        env.run()
+        assert received == ["real-item"]
+
+    def test_put_then_many_gets(self):
+        env = Environment()
+        store = Store(env)
+        for i in range(3):
+            store.put(i)
+        got = []
+
+        def consumer(env):
+            while True:
+                if len(store) == 0:
+                    return
+                item = yield store.get()
+                got.append(item)
+
+        env.process(consumer(env))
+        env.run()
+        assert got == [0, 1, 2]
+
+
+class TestSchedulingDiscipline:
+    def test_zero_delay_events_run_before_later_ones(self):
+        env = Environment()
+        order = []
+
+        def body(env):
+            order.append("start")
+            yield env.timeout(0.0)
+            order.append("after-zero")
+            yield env.timeout(1.0)
+            order.append("after-one")
+
+        env.process(body(env))
+        t = env.timeout(0.5)
+        t.callbacks.append(lambda e: order.append("half"))
+        env.run()
+        assert order == ["start", "after-zero", "half", "after-one"]
+
+    def test_failed_event_not_consumed_raises_at_step(self):
+        env = Environment()
+        env.event().fail(ValueError("nobody listening"))
+        with pytest.raises(ValueError):
+            env.run()

@@ -1,0 +1,81 @@
+"""Unit tests for FIFO stores."""
+
+from repro.sim import Environment, Store
+
+
+class TestStore:
+    def test_get_after_put_is_immediate(self):
+        env = Environment()
+        store = Store(env)
+        store.put("x")
+
+        def body(env):
+            item = yield store.get()
+            return (env.now, item)
+
+        process = env.process(body(env))
+        assert env.run(until=process) == (0.0, "x")
+
+    def test_get_blocks_until_put(self):
+        env = Environment()
+        store = Store(env)
+
+        def consumer(env):
+            item = yield store.get()
+            return (env.now, item)
+
+        def producer(env):
+            yield env.timeout(5.0)
+            store.put("late")
+
+        consumer_process = env.process(consumer(env))
+        env.process(producer(env))
+        assert env.run(until=consumer_process) == (5.0, "late")
+
+    def test_fifo_item_order(self):
+        env = Environment()
+        store = Store(env)
+        for i in range(4):
+            store.put(i)
+        received = []
+
+        def body(env):
+            for _ in range(4):
+                item = yield store.get()
+                received.append(item)
+
+        env.process(body(env))
+        env.run()
+        assert received == [0, 1, 2, 3]
+
+    def test_fifo_getter_order(self):
+        env = Environment()
+        store = Store(env)
+        received = []
+
+        def consumer(env, tag):
+            item = yield store.get()
+            received.append((tag, item))
+
+        env.process(consumer(env, "first"))
+        env.process(consumer(env, "second"))
+
+        def producer(env):
+            yield env.timeout(1.0)
+            store.put("a")
+            yield env.timeout(1.0)
+            store.put("b")
+
+        env.process(producer(env))
+        env.run()
+        assert received == [("first", "a"), ("second", "b")]
+
+    def test_len_and_peek(self):
+        env = Environment()
+        store = Store(env)
+        assert len(store) == 0
+        store.put(1)
+        store.put(2)
+        assert len(store) == 2
+        assert store.peek_all() == (1, 2)
+        assert len(store) == 2  # peek does not consume

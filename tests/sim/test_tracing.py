@@ -1,0 +1,107 @@
+"""Unit tests for kernel event tracing."""
+
+import pytest
+
+from repro.sim import Environment
+from repro.sim.tracing import EnvironmentTracer
+
+
+def run_sample(env):
+    def worker(env):
+        yield env.timeout(1.0)
+        yield env.timeout(2.0)
+
+    env.process(worker(env), name="sample-worker")
+    env.run()
+
+
+class TestTracer:
+    def test_records_timeouts_and_processes(self):
+        env = Environment()
+        tracer = EnvironmentTracer(env)
+        run_sample(env)
+        kinds = {entry.kind for entry in tracer.entries}
+        assert "timeout" in kinds
+        assert "process" in kinds
+        names = {e.name for e in tracer.of_kind("process")}
+        assert "sample-worker" in names
+
+    def test_timestamps_are_ordered(self):
+        env = Environment()
+        tracer = EnvironmentTracer(env)
+        run_sample(env)
+        times = [e.at_ms for e in tracer.entries]
+        assert times == sorted(times)
+
+    def test_between_window(self):
+        env = Environment()
+        tracer = EnvironmentTracer(env)
+        run_sample(env)
+        early = tracer.between(0.0, 1.5)
+        assert all(e.at_ms < 1.5 for e in early)
+        assert early  # the t=1.0 timeout is in the window
+
+    def test_capacity_bound_drops_oldest(self):
+        env = Environment()
+        tracer = EnvironmentTracer(env, capacity=3)
+        for _ in range(10):
+            env.timeout(1.0)
+        env.run()
+        assert len(tracer.entries) == 3
+        assert tracer.dropped == 7
+
+    def test_detach_restores_step(self):
+        env = Environment()
+        tracer = EnvironmentTracer(env)
+        tracer.detach()
+        run_sample(env)
+        assert tracer.entries == []
+
+    def test_format_tail(self):
+        env = Environment()
+        tracer = EnvironmentTracer(env, capacity=2)
+        run_sample(env)
+        text = tracer.format_tail()
+        assert "dropped" in text
+        assert "ok" in text
+
+    def test_failure_marked(self):
+        env = Environment()
+        tracer = EnvironmentTracer(env)
+
+        def failing(env):
+            yield env.timeout(1.0)
+            raise RuntimeError("boom")
+
+        def catcher(env):
+            try:
+                yield env.process(failing(env), name="dying")
+            except RuntimeError:
+                pass
+
+        env.process(catcher(env))
+        env.run()
+        dying = [e for e in tracer.of_kind("process") if e.name == "dying"]
+        assert dying and not dying[0].ok
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            EnvironmentTracer(Environment(), capacity=0)
+
+    def test_tracing_does_not_change_simulation_results(self):
+        def simulate(traced):
+            env = Environment()
+            if traced:
+                EnvironmentTracer(env)
+            results = []
+
+            def worker(env):
+                for _ in range(5):
+                    yield env.timeout(1.5)
+                    results.append(env.now)
+
+            env.process(worker(env))
+            env.run()
+            return results
+
+        assert simulate(True) == simulate(False)

@@ -1,0 +1,56 @@
+"""Smoke tests: the fast examples must run to completion.
+
+The simulation-heavy examples (quickstart, oltp_recovery, ...) are
+exercised in CI-sized form by the integration suite; here we execute
+the two instant ones end to end and check the others at least parse.
+"""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+ALL_EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+class TestFastExamples:
+    def test_layout_explorer_runs(self, capsys, monkeypatch):
+        monkeypatch.setattr(sys, "argv", ["layout_explorer.py"])
+        runpy.run_path(str(EXAMPLES_DIR / "layout_explorer.py"), run_name="__main__")
+        out = capsys.readouterr().out
+        assert "RAID 5" in out
+        assert "declustered" in out
+
+    def test_design_workbench_runs(self, capsys, monkeypatch):
+        monkeypatch.setattr(sys, "argv", ["design_workbench.py"])
+        runpy.run_path(str(EXAMPLES_DIR / "design_workbench.py"), run_name="__main__")
+        out = capsys.readouterr().out
+        assert "paper-bd5" in out
+        assert "Catalog selection" in out
+
+
+class TestAllExamplesParse:
+    def test_expected_inventory(self):
+        assert ALL_EXAMPLES == [
+            "continuous_operation.py",
+            "design_workbench.py",
+            "layout_explorer.py",
+            "oltp_recovery.py",
+            "quickstart.py",
+            "reconstruction_race.py",
+            "throttled_recovery.py",
+        ]
+
+    @pytest.mark.parametrize("name", ALL_EXAMPLES)
+    def test_compiles(self, name):
+        source = (EXAMPLES_DIR / name).read_text(encoding="utf-8")
+        compile(source, name, "exec")
+
+    @pytest.mark.parametrize("name", ALL_EXAMPLES)
+    def test_has_module_docstring(self, name):
+        import ast
+
+        tree = ast.parse((EXAMPLES_DIR / name).read_text(encoding="utf-8"))
+        assert ast.get_docstring(tree), f"{name} lacks a docstring"

@@ -1,0 +1,104 @@
+"""Unit tests for trace pattern generators."""
+
+import pytest
+
+from repro.workload.patterns import phased, sequential_scan, zipf_hot_spot
+from repro.workload.trace import TraceRecord
+
+
+class TestSequentialScan:
+    def test_addresses_advance_strictly(self):
+        records = sequential_scan(num_units=100, length=20)
+        units = [r.logical_unit for r in records]
+        assert units == list(range(20))
+
+    def test_timestamps_increase(self):
+        records = sequential_scan(num_units=100, length=20)
+        times = [r.at_ms for r in records]
+        assert times == sorted(times)
+        assert times[0] > 0
+
+    def test_multi_unit_accesses(self):
+        records = sequential_scan(num_units=100, length=20, access_units=4)
+        assert len(records) == 5
+        assert [r.logical_unit for r in records] == [0, 4, 8, 12, 16]
+        assert all(r.num_units == 4 for r in records)
+
+    def test_write_scan(self):
+        records = sequential_scan(num_units=50, length=10, is_write=True)
+        assert all(r.is_write for r in records)
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            sequential_scan(num_units=10, start_unit=5, length=10)
+
+    def test_deterministic(self):
+        assert sequential_scan(100, length=10, seed=5) == sequential_scan(
+            100, length=10, seed=5
+        )
+
+
+class TestZipfHotSpot:
+    def test_record_count_and_range(self):
+        records = zipf_hot_spot(num_units=1000, count=200, working_set=50)
+        assert len(records) == 200
+        assert all(0 <= r.logical_unit < 50 for r in records)
+
+    def test_skew_concentrates_on_low_ranks(self):
+        skewed = zipf_hot_spot(num_units=1000, count=2000, skew=1.5, working_set=100)
+        top_share = sum(1 for r in skewed if r.logical_unit < 10) / len(skewed)
+        flat = zipf_hot_spot(num_units=1000, count=2000, skew=0.0, working_set=100)
+        flat_share = sum(1 for r in flat if r.logical_unit < 10) / len(flat)
+        assert top_share > 2 * flat_share
+
+    def test_zero_skew_is_roughly_uniform(self):
+        records = zipf_hot_spot(num_units=1000, count=5000, skew=0.0, working_set=10)
+        counts = [0] * 10
+        for record in records:
+            counts[record.logical_unit] += 1
+        assert max(counts) < 2 * min(counts)
+
+    def test_read_fraction(self):
+        records = zipf_hot_spot(num_units=100, count=1000, read_fraction=0.8)
+        reads = sum(1 for r in records if not r.is_write)
+        assert reads / 1000 == pytest.approx(0.8, abs=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zipf_hot_spot(num_units=10, count=5, working_set=20)
+        with pytest.raises(ValueError):
+            zipf_hot_spot(num_units=10, count=5, skew=-1)
+
+
+class TestPhased:
+    def test_phases_are_sequenced(self):
+        first = [TraceRecord(at_ms=5.0, is_write=False, logical_unit=0)]
+        second = [TraceRecord(at_ms=1.0, is_write=True, logical_unit=1)]
+        merged = phased([first, second], gap_ms=10.0)
+        assert merged[0].at_ms == 5.0
+        assert merged[1].at_ms == pytest.approx(16.0)  # 5 + 10 gap + 1
+
+    def test_empty_phases_skipped(self):
+        only = [TraceRecord(at_ms=1.0, is_write=False, logical_unit=0)]
+        merged = phased([[], only])
+        assert len(merged) == 1
+
+    def test_replay_through_the_array(self):
+        from repro.workload import TraceWorkload
+        from tests.conftest import build_array
+
+        array = build_array(with_datastore=True)
+        trace = phased(
+            [
+                sequential_scan(array.addressing.num_data_units, length=30,
+                                rate_per_s=500.0),
+                zipf_hot_spot(array.addressing.num_data_units, count=30,
+                              rate_per_s=500.0),
+            ],
+            gap_ms=50.0,
+        )
+        workload = TraceWorkload(array.controller, trace)
+        workload.run()
+        array.env.run(until=workload.drained())
+        assert workload.completed == 60
+        assert workload.integrity_errors == []

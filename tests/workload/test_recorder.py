@@ -1,0 +1,57 @@
+"""Unit tests for the response recorder."""
+
+import pytest
+
+from repro.workload import ResponseRecorder
+
+
+def fill(recorder, samples):
+    for complete, response, is_write in samples:
+        recorder.record(complete, response, is_write)
+
+
+class TestFiltering:
+    def test_warmup_excludes_early_completions(self):
+        recorder = ResponseRecorder(warmup_ms=100.0)
+        fill(recorder, [(50, 10, False), (150, 20, False), (250, 30, False)])
+        assert recorder.responses() == [20, 30]
+
+    def test_kind_filters(self):
+        recorder = ResponseRecorder()
+        fill(recorder, [(1, 10, False), (2, 20, True), (3, 30, False)])
+        assert recorder.responses(reads_only=True) == [10, 30]
+        assert recorder.responses(writes_only=True) == [20]
+
+    def test_window_filters(self):
+        recorder = ResponseRecorder()
+        fill(recorder, [(10, 1, False), (20, 2, False), (30, 3, False)])
+        assert recorder.responses(since_ms=15, until_ms=25) == [2]
+
+    def test_len_counts_all_samples(self):
+        recorder = ResponseRecorder(warmup_ms=100.0)
+        fill(recorder, [(50, 10, False)])
+        assert len(recorder) == 1  # raw count ignores warmup
+
+
+class TestSummary:
+    def test_mean_std(self):
+        recorder = ResponseRecorder()
+        fill(recorder, [(1, 10, False), (2, 20, False), (3, 30, False)])
+        summary = recorder.summary()
+        assert summary.count == 3
+        assert summary.mean_ms == pytest.approx(20.0)
+        assert summary.std_ms == pytest.approx((200 / 3) ** 0.5)
+        assert summary.min_ms == 10
+        assert summary.max_ms == 30
+
+    def test_percentiles(self):
+        recorder = ResponseRecorder()
+        fill(recorder, [(i, float(i), False) for i in range(100)])
+        summary = recorder.summary()
+        assert summary.p90_ms == pytest.approx(90.0)
+        assert summary.p99_ms == pytest.approx(99.0)
+
+    def test_empty_summary(self):
+        summary = ResponseRecorder().summary()
+        assert summary.count == 0
+        assert summary.mean_ms == 0.0

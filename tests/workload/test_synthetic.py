@@ -1,0 +1,148 @@
+"""Unit tests for the synthetic workload generator."""
+
+import pytest
+
+from repro.workload import SyntheticWorkload, WorkloadConfig
+from tests.conftest import build_array
+
+
+def run_workload(array, config, duration_ms=None, max_requests=None):
+    workload = SyntheticWorkload(array.controller, config)
+    workload.run(duration_ms=duration_ms, max_requests=max_requests)
+    array.env.run(until=array.env.now + (duration_ms or 60_000.0))
+    array.env.run(until=workload.drained())
+    return workload
+
+
+class TestConfig:
+    def test_interarrival(self):
+        config = WorkloadConfig(access_rate_per_s=200, read_fraction=0.5)
+        assert config.mean_interarrival_ms == pytest.approx(5.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(access_rate_per_s=0, read_fraction=0.5)
+        with pytest.raises(ValueError):
+            WorkloadConfig(access_rate_per_s=10, read_fraction=1.5)
+        with pytest.raises(ValueError):
+            WorkloadConfig(access_rate_per_s=10, read_fraction=0.5, access_units=0)
+
+
+class TestGeneration:
+    def test_rate_is_approximately_honored(self):
+        array = build_array(with_datastore=False)
+        workload = run_workload(
+            array,
+            WorkloadConfig(access_rate_per_s=100, read_fraction=1.0, seed=1),
+            duration_ms=20_000.0,
+        )
+        # 100/s over 20 s: expect ~2000, Poisson sd ~45.
+        assert workload.submitted == pytest.approx(2000, rel=0.10)
+
+    def test_read_fraction_is_approximately_honored(self):
+        array = build_array(with_datastore=False)
+        workload = SyntheticWorkload(
+            array.controller,
+            WorkloadConfig(access_rate_per_s=200, read_fraction=0.7, seed=2),
+        )
+        workload.run(max_requests=500)
+        array.env.run(until=workload.drained())
+        reads = array.controller.stats.user_reads
+        assert reads / 500 == pytest.approx(0.7, abs=0.06)
+
+    def test_max_requests_cap(self):
+        array = build_array(with_datastore=False)
+        workload = SyntheticWorkload(
+            array.controller,
+            WorkloadConfig(access_rate_per_s=1000, read_fraction=1.0),
+        )
+        workload.run(max_requests=37)
+        array.env.run(until=workload.drained())
+        assert workload.submitted == 37
+        assert workload.completed == 37
+
+    def test_stop_halts_generation(self):
+        array = build_array(with_datastore=False)
+        workload = SyntheticWorkload(
+            array.controller,
+            WorkloadConfig(access_rate_per_s=1000, read_fraction=1.0),
+        )
+        workload.run(duration_ms=1e9)
+        array.env.run(until=50.0)
+        workload.stop()
+        array.env.run(until=workload.drained())
+        submitted = workload.submitted
+        array.env.run(until=array.env.now + 1000.0)
+        assert workload.submitted == submitted
+
+    def test_requires_some_bound(self):
+        array = build_array(with_datastore=False)
+        workload = SyntheticWorkload(
+            array.controller, WorkloadConfig(access_rate_per_s=10, read_fraction=1.0)
+        )
+        with pytest.raises(ValueError):
+            workload.run()
+
+    def test_determinism(self):
+        def simulate():
+            array = build_array(with_datastore=False)
+            workload = SyntheticWorkload(
+                array.controller,
+                WorkloadConfig(access_rate_per_s=150, read_fraction=0.5, seed=9),
+            )
+            workload.run(max_requests=200)
+            array.env.run(until=workload.drained())
+            return array.env.now, workload.recorder.summary().mean_ms
+
+        assert simulate() == simulate()
+
+    def test_multi_unit_accesses_are_aligned(self):
+        array = build_array(with_datastore=False)
+        seen = []
+        original = array.controller.submit
+
+        def spy(request):
+            seen.append(request.logical_unit)
+            return original(request)
+
+        array.controller.submit = spy
+        workload = SyntheticWorkload(
+            array.controller,
+            WorkloadConfig(access_rate_per_s=500, read_fraction=1.0, access_units=4),
+        )
+        workload.run(max_requests=50)
+        array.env.run(until=workload.drained())
+        assert all(unit % 4 == 0 for unit in seen)
+
+
+class TestVerification:
+    def test_clean_run_has_no_integrity_errors(self):
+        array = build_array(with_datastore=True)
+        workload = run_workload(
+            array,
+            WorkloadConfig(access_rate_per_s=150, read_fraction=0.5, seed=3),
+            duration_ms=5_000.0,
+        )
+        assert workload.integrity_errors == []
+        assert workload.verify
+
+    def test_verification_detects_corruption(self):
+        # Corrupt the datastore behind the workload's back: the next
+        # read of that unit must be flagged.
+        array = build_array(with_datastore=True)
+        controller = array.controller
+        workload = SyntheticWorkload(
+            controller, WorkloadConfig(access_rate_per_s=100, read_fraction=1.0, seed=4)
+        )
+        address = array.addressing.logical_unit_address(0)
+        controller.datastore.write_unit(address.disk, address.offset, 0x0BAD)
+        request = array.run_op(controller.read(0))
+        workload._account(request)
+        assert len(workload.integrity_errors) == 1
+
+    def test_verification_disabled_without_datastore(self):
+        array = build_array(with_datastore=False)
+        workload = SyntheticWorkload(
+            array.controller, WorkloadConfig(access_rate_per_s=10, read_fraction=0.5)
+        )
+        assert not workload.verify
