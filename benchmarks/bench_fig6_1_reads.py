@@ -12,7 +12,7 @@ from benchmarks.conftest import bench_scale, run_once
 STRIPE_SIZES = (4, 6, 10, 21)
 
 
-def test_bench_fig6_1(benchmark, save_result):
+def test_bench_fig6_1(benchmark, save_result, sweep_options):
     rows = run_once(
         benchmark,
         fig6.run_figure,
@@ -20,6 +20,7 @@ def test_bench_fig6_1(benchmark, save_result):
         rates=fig6.READ_RATES,
         scale=bench_scale(),
         stripe_sizes=STRIPE_SIZES,
+        options=sweep_options,
     )
     save_result(
         "fig6_1_reads",

@@ -13,7 +13,7 @@ from benchmarks.conftest import bench_scale, run_once
 STRIPE_SIZES = (3, 4, 10, 21)
 
 
-def test_bench_fig6_2(benchmark, save_result):
+def test_bench_fig6_2(benchmark, save_result, sweep_options):
     rows = run_once(
         benchmark,
         fig6.run_figure,
@@ -21,6 +21,7 @@ def test_bench_fig6_2(benchmark, save_result):
         rates=fig6.WRITE_RATES,
         scale=bench_scale(),
         stripe_sizes=STRIPE_SIZES,
+        options=sweep_options,
     )
     save_result(
         "fig6_2_writes",

@@ -13,13 +13,14 @@ from benchmarks.conftest import bench_scale, run_once
 STRIPE_SIZES = (4, 6, 10, 21)
 
 
-def test_bench_fig8_1_and_8_2(benchmark, save_result):
+def test_bench_fig8_1_and_8_2(benchmark, save_result, sweep_options):
     rows = run_once(
         benchmark,
         fig8.run_grid,
         workers=1,
         scale=bench_scale(),
         stripe_sizes=STRIPE_SIZES,
+        options=sweep_options,
     )
     save_result(
         "fig8_1_2_single_thread",

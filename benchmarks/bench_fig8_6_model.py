@@ -10,8 +10,9 @@ from repro.experiments import fig8_6
 from benchmarks.conftest import bench_scale, run_once
 
 
-def test_bench_fig8_6(benchmark, save_result):
-    rows = run_once(benchmark, fig8_6.run, scale=bench_scale())
+def test_bench_fig8_6(benchmark, save_result, sweep_options):
+    rows = run_once(benchmark, fig8_6.run, scale=bench_scale(),
+                    options=sweep_options)
     save_result("fig8_6_model_vs_sim", fig8_6.format_rows(rows))
     # The model must be pessimistic everywhere (the paper's finding).
     assert all(row["model_over_sim"] > 1.0 for row in rows)

@@ -11,8 +11,9 @@ from repro.experiments import reliability
 from benchmarks.conftest import bench_scale, run_once
 
 
-def test_bench_reliability(benchmark, save_result):
-    rows = run_once(benchmark, reliability.run, scale=bench_scale())
+def test_bench_reliability(benchmark, save_result, sweep_options):
+    rows = run_once(benchmark, reliability.run, scale=bench_scale(),
+                    options=sweep_options)
     save_result("reliability_mttdl", reliability.format_rows(rows))
     mttdl_by_alpha = [(r["alpha"], r["mttdl_years"]) for r in rows]
     ordered = sorted(mttdl_by_alpha)

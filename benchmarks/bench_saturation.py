@@ -10,8 +10,9 @@ from repro.experiments import saturation
 from benchmarks.conftest import bench_scale, run_once
 
 
-def test_bench_saturation(benchmark, save_result):
-    rows = run_once(benchmark, saturation.run, scale=bench_scale())
+def test_bench_saturation(benchmark, save_result, sweep_options):
+    rows = run_once(benchmark, saturation.run, scale=bench_scale(),
+                    options=sweep_options)
     save_result("saturation_sweep", saturation.format_rows(rows))
     ordered = sorted(rows, key=lambda r: r["rate"])
     responses = [r["mean_response_ms"] for r in ordered]

@@ -11,8 +11,9 @@ from repro.experiments import table8_1
 from benchmarks.conftest import bench_scale, run_once
 
 
-def test_bench_table8_1(benchmark, save_result):
-    rows = run_once(benchmark, table8_1.run, scale=bench_scale())
+def test_bench_table8_1(benchmark, save_result, sweep_options):
+    rows = run_once(benchmark, table8_1.run, scale=bench_scale(),
+                    options=sweep_options)
     save_result("table8_1_cycles", table8_1.format_rows(rows))
     by_key = {(r["workers"], r["alpha"], r["algorithm"]): r for r in rows}
     # Read phase grows with alpha (more disks in the max of G-1 reads).

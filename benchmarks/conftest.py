@@ -5,6 +5,14 @@ Every benchmark regenerates one table or figure at the ``tiny`` scale
 formatted rows to ``results/<name>.txt`` so EXPERIMENTS.md can quote
 them. The pytest-benchmark timing wraps the whole experiment run:
 rounds=1, because one run *is* the experiment.
+
+Scenario-grid benchmarks route through :mod:`repro.sweep` via the
+``sweep_options`` fixture: ``pytest benchmarks/ --jobs 8`` fans each
+grid out over worker processes, and results are cached
+content-addressed on disk, so regenerating an unchanged figure is
+near-instant. Pass ``--no-cache`` (or set ``REPRO_BENCH_NO_CACHE=1``)
+to force fresh simulations — do that whenever the pytest-benchmark
+*timing*, rather than the regenerated figure, is the point.
 """
 
 from __future__ import annotations
@@ -17,9 +25,36 @@ import pytest
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--jobs",
+        type=int,
+        default=int(os.environ.get("REPRO_BENCH_JOBS", "1")),
+        help="simulate N sweep points in parallel worker processes (default: 1)",
+    )
+    parser.addoption(
+        "--no-cache",
+        action="store_true",
+        default=bool(os.environ.get("REPRO_BENCH_NO_CACHE", "")),
+        help="always simulate; do not read or write the sweep result cache",
+    )
+
+
 def bench_scale() -> str:
     """The scale preset benchmarks run at (env: REPRO_BENCH_SCALE)."""
     return os.environ.get("REPRO_BENCH_SCALE", "tiny")
+
+
+@pytest.fixture
+def sweep_options(request):
+    """Sweep execution policy from ``--jobs`` / ``--no-cache``."""
+    from repro.sweep import SweepOptions, default_cache_dir
+
+    no_cache = request.config.getoption("--no-cache")
+    return SweepOptions(
+        jobs=request.config.getoption("--jobs"),
+        cache=None if no_cache else default_cache_dir(),
+    )
 
 
 @pytest.fixture

@@ -5,6 +5,13 @@ Each experiment name corresponds to one table or figure of the paper
 ``--json DIR`` additionally saves each experiment's raw rows as a
 self-describing JSON document for downstream comparison (see
 :mod:`repro.experiments.persistence`).
+
+Scenario-grid experiments execute through :mod:`repro.sweep`:
+``--jobs N`` fans scenario points out over N worker processes, and
+results are cached content-addressed on disk (``--no-cache`` opts
+out, ``--cache-dir`` relocates the cache), so re-running a figure
+replays it from cache — the printed sweep summary shows how many
+points were simulated versus served from cache.
 """
 
 from __future__ import annotations
@@ -14,36 +21,37 @@ import sys
 import typing
 
 from repro._version import __version__
+from repro.sweep import SweepOptions
 
 Rows = typing.List[dict]
 RunResult = typing.Tuple[Rows, str]
 
 
-def _fig4_3(scale: str) -> RunResult:
+def _fig4_3(scale: str, options: SweepOptions) -> RunResult:
     from repro.experiments import fig4_3
 
     rows = fig4_3.run(scale)
     return rows, fig4_3.format_rows(rows)
 
 
-def _table5_1(scale: str) -> RunResult:
+def _table5_1(scale: str, options: SweepOptions) -> RunResult:
     from repro.experiments import table5_1
 
     rows = table5_1.run(scale)
     return rows, table5_1.format_rows(rows)
 
 
-def _fig6_1(scale: str) -> RunResult:
+def _fig6_1(scale: str, options: SweepOptions) -> RunResult:
     from repro.experiments import fig6
 
-    rows = fig6.run_fig6_1(scale)
+    rows = fig6.run_fig6_1(scale, options=options)
     return rows, fig6.format_rows(rows, "Figure 6-1: response time, 100% reads")
 
 
-def _fig6_2(scale: str) -> RunResult:
+def _fig6_2(scale: str, options: SweepOptions) -> RunResult:
     from repro.experiments import fig6
 
-    rows = fig6.run_fig6_2(scale)
+    rows = fig6.run_fig6_2(scale, options=options)
     return rows, fig6.format_rows(rows, "Figure 6-2: response time, 100% writes")
 
 
@@ -61,10 +69,10 @@ def _fig8_chart(rows: Rows) -> str:
     return f"\n{recon}\n\n{response}"
 
 
-def _fig8_single(scale: str) -> RunResult:
+def _fig8_single(scale: str, options: SweepOptions) -> RunResult:
     from repro.experiments import fig8
 
-    rows = fig8.run_single_thread(scale)
+    rows = fig8.run_single_thread(scale, options=options)
     text = fig8.format_rows(
         rows,
         "Figures 8-1/8-2: single-thread reconstruction (50% reads, 50% writes)",
@@ -72,10 +80,10 @@ def _fig8_single(scale: str) -> RunResult:
     return rows, text + _fig8_chart(rows)
 
 
-def _fig8_parallel(scale: str) -> RunResult:
+def _fig8_parallel(scale: str, options: SweepOptions) -> RunResult:
     from repro.experiments import fig8
 
-    rows = fig8.run_parallel(scale)
+    rows = fig8.run_parallel(scale, options=options)
     text = fig8.format_rows(
         rows,
         "Figures 8-3/8-4: eight-way parallel reconstruction (50% reads, 50% writes)",
@@ -83,35 +91,37 @@ def _fig8_parallel(scale: str) -> RunResult:
     return rows, text + _fig8_chart(rows)
 
 
-def _table8_1(scale: str) -> RunResult:
+def _table8_1(scale: str, options: SweepOptions) -> RunResult:
     from repro.experiments import table8_1
 
-    rows = table8_1.run(scale)
+    rows = table8_1.run(scale, options=options)
     return rows, table8_1.format_rows(rows)
 
 
-def _fig8_6(scale: str) -> RunResult:
+def _fig8_6(scale: str, options: SweepOptions) -> RunResult:
     from repro.experiments import fig8_6
 
-    rows = fig8_6.run(scale)
+    rows = fig8_6.run(scale, options=options)
     return rows, fig8_6.format_rows(rows)
 
 
-def _reliability(scale: str) -> RunResult:
+def _reliability(scale: str, options: SweepOptions) -> RunResult:
     from repro.experiments import reliability
 
-    rows = reliability.run(scale)
+    rows = reliability.run(scale, options=options)
     return rows, reliability.format_rows(rows)
 
 
-def _saturation(scale: str) -> RunResult:
+def _saturation(scale: str, options: SweepOptions) -> RunResult:
     from repro.experiments import saturation
 
-    rows = saturation.run(scale)
+    rows = saturation.run(scale, options=options)
     return rows, saturation.format_rows(rows)
 
 
-EXPERIMENTS: typing.Dict[str, typing.Tuple[str, typing.Callable[[str], RunResult]]] = {
+RunnerFn = typing.Callable[[str, SweepOptions], RunResult]
+
+EXPERIMENTS: typing.Dict[str, typing.Tuple[str, RunnerFn]] = {
     "fig4-3": ("scatter of known block designs", _fig4_3),
     "table5-1": ("simulation configuration", _table5_1),
     "fig6-1": ("fault-free & degraded response time, 100% reads", _fig6_1),
@@ -123,6 +133,13 @@ EXPERIMENTS: typing.Dict[str, typing.Tuple[str, typing.Callable[[str], RunResult
     "reliability": ("derived MTTDL from measured repair times", _reliability),
     "saturation": ("response time vs offered load (capacity knee)", _saturation),
 }
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -151,7 +168,38 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also save raw rows as JSON documents under DIR",
     )
+    parser.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="simulate N scenario points in parallel worker processes (default: 1)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="always simulate; do not read or write the sweep result cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help=(
+            "sweep result cache location (default: $REPRO_SWEEP_CACHE or "
+            "results/sweep-cache)"
+        ),
+    )
     return parser
+
+
+def sweep_options_from_args(args: argparse.Namespace) -> SweepOptions:
+    """The sweep execution policy one CLI invocation implies."""
+    from repro.sweep import default_cache_dir
+
+    cache = None if args.no_cache else (args.cache_dir or default_cache_dir())
+    return SweepOptions(
+        jobs=args.jobs, cache=cache, progress=True, stream=sys.stdout
+    )
 
 
 def main(argv: typing.Optional[typing.Sequence[str]] = None) -> int:
@@ -160,10 +208,11 @@ def main(argv: typing.Optional[typing.Sequence[str]] = None) -> int:
         for name, (description, _fn) in sorted(EXPERIMENTS.items()):
             print(f"{name:12s} {description}")
         return 0
+    options = sweep_options_from_args(args)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         _description, runner = EXPERIMENTS[name]
-        rows, text = runner(args.scale)
+        rows, text = runner(args.scale, options)
         print(text)
         print()
         if args.json:

@@ -10,6 +10,10 @@ Expected shapes: fault-free response is flat in alpha (except the
 G = 3 write optimization at alpha = 0.1); degraded response falls as
 alpha falls, and degraded *writes* at small alpha can beat fault-free
 thanks to write folding.
+
+The grid is declared as a :class:`~repro.sweep.SweepSpec` and executed
+by :func:`~repro.sweep.run_sweep`, so ``options`` buys parallelism and
+result caching without touching the figure logic.
 """
 
 from __future__ import annotations
@@ -18,7 +22,7 @@ import typing
 
 from repro.experiments.builders import PAPER_NUM_DISKS, PAPER_STRIPE_SIZES, alpha_of
 from repro.experiments.reporting import format_table
-from repro.experiments.runner import ScenarioConfig, run_scenario
+from repro.sweep import SweepOptions, SweepSpec, run_sweep
 
 READ_RATES = (105.0, 210.0, 378.0)
 WRITE_RATES = (105.0, 210.0)
@@ -30,33 +34,32 @@ def run_figure(
     scale: str = "tiny",
     stripe_sizes: typing.Sequence[int] = PAPER_STRIPE_SIZES,
     seed: int = 1992,
+    options: typing.Optional[SweepOptions] = None,
 ) -> typing.List[dict]:
     """Grid of (alpha, rate, mode) → mean user response time."""
+    spec = SweepSpec(
+        axes=[
+            ("stripe_size", stripe_sizes),
+            ("user_rate_per_s", [float(rate) for rate in rates]),
+            ("mode", ("fault-free", "degraded")),
+        ],
+        base=dict(read_fraction=read_fraction, scale=scale, seed=seed),
+    )
+    outcome = run_sweep(spec, options)
     rows = []
-    for g in stripe_sizes:
-        for rate in rates:
-            for mode in ("fault-free", "degraded"):
-                result = run_scenario(
-                    ScenarioConfig(
-                        stripe_size=g,
-                        user_rate_per_s=rate,
-                        read_fraction=read_fraction,
-                        mode=mode,
-                        scale=scale,
-                        seed=seed,
-                    )
-                )
-                rows.append(
-                    {
-                        "g": g,
-                        "alpha": round(alpha_of(PAPER_NUM_DISKS, g), 3),
-                        "rate": rate,
-                        "mode": mode,
-                        "mean_response_ms": round(result.response.mean_ms, 2),
-                        "p90_ms": round(result.response.p90_ms, 2),
-                        "requests": result.requests_completed,
-                    }
-                )
+    for result in outcome.results:
+        config = result.config
+        rows.append(
+            {
+                "g": config.stripe_size,
+                "alpha": round(alpha_of(PAPER_NUM_DISKS, config.stripe_size), 3),
+                "rate": config.user_rate_per_s,
+                "mode": config.mode,
+                "mean_response_ms": round(result.response.mean_ms, 2),
+                "p90_ms": round(result.response.p90_ms, 2),
+                "requests": result.requests_completed,
+            }
+        )
     return rows
 
 

@@ -8,6 +8,8 @@ that worker count:
 - Figures 8-3/8-4 — eight-way parallel sweep (workers = 8).
 
 Workload: 50 % reads / 50 % writes at 105 and 210 user accesses/s.
+The grid routes through :func:`~repro.sweep.run_sweep`, so ``options``
+buys parallel execution and result caching.
 """
 
 from __future__ import annotations
@@ -16,8 +18,8 @@ import typing
 
 from repro.experiments.builders import PAPER_NUM_DISKS, PAPER_STRIPE_SIZES, alpha_of
 from repro.experiments.reporting import format_table
-from repro.experiments.runner import ScenarioConfig, run_scenario
 from repro.recon.algorithms import ALGORITHMS, ReconAlgorithm
+from repro.sweep import SweepOptions, SweepSpec, run_sweep
 
 RECON_RATES = (105.0, 210.0)
 READ_FRACTION = 0.5
@@ -35,39 +37,42 @@ def run_grid(
     rates: typing.Sequence[float] = RECON_RATES,
     algorithms: typing.Sequence[ReconAlgorithm] = ALGORITHMS,
     seed: int = 1992,
+    options: typing.Optional[SweepOptions] = None,
 ) -> typing.List[dict]:
     """Reconstruction grid → one row per simulation point."""
+    spec = SweepSpec(
+        axes=[
+            ("stripe_size", stripe_sizes),
+            ("user_rate_per_s", [float(rate) for rate in rates]),
+            ("algorithm", algorithms),
+        ],
+        base=dict(
+            read_fraction=READ_FRACTION,
+            mode="recon",
+            recon_workers=workers,
+            scale=scale,
+            seed=seed,
+        ),
+    )
+    outcome = run_sweep(spec, options)
     rows = []
-    for g in stripe_sizes:
-        for rate in rates:
-            for algorithm in algorithms:
-                result = run_scenario(
-                    ScenarioConfig(
-                        stripe_size=g,
-                        user_rate_per_s=rate,
-                        read_fraction=READ_FRACTION,
-                        mode="recon",
-                        algorithm=algorithm,
-                        recon_workers=workers,
-                        scale=scale,
-                        seed=seed,
-                    )
-                )
-                recon = result.reconstruction
-                rows.append(
-                    {
-                        "g": g,
-                        "alpha": round(alpha_of(PAPER_NUM_DISKS, g), 3),
-                        "rate": rate,
-                        "algorithm": algorithm.name,
-                        "workers": workers,
-                        "recon_time_s": round(result.reconstruction_time_s, 2),
-                        "recon_ms_per_unit": round(result.normalized_recon_ms_per_unit, 3),
-                        "mean_response_ms": round(result.response.mean_ms, 2),
-                        "user_built_units": recon.user_built_units,
-                        "total_units": recon.total_units,
-                    }
-                )
+    for result in outcome.results:
+        config = result.config
+        recon = result.reconstruction
+        rows.append(
+            {
+                "g": config.stripe_size,
+                "alpha": round(alpha_of(PAPER_NUM_DISKS, config.stripe_size), 3),
+                "rate": config.user_rate_per_s,
+                "algorithm": config.algorithm.name,
+                "workers": workers,
+                "recon_time_s": round(result.reconstruction_time_s, 2),
+                "recon_ms_per_unit": round(result.normalized_recon_ms_per_unit, 3),
+                "mean_response_ms": round(result.response.mean_ms, 2),
+                "user_built_units": recon.user_built_units,
+                "total_units": recon.total_units,
+            }
+        )
     return rows
 
 

@@ -16,8 +16,8 @@ import typing
 from repro.analysis.muntz_lui import MuntzLuiInputs, MuntzLuiModel
 from repro.experiments.builders import PAPER_NUM_DISKS, alpha_of
 from repro.experiments.reporting import format_table
-from repro.experiments.runner import ScenarioConfig, run_scenario
 from repro.recon.algorithms import REDIRECT, REDIRECT_PIGGYBACK, USER_WRITES
+from repro.sweep import SweepOptions, SweepSpec, run_sweep
 
 FIG_RATE = 210.0
 READ_FRACTION = 0.5
@@ -32,45 +32,49 @@ def run(
     workers: int = 8,
     stripe_sizes: typing.Sequence[int] = FIG_STRIPE_SIZES,
     seed: int = 1992,
+    options: typing.Optional[SweepOptions] = None,
 ) -> typing.List[dict]:
+    spec = SweepSpec(
+        axes=[
+            ("stripe_size", stripe_sizes),
+            ("algorithm", FIG_ALGORITHMS),
+        ],
+        base=dict(
+            user_rate_per_s=FIG_RATE,
+            read_fraction=READ_FRACTION,
+            mode="recon",
+            recon_workers=workers,
+            scale=scale,
+            seed=seed,
+        ),
+    )
+    outcome = run_sweep(spec, options)
     rows = []
-    for g in stripe_sizes:
-        for algorithm in FIG_ALGORITHMS:
-            result = run_scenario(
-                ScenarioConfig(
-                    stripe_size=g,
-                    user_rate_per_s=FIG_RATE,
-                    read_fraction=READ_FRACTION,
-                    mode="recon",
-                    algorithm=algorithm,
-                    recon_workers=workers,
-                    scale=scale,
-                    seed=seed,
-                )
+    for result in outcome.results:
+        config = result.config
+        model = MuntzLuiModel(
+            MuntzLuiInputs(
+                num_disks=PAPER_NUM_DISKS,
+                stripe_size=config.stripe_size,
+                user_rate_per_s=FIG_RATE,
+                user_read_fraction=READ_FRACTION,
+                units_per_disk=result.reconstruction.total_units,
             )
-            model = MuntzLuiModel(
-                MuntzLuiInputs(
-                    num_disks=PAPER_NUM_DISKS,
-                    stripe_size=g,
-                    user_rate_per_s=FIG_RATE,
-                    user_read_fraction=READ_FRACTION,
-                    units_per_disk=result.reconstruction.total_units,
-                )
-            )
-            predicted = model.reconstruction_time_s(algorithm)
-            simulated = result.reconstruction_time_s
-            rows.append(
-                {
-                    "g": g,
-                    "alpha": round(alpha_of(PAPER_NUM_DISKS, g), 3),
-                    "algorithm": algorithm.name,
-                    "model_s": round(predicted, 1),
-                    "simulated_s": round(simulated, 1),
-                    "model_over_sim": round(predicted / simulated, 2)
-                    if simulated > 0
-                    else float("inf"),
-                }
-            )
+        )
+        predicted = model.reconstruction_time_s(config.algorithm)
+        simulated = result.reconstruction_time_s
+        rows.append(
+            {
+                "g": config.stripe_size,
+                "alpha": round(alpha_of(PAPER_NUM_DISKS, config.stripe_size), 3),
+                "algorithm": config.algorithm.name,
+                "model_s": round(predicted, 1),
+                "simulated_s": round(simulated, 1),
+                "model_over_sim": round(predicted / simulated, 2)
+                if simulated > 0
+                else float("inf"),
+            }
+        )
     return rows
 
 

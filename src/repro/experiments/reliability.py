@@ -17,9 +17,9 @@ import typing
 from repro.analysis.reliability import ReliabilityInputs, mttdl_years
 from repro.experiments.builders import PAPER_NUM_DISKS, alpha_of
 from repro.experiments.reporting import format_table
-from repro.experiments.runner import ScenarioConfig, run_scenario
 from repro.experiments.scales import get_scale
 from repro.recon.algorithms import USER_WRITES
+from repro.sweep import SweepOptions, SweepSpec, run_sweep
 
 RELIABILITY_STRIPE_SIZES = (4, 6, 10, 21)
 RELIABILITY_RATE = 210.0
@@ -28,22 +28,25 @@ DISK_MTTF_HOURS = 150_000.0
 
 def run(scale: str = "tiny",
         stripe_sizes: typing.Sequence[int] = RELIABILITY_STRIPE_SIZES,
-        seed: int = 1992) -> typing.List[dict]:
+        seed: int = 1992,
+        options: typing.Optional[SweepOptions] = None) -> typing.List[dict]:
     paper_units = get_scale("paper").units_per_disk
+    spec = SweepSpec(
+        axes=[("stripe_size", stripe_sizes)],
+        base=dict(
+            user_rate_per_s=RELIABILITY_RATE,
+            read_fraction=0.5,
+            mode="recon",
+            algorithm=USER_WRITES,
+            recon_workers=8,
+            scale=scale,
+            seed=seed,
+        ),
+    )
+    outcome = run_sweep(spec, options)
     rows = []
-    for g in stripe_sizes:
-        result = run_scenario(
-            ScenarioConfig(
-                stripe_size=g,
-                user_rate_per_s=RELIABILITY_RATE,
-                read_fraction=0.5,
-                mode="recon",
-                algorithm=USER_WRITES,
-                recon_workers=8,
-                scale=scale,
-                seed=seed,
-            )
-        )
+    for result in outcome.results:
+        g = result.config.stripe_size
         # Reconstruction time scales ~linearly in units per disk; scale
         # the measured repair up to the full-size drive.
         scale_factor = paper_units / result.reconstruction.total_units

@@ -14,6 +14,7 @@ per-disk utilization.
 
 from __future__ import annotations
 
+import dataclasses
 import typing
 from dataclasses import dataclass, field
 
@@ -22,7 +23,7 @@ from repro.array.controller import ArrayController
 from repro.disk.constant import ConstantRateDisk
 from repro.experiments.builders import PAPER_NUM_DISKS, build_layout
 from repro.experiments.scales import ScalePreset, get_scale
-from repro.recon.algorithms import BASELINE, ReconAlgorithm
+from repro.recon.algorithms import BASELINE, ReconAlgorithm, algorithm_by_name
 from repro.recon.sweeper import ReconstructionResult, Reconstructor
 from repro.sim.environment import Environment
 from repro.workload.recorder import ResponseRecorder, ResponseSummary
@@ -68,6 +69,32 @@ class ScenarioConfig:
         if isinstance(self.scale, ScalePreset):
             return self.scale
         return get_scale(self.scale)
+
+    def to_key(self) -> typing.Dict[str, typing.Any]:
+        """Canonical JSON-safe form of this config.
+
+        The algorithm is stored by name and a :class:`ScalePreset` by
+        its fields, so the key survives ``json.dumps``/``loads`` and
+        :meth:`from_key` rebuilds an equal config. This is the identity
+        the sweep result cache hashes and the form
+        :mod:`repro.experiments.persistence` writes when a row carries
+        a config.
+        """
+        key = {f.name: getattr(self, f.name) for f in dataclasses.fields(self)}
+        key["algorithm"] = self.algorithm.name
+        if isinstance(self.scale, ScalePreset):
+            key["scale"] = dataclasses.asdict(self.scale)
+        return key
+
+    @classmethod
+    def from_key(cls, key: typing.Mapping[str, typing.Any]) -> "ScenarioConfig":
+        """Rebuild a config from :meth:`to_key` output (or parsed JSON)."""
+        kwargs = dict(key)
+        if isinstance(kwargs.get("algorithm"), str):
+            kwargs["algorithm"] = algorithm_by_name(kwargs["algorithm"])
+        if isinstance(kwargs.get("scale"), dict):
+            kwargs["scale"] = ScalePreset(**kwargs["scale"])
+        return cls(**kwargs)
 
 
 @dataclass

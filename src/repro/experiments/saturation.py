@@ -15,7 +15,7 @@ import typing
 
 from repro.experiments.builders import PAPER_NUM_DISKS, alpha_of
 from repro.experiments.reporting import format_table
-from repro.experiments.runner import ScenarioConfig, run_scenario
+from repro.sweep import SweepOptions, SweepSpec, run_sweep
 
 #: ~46 random 4 KB accesses/s per disk (measured from the disk model).
 DISK_CAPACITY_PER_S = 46.0
@@ -38,27 +38,30 @@ def run(
     read_fraction: float = 0.5,
     rates: typing.Optional[typing.Sequence[float]] = None,
     seed: int = 1992,
+    options: typing.Optional[SweepOptions] = None,
 ) -> typing.List[dict]:
     ceiling = analytic_user_rate_ceiling(read_fraction)
     if rates is None:
         rates = [round(ceiling * f) for f in (0.3, 0.5, 0.7, 0.85, 0.95)]
+    spec = SweepSpec(
+        axes=[("user_rate_per_s", [float(rate) for rate in rates])],
+        base=dict(
+            stripe_size=stripe_size,
+            read_fraction=read_fraction,
+            mode="fault-free",
+            scale=scale,
+            seed=seed,
+        ),
+    )
+    outcome = run_sweep(spec, options)
     rows = []
-    for rate in rates:
-        result = run_scenario(
-            ScenarioConfig(
-                stripe_size=stripe_size,
-                user_rate_per_s=float(rate),
-                read_fraction=read_fraction,
-                mode="fault-free",
-                scale=scale,
-                seed=seed,
-            )
-        )
+    for result in outcome.results:
+        rate = result.config.user_rate_per_s
         rows.append(
             {
                 "alpha": round(alpha_of(PAPER_NUM_DISKS, stripe_size), 3),
                 "read_fraction": read_fraction,
-                "rate": float(rate),
+                "rate": rate,
                 "offered_fraction_of_ceiling": round(rate / ceiling, 3),
                 "mean_response_ms": round(result.response.mean_ms, 2),
                 "p90_ms": round(result.response.p90_ms, 2),

@@ -17,8 +17,8 @@ import typing
 
 from repro.experiments.builders import PAPER_NUM_DISKS, alpha_of
 from repro.experiments.reporting import format_table
-from repro.experiments.runner import ScenarioConfig, run_scenario
 from repro.recon.algorithms import ALGORITHMS, ReconAlgorithm
+from repro.sweep import SweepOptions, SweepSpec, run_sweep
 
 TABLE_STRIPE_SIZES = (4, 10, 21)  # alpha = 0.15, 0.45, 1.0
 TABLE_RATE = 210.0
@@ -32,39 +32,42 @@ def run(
     stripe_sizes: typing.Sequence[int] = TABLE_STRIPE_SIZES,
     algorithms: typing.Sequence[ReconAlgorithm] = ALGORITHMS,
     seed: int = 1992,
+    options: typing.Optional[SweepOptions] = None,
 ) -> typing.List[dict]:
+    spec = SweepSpec(
+        axes=[
+            ("recon_workers", workers_list),
+            ("stripe_size", stripe_sizes),
+            ("algorithm", algorithms),
+        ],
+        base=dict(
+            user_rate_per_s=TABLE_RATE,
+            read_fraction=READ_FRACTION,
+            mode="recon",
+            scale=scale,
+            seed=seed,
+        ),
+    )
+    outcome = run_sweep(spec, options)
     rows = []
-    for workers in workers_list:
-        for g in stripe_sizes:
-            for algorithm in algorithms:
-                result = run_scenario(
-                    ScenarioConfig(
-                        stripe_size=g,
-                        user_rate_per_s=TABLE_RATE,
-                        read_fraction=READ_FRACTION,
-                        mode="recon",
-                        algorithm=algorithm,
-                        recon_workers=workers,
-                        scale=scale,
-                        seed=seed,
-                    )
-                )
-                read_phase, write_phase = result.reconstruction.phase_summary(
-                    last_n=LAST_N_CYCLES
-                )
-                rows.append(
-                    {
-                        "workers": workers,
-                        "alpha": round(alpha_of(PAPER_NUM_DISKS, g), 3),
-                        "algorithm": algorithm.name,
-                        "read_ms": round(read_phase.mean_ms, 1),
-                        "read_std": round(read_phase.std_ms, 1),
-                        "write_ms": round(write_phase.mean_ms, 1),
-                        "write_std": round(write_phase.std_ms, 1),
-                        "cycle_ms": round(read_phase.mean_ms + write_phase.mean_ms, 1),
-                        "cycles_sampled": read_phase.count,
-                    }
-                )
+    for result in outcome.results:
+        config = result.config
+        read_phase, write_phase = result.reconstruction.phase_summary(
+            last_n=LAST_N_CYCLES
+        )
+        rows.append(
+            {
+                "workers": config.recon_workers,
+                "alpha": round(alpha_of(PAPER_NUM_DISKS, config.stripe_size), 3),
+                "algorithm": config.algorithm.name,
+                "read_ms": round(read_phase.mean_ms, 1),
+                "read_std": round(read_phase.std_ms, 1),
+                "write_ms": round(write_phase.mean_ms, 1),
+                "write_std": round(write_phase.std_ms, 1),
+                "cycle_ms": round(read_phase.mean_ms + write_phase.mean_ms, 1),
+                "cycles_sampled": read_phase.count,
+            }
+        )
     return rows
 
 

@@ -96,11 +96,11 @@ ALGORITHMS: typing.Tuple[ReconAlgorithm, ...] = (
 
 
 def algorithm_by_name(name: str) -> ReconAlgorithm:
-    """Look up one of the four algorithms by its paper name."""
-    for algorithm in ALGORITHMS:
+    """Look up a named algorithm (the paper's four plus strict-baseline)."""
+    for algorithm in ALGORITHMS + (STRICT_BASELINE,):
         if algorithm.name == name:
             return algorithm
     raise ValueError(
         f"unknown reconstruction algorithm {name!r}; choose from "
-        f"{[a.name for a in ALGORITHMS]}"
+        f"{[a.name for a in ALGORITHMS + (STRICT_BASELINE,)]}"
     )

@@ -12,6 +12,7 @@ benchmark runs.
 
 from __future__ import annotations
 
+import collections
 import typing
 from dataclasses import dataclass
 
@@ -48,7 +49,9 @@ class EnvironmentTracer:
             raise ValueError("capacity must be positive")
         self.env = env
         self.capacity = capacity
-        self.entries: typing.List[TraceEntry] = []
+        # A bounded deque keeps _record O(1); a list's pop(0) would make
+        # a long saturated trace O(n²).
+        self.entries: typing.Deque[TraceEntry] = collections.deque(maxlen=capacity)
         self.dropped = 0
         self._original_step = env.step
         env.step = self._traced_step  # type: ignore[method-assign]
@@ -77,9 +80,8 @@ class EnvironmentTracer:
                                     ok=event.ok))
 
     def _record(self, entry: TraceEntry) -> None:
-        if len(self.entries) >= self.capacity:
-            self.entries.pop(0)
-            self.dropped += 1
+        if len(self.entries) == self.capacity:
+            self.dropped += 1  # the deque evicts the oldest entry itself
         self.entries.append(entry)
 
     # ------------------------------------------------------------------
@@ -94,9 +96,10 @@ class EnvironmentTracer:
 
     def format_tail(self, count: int = 20) -> str:
         """The last ``count`` entries, one per line."""
+        tail = list(self.entries)[-count:] if count > 0 else []
         lines = [
             f"{e.at_ms:12.3f}  {e.kind:8s}  {'ok ' if e.ok else 'ERR'}  {e.name}"
-            for e in self.entries[-count:]
+            for e in tail
         ]
         if self.dropped:
             lines.insert(0, f"... {self.dropped} earlier entries dropped ...")

@@ -1,0 +1,210 @@
+"""Content-addressed on-disk cache of scenario results.
+
+A cache entry's address is a SHA-256 over the scenario config's
+canonical key (:meth:`ScenarioConfig.to_key`) plus the package version
+and the cache's own format version — so a release or a format change
+invalidates every prior entry without any bookkeeping, and two configs
+collide exactly when they would simulate identically. Entries are
+self-describing JSON documents in the persistence idiom of
+:mod:`repro.experiments.persistence`: the stored config key and
+versions ride along with the result, so a cache directory can be
+audited with nothing but a JSON reader.
+
+Results round-trip losslessly: JSON preserves Python floats exactly
+(shortest-repr encoding), so rows derived from a cached result are
+byte-identical to rows derived from the live simulation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import tempfile
+import typing
+
+from repro._version import __version__
+from repro.experiments.runner import ScenarioConfig, ScenarioResult
+from repro.recon.sweeper import CycleRecord, ReconstructionResult
+from repro.workload.recorder import ResponseSummary
+
+#: Bump when the stored result schema changes; invalidates all entries.
+CACHE_FORMAT_VERSION = 1
+
+
+def default_cache_dir() -> pathlib.Path:
+    """Cache location: ``$REPRO_SWEEP_CACHE`` or ``results/sweep-cache``."""
+    return pathlib.Path(
+        os.environ.get("REPRO_SWEEP_CACHE", os.path.join("results", "sweep-cache"))
+    )
+
+
+def config_cache_key(config: ScenarioConfig, version: str = __version__) -> str:
+    """Stable content address for one scenario config."""
+    payload = json.dumps(
+        {
+            "cache_format": CACHE_FORMAT_VERSION,
+            "package_version": version,
+            "config": config.to_key(),
+        },
+        sort_keys=True,
+        default=str,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _summary_to_dict(summary: ResponseSummary) -> dict:
+    return dict(vars(summary))
+
+
+def result_to_dict(result: ScenarioResult) -> dict:
+    """JSON-safe form of a :class:`ScenarioResult` (see :func:`result_from_dict`)."""
+    recon = result.reconstruction
+    return {
+        "config": result.config.to_key(),
+        "response": _summary_to_dict(result.response),
+        "read_response": _summary_to_dict(result.read_response),
+        "write_response": _summary_to_dict(result.write_response),
+        "simulated_ms": result.simulated_ms,
+        "requests_completed": result.requests_completed,
+        "mapped_units_per_disk": result.mapped_units_per_disk,
+        "disk_utilization": list(result.disk_utilization),
+        "reconstruction": None
+        if recon is None
+        else {
+            "reconstruction_time_ms": recon.reconstruction_time_ms,
+            "total_units": recon.total_units,
+            "swept_units": recon.swept_units,
+            "user_built_units": recon.user_built_units,
+            "resweeps": recon.resweeps,
+            # Compact: one [offset, start, read_phase, write_phase] per cycle.
+            "cycles": [
+                [c.offset, c.start_ms, c.read_phase_ms, c.write_phase_ms]
+                for c in recon.cycles
+            ],
+        },
+        "integrity_errors": list(result.integrity_errors),
+    }
+
+
+def result_from_dict(document: typing.Mapping) -> ScenarioResult:
+    """Rebuild a :class:`ScenarioResult` from :func:`result_to_dict` output."""
+    recon_doc = document["reconstruction"]
+    reconstruction = None
+    if recon_doc is not None:
+        reconstruction = ReconstructionResult(
+            reconstruction_time_ms=recon_doc["reconstruction_time_ms"],
+            total_units=recon_doc["total_units"],
+            swept_units=recon_doc["swept_units"],
+            user_built_units=recon_doc["user_built_units"],
+            resweeps=recon_doc["resweeps"],
+            cycles=[
+                CycleRecord(
+                    offset=offset,
+                    start_ms=start_ms,
+                    read_phase_ms=read_ms,
+                    write_phase_ms=write_ms,
+                )
+                for offset, start_ms, read_ms, write_ms in recon_doc["cycles"]
+            ],
+        )
+    return ScenarioResult(
+        config=ScenarioConfig.from_key(document["config"]),
+        response=ResponseSummary(**document["response"]),
+        read_response=ResponseSummary(**document["read_response"]),
+        write_response=ResponseSummary(**document["write_response"]),
+        simulated_ms=document["simulated_ms"],
+        requests_completed=document["requests_completed"],
+        mapped_units_per_disk=document["mapped_units_per_disk"],
+        disk_utilization=list(document["disk_utilization"]),
+        reconstruction=reconstruction,
+        integrity_errors=list(document["integrity_errors"]),
+    )
+
+
+class ResultCache:
+    """On-disk scenario-result cache, content-addressed by config.
+
+    Entries live two directory levels deep
+    (``<dir>/<key[:2]>/<key>.json``) to keep directories small at
+    million-scenario scale. Reads treat any unreadable, corrupt, or
+    mismatched entry as a miss; writes are atomic (temp file +
+    ``os.replace``), so concurrent sweeps sharing a cache directory
+    cannot observe torn entries.
+    """
+
+    def __init__(
+        self,
+        directory: typing.Union[str, os.PathLike],
+        version: str = __version__,
+    ):
+        self.directory = pathlib.Path(directory)
+        self.version = version
+
+    def path_for(self, config: ScenarioConfig) -> pathlib.Path:
+        key = config_cache_key(config, version=self.version)
+        return self.directory / key[:2] / f"{key}.json"
+
+    def get_dict(self, config: ScenarioConfig) -> typing.Optional[dict]:
+        """The stored result document for ``config``, or None on a miss."""
+        path = self.path_for(config)
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+            if document["cache_format"] != CACHE_FORMAT_VERSION:
+                return None
+            return document["result"]
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def get(self, config: ScenarioConfig) -> typing.Optional[ScenarioResult]:
+        document = self.get_dict(config)
+        return None if document is None else result_from_dict(document)
+
+    def put_dict(self, config: ScenarioConfig, result: dict) -> None:
+        path = self.path_for(config)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        document = {
+            "cache_format": CACHE_FORMAT_VERSION,
+            "package_version": self.version,
+            "config": config.to_key(),
+            "result": result,
+        }
+        handle = tempfile.NamedTemporaryFile(
+            mode="w",
+            encoding="utf-8",
+            dir=path.parent,
+            prefix=path.name + ".",
+            suffix=".tmp",
+            delete=False,
+        )
+        try:
+            with handle:
+                json.dump(document, handle, sort_keys=True)
+                handle.write("\n")
+            os.replace(handle.name, path)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+
+    def put(self, config: ScenarioConfig, result: ScenarioResult) -> None:
+        self.put_dict(config, result_to_dict(result))
+
+    def __len__(self) -> int:
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for _ in self.directory.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in list(self.directory.glob("*/*.json")):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

@@ -1,0 +1,274 @@
+"""Sweep execution: process pool, retries, timeouts, serial fallback.
+
+:func:`run_sweep` is the subsystem's front door. It resolves cache
+hits, fans the remaining points out over a ``ProcessPoolExecutor``
+(``jobs > 1``) or runs them in-process (``jobs == 1``, or whenever a
+pool cannot be created), retries failed points within a bounded
+budget, and returns results in point order plus a
+:class:`~repro.sweep.progress.SweepSummary`.
+
+Work crosses the process boundary as plain dicts — the config's
+canonical key in, the serialized result out — so the worker payload is
+picklable regardless of what objects (algorithm, scale preset) the
+config holds, and the parallel path exercises exactly the
+serialization the cache relies on: a cached rerun cannot differ from
+the run that populated it.
+
+Per-point timeouts are enforced only in pool mode. A busy worker
+process cannot be preempted, so an expired point tears the pool down
+(``cancel_futures``) and a fresh pool resumes the queue; the expired
+point is charged a retry, innocent in-flight points are not.
+"""
+
+from __future__ import annotations
+
+import collections
+import concurrent.futures
+import os
+import time
+import typing
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+
+from repro.experiments.runner import ScenarioConfig, ScenarioResult, run_scenario
+from repro.sweep.cache import ResultCache, result_from_dict, result_to_dict
+from repro.sweep.grid import SweepPoint, SweepSpec
+from repro.sweep.progress import ProgressReporter, SweepSummary
+
+
+class SweepError(RuntimeError):
+    """A sweep point still failed after its retry budget was spent."""
+
+
+class PointTimeout(Exception):
+    """A point exceeded the per-point timeout and its worker was discarded."""
+
+
+def execute_config_key(key: typing.Dict[str, typing.Any]) -> dict:
+    """Worker entry point: canonical config key in, result dict out."""
+    config = ScenarioConfig.from_key(key)
+    return result_to_dict(run_scenario(config))
+
+
+@dataclass
+class SweepOptions:
+    """How a sweep runs, as opposed to what it runs.
+
+    ``cache`` accepts a ready :class:`ResultCache`, a directory path,
+    or None (caching off). ``retries`` is per point: a point is
+    attempted at most ``1 + retries`` times. With ``strict`` (the
+    default) a point that exhausts its budget raises
+    :class:`SweepError`; otherwise its result slot is left None and the
+    summary's failure count records it.
+    """
+
+    jobs: int = 1
+    cache: typing.Union[ResultCache, str, os.PathLike, None] = None
+    timeout_s: typing.Optional[float] = None
+    retries: int = 2
+    strict: bool = True
+    progress: bool = False
+    stream: typing.Optional[typing.TextIO] = None
+
+    def resolve_cache(self) -> typing.Optional[ResultCache]:
+        if self.cache is None or isinstance(self.cache, ResultCache):
+            return self.cache
+        return ResultCache(self.cache)
+
+
+@dataclass
+class SweepOutcome:
+    """Results in point order (None for non-strict failures) + accounting."""
+
+    results: typing.List[typing.Optional[ScenarioResult]]
+    summary: SweepSummary
+
+
+def run_sweep(
+    spec: typing.Union[SweepSpec, typing.Iterable[ScenarioConfig]],
+    options: typing.Optional[SweepOptions] = None,
+    *,
+    execute: typing.Optional[typing.Callable[[dict], dict]] = None,
+) -> SweepOutcome:
+    """Run every point of ``spec`` — a :class:`SweepSpec` or an iterable
+    of configs — honoring ``options``; see :class:`SweepOptions`.
+
+    A custom ``execute`` (key dict → result dict) replaces the
+    simulation itself; in pool mode it must be picklable (a module-level
+    function).
+    """
+    options = options or SweepOptions()
+    if options.jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    execute = execute or execute_config_key
+    if isinstance(spec, SweepSpec):
+        points = spec.points()
+    else:
+        points = [
+            SweepPoint(index=i, coords={}, config=config)
+            for i, config in enumerate(spec)
+        ]
+    reporter = ProgressReporter(
+        total=len(points), enabled=options.progress, stream=options.stream
+    )
+    cache = options.resolve_cache()
+    results: typing.List[typing.Optional[ScenarioResult]] = [None] * len(points)
+    failures: typing.List[typing.Tuple[SweepPoint, BaseException]] = []
+
+    to_run: typing.List[SweepPoint] = []
+    for point in points:
+        cached = cache.get_dict(point.config) if cache is not None else None
+        if cached is not None:
+            results[point.index] = result_from_dict(cached)
+            reporter.cache_hit()
+        else:
+            to_run.append(point)
+
+    def on_done(point: SweepPoint, result: dict) -> None:
+        results[point.index] = result_from_dict(result)
+        if cache is not None:
+            cache.put_dict(point.config, result)
+        reporter.executed()
+
+    def on_fail(point: SweepPoint, error: BaseException) -> None:
+        failures.append((point, error))
+        reporter.failed()
+
+    if to_run:
+        if options.jobs > 1:
+            _pool_run(to_run, options, execute, reporter, on_done, on_fail)
+        else:
+            _serial_run(to_run, options, execute, reporter, on_done, on_fail)
+
+    summary = reporter.finish()
+    if failures and options.strict:
+        point, error = failures[0]
+        where = point.coords or point.config
+        raise SweepError(
+            f"sweep point #{point.index} ({where}) failed after "
+            f"{options.retries} retries: {error!r}"
+            + (f" (+{len(failures) - 1} more failed points)" if len(failures) > 1 else "")
+        ) from error
+    return SweepOutcome(results=results, summary=summary)
+
+
+def _serial_run(points, options, execute, reporter, on_done, on_fail) -> None:
+    """In-process execution. Timeouts cannot preempt here; they are ignored."""
+    for point in points:
+        key = point.config.to_key()
+        error: typing.Optional[BaseException] = None
+        for attempt in range(1 + options.retries):
+            if attempt:
+                reporter.retried()
+            try:
+                result = execute(key)
+            except Exception as exc:
+                error = exc
+            else:
+                on_done(point, result)
+                error = None
+                break
+        if error is not None:
+            on_fail(point, error)
+
+
+def _pool_run(points, options, execute, reporter, on_done, on_fail) -> None:
+    try:
+        pool = concurrent.futures.ProcessPoolExecutor(max_workers=options.jobs)
+    except (ImportError, NotImplementedError, OSError) as exc:
+        reporter.note(f"process pool unavailable ({exc!r}); running serially")
+        _serial_run(points, options, execute, reporter, on_done, on_fail)
+        return
+
+    # (point, attempts_remaining) queue; outstanding maps a future to
+    # its point, remaining attempts, and absolute deadline.
+    pending = collections.deque((point, options.retries) for point in points)
+    outstanding: typing.Dict[
+        concurrent.futures.Future,
+        typing.Tuple[SweepPoint, int, typing.Optional[float]],
+    ] = {}
+
+    def charge(point: SweepPoint, budget: int, error: BaseException) -> None:
+        if budget > 0:
+            reporter.retried()
+            pending.append((point, budget - 1))
+        else:
+            on_fail(point, error)
+
+    def replace_pool():
+        pool.shutdown(wait=False, cancel_futures=True)
+        return concurrent.futures.ProcessPoolExecutor(max_workers=options.jobs)
+
+    try:
+        while pending or outstanding:
+            while pending and len(outstanding) < options.jobs:
+                point, budget = pending.popleft()
+                future = pool.submit(execute, point.config.to_key())
+                deadline = (
+                    time.monotonic() + options.timeout_s if options.timeout_s else None
+                )
+                outstanding[future] = (point, budget, deadline)
+
+            deadlines = [d for _p, _b, d in outstanding.values() if d is not None]
+            wait_s = (
+                max(0.0, min(deadlines) - time.monotonic()) if deadlines else None
+            )
+            done, _not_done = concurrent.futures.wait(
+                set(outstanding),
+                timeout=wait_s,
+                return_when=concurrent.futures.FIRST_COMPLETED,
+            )
+
+            if done:
+                broken = False
+                for future in done:
+                    point, budget, _deadline = outstanding.pop(future)
+                    try:
+                        result = future.result()
+                    except BrokenProcessPool as exc:
+                        broken = True
+                        charge(point, budget, exc)
+                    except Exception as exc:
+                        charge(point, budget, exc)
+                    else:
+                        on_done(point, result)
+                if broken:
+                    # The pool died; everything still in flight is doomed.
+                    # Requeue survivors without charging their budgets.
+                    reporter.note("worker pool broke; restarting it")
+                    for point, budget, _deadline in outstanding.values():
+                        pending.appendleft((point, budget))
+                    outstanding.clear()
+                    pool = replace_pool()
+                continue
+
+            # Nothing finished within the nearest deadline: expire points.
+            now = time.monotonic()
+            expired = {
+                future
+                for future, (_p, _b, deadline) in outstanding.items()
+                if deadline is not None and deadline <= now
+            }
+            if not expired:
+                continue
+            # A running worker cannot be interrupted, so discard the
+            # whole pool: expired points are charged, the rest requeue.
+            reporter.note(
+                f"{len(expired)} point(s) exceeded the {options.timeout_s:.1f}s "
+                "timeout; restarting the worker pool"
+            )
+            for future, (point, budget, _deadline) in outstanding.items():
+                if future in expired:
+                    charge(
+                        point,
+                        budget,
+                        PointTimeout(
+                            f"point exceeded per-point timeout of {options.timeout_s}s"
+                        ),
+                    )
+                else:
+                    pending.appendleft((point, budget))
+            outstanding.clear()
+            pool = replace_pool()
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)

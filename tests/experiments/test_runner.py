@@ -106,3 +106,31 @@ class TestDeterminism:
         second = run_scenario(micro_config(mode="fault-free"))
         assert first.response.mean_ms == second.response.mean_ms
         assert first.requests_completed == second.requests_completed
+
+
+class TestConfigKey:
+    def test_round_trip_with_named_scale(self):
+        config = micro_config(scale="tiny", algorithm=REDIRECT, mode="recon")
+        assert ScenarioConfig.from_key(config.to_key()) == config
+
+    def test_round_trip_with_scale_preset(self):
+        config = micro_config(algorithm=USER_WRITES, recon_workers=8)
+        rebuilt = ScenarioConfig.from_key(config.to_key())
+        assert rebuilt == config
+        assert isinstance(rebuilt.scale, ScalePreset)
+
+    def test_key_is_json_safe(self):
+        import json
+
+        config = micro_config(algorithm=REDIRECT)
+        restored = json.loads(json.dumps(config.to_key(), sort_keys=True))
+        assert ScenarioConfig.from_key(restored) == config
+
+    def test_algorithm_stored_by_name(self):
+        assert micro_config(algorithm=REDIRECT).to_key()["algorithm"] == "redirect"
+
+    def test_strict_baseline_round_trips(self):
+        from repro.recon.algorithms import STRICT_BASELINE
+
+        config = micro_config(algorithm=STRICT_BASELINE)
+        assert ScenarioConfig.from_key(config.to_key()).algorithm is STRICT_BASELINE

@@ -50,12 +50,20 @@ class TestTracer:
         assert len(tracer.entries) == 3
         assert tracer.dropped == 7
 
+    def test_capacity_keeps_the_newest_entries(self):
+        env = Environment()
+        tracer = EnvironmentTracer(env, capacity=3)
+        for i in range(10):
+            env.timeout(float(i + 1))
+        env.run()
+        assert [e.at_ms for e in tracer.entries] == [8.0, 9.0, 10.0]
+
     def test_detach_restores_step(self):
         env = Environment()
         tracer = EnvironmentTracer(env)
         tracer.detach()
         run_sample(env)
-        assert tracer.entries == []
+        assert list(tracer.entries) == []
 
     def test_format_tail(self):
         env = Environment()

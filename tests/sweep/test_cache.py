@@ -1,0 +1,137 @@
+"""Unit tests for the content-addressed result cache."""
+
+import json
+
+from repro.experiments.runner import ScenarioConfig
+from repro.recon.sweeper import CycleRecord, ReconstructionResult
+from repro.sweep import (
+    ResultCache,
+    config_cache_key,
+    result_from_dict,
+    result_to_dict,
+)
+
+from tests.sweep.conftest import MICRO, fake_result, micro_spec_base
+
+
+def micro_config(**overrides):
+    kwargs = dict(micro_spec_base(), stripe_size=4)
+    kwargs.update(overrides)
+    return ScenarioConfig(**kwargs)
+
+
+class TestCacheKey:
+    def test_stable_for_equal_configs(self):
+        assert config_cache_key(micro_config()) == config_cache_key(micro_config())
+
+    def test_differs_across_configs(self):
+        assert config_cache_key(micro_config()) != config_cache_key(
+            micro_config(stripe_size=5)
+        )
+
+    def test_differs_across_package_versions(self):
+        key = config_cache_key(micro_config(), version="1.0.0")
+        assert key != config_cache_key(micro_config(), version="1.0.1")
+
+    def test_survives_config_json_round_trip(self):
+        config = micro_config()
+        rebuilt = ScenarioConfig.from_key(json.loads(json.dumps(config.to_key())))
+        assert config_cache_key(rebuilt) == config_cache_key(config)
+
+
+class TestResultSerialization:
+    def test_round_trip_without_reconstruction(self):
+        result = fake_result(micro_config())
+        assert result_from_dict(result_to_dict(result)) == result
+
+    def test_round_trip_with_reconstruction(self):
+        result = fake_result(micro_config(mode="recon"))
+        result.reconstruction = ReconstructionResult(
+            reconstruction_time_ms=123.5,
+            total_units=1092,
+            swept_units=1000,
+            user_built_units=92,
+            resweeps=1,
+            cycles=[
+                CycleRecord(
+                    offset=0, start_ms=0.0, read_phase_ms=10.25, write_phase_ms=5.5
+                ),
+                CycleRecord(
+                    offset=1, start_ms=15.75, read_phase_ms=9.0, write_phase_ms=4.125
+                ),
+            ],
+        )
+        assert result_from_dict(result_to_dict(result)) == result
+
+    def test_round_trip_is_json_exact(self):
+        # JSON's shortest-repr float encoding is lossless, which is
+        # what makes cached figure rows byte-identical to fresh ones.
+        result = fake_result(micro_config())
+        document = json.loads(json.dumps(result_to_dict(result)))
+        assert result_from_dict(document) == result
+
+
+class TestResultCache:
+    def test_miss_on_empty_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get(micro_config()) is None
+        assert len(cache) == 0
+
+    def test_put_get_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        result = fake_result(micro_config())
+        cache.put(micro_config(), result)
+        assert cache.get(micro_config()) == result
+        assert len(cache) == 1
+
+    def test_miss_for_a_different_config(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(micro_config(), fake_result(micro_config()))
+        assert cache.get(micro_config(stripe_size=5)) is None
+
+    def test_version_bump_invalidates(self, tmp_path):
+        old = ResultCache(tmp_path, version="1.0.0")
+        old.put(micro_config(), fake_result(micro_config()))
+        new = ResultCache(tmp_path, version="1.0.1")
+        assert new.get(micro_config()) is None
+        # The old entry is untouched, just unreachable from the new key.
+        assert old.get(micro_config()) is not None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        config = micro_config()
+        cache.put(config, fake_result(config))
+        cache.path_for(config).write_text("{not json", encoding="utf-8")
+        assert cache.get(config) is None
+
+    def test_format_mismatch_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        config = micro_config()
+        cache.put(config, fake_result(config))
+        document = json.loads(cache.path_for(config).read_text(encoding="utf-8"))
+        document["cache_format"] = 999
+        cache.path_for(config).write_text(json.dumps(document), encoding="utf-8")
+        assert cache.get(config) is None
+
+    def test_entry_is_self_describing(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        config = micro_config()
+        cache.put(config, fake_result(config))
+        document = json.loads(cache.path_for(config).read_text(encoding="utf-8"))
+        assert set(document) == {
+            "cache_format",
+            "package_version",
+            "config",
+            "result",
+        }
+        assert ScenarioConfig.from_key(document["config"]) == config
+
+    def test_clear_removes_everything(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for stripe_size in (4, 5, 6):
+            config = micro_config(stripe_size=stripe_size)
+            cache.put(config, fake_result(config))
+        assert len(cache) == 3
+        assert cache.clear() == 3
+        assert len(cache) == 0
+        assert cache.get(micro_config()) is None

@@ -1,0 +1,82 @@
+"""Tests for sweep progress reporting and summaries."""
+
+import io
+
+from repro.sweep import ProgressReporter, SweepSummary
+
+
+class TestSweepSummary:
+    def test_completed_counts_hits_and_executions(self):
+        summary = SweepSummary(total=10, executed=6, cache_hits=3)
+        assert summary.completed == 9
+
+    def test_format_mentions_the_accounting(self):
+        summary = SweepSummary(
+            total=4, executed=2, cache_hits=2, elapsed_s=4.0
+        )
+        text = summary.format()
+        assert "4 points" in text
+        assert "2 executed" in text
+        assert "2 cache hits" in text
+        assert "0.5 points/s" in text
+
+    def test_format_flags_failures_and_retries(self):
+        summary = SweepSummary(total=3, executed=1, failures=2, retries=5)
+        text = summary.format()
+        assert "2 FAILED" in text
+        assert "5 retries" in text
+
+    def test_format_omits_zero_failures(self):
+        assert "FAILED" not in SweepSummary(total=1, executed=1).format()
+
+
+class TestProgressReporter:
+    def test_counts_every_event(self):
+        reporter = ProgressReporter(total=5)
+        reporter.cache_hit()
+        reporter.executed()
+        reporter.executed()
+        reporter.retried()
+        reporter.failed()
+        summary = reporter.finish()
+        assert summary.cache_hits == 1
+        assert summary.executed == 2
+        assert summary.retries == 1
+        assert summary.failures == 1
+        assert summary.elapsed_s >= 0.0
+
+    def test_finish_prints_summary_when_enabled(self):
+        stream = io.StringIO()
+        reporter = ProgressReporter(total=1, enabled=True, stream=stream)
+        reporter.executed()
+        reporter.finish()
+        assert "sweep summary: 1 points, 1 executed" in stream.getvalue()
+
+    def test_silent_when_disabled(self):
+        stream = io.StringIO()
+        reporter = ProgressReporter(total=1, enabled=False, stream=stream)
+        reporter.executed()
+        reporter.note("something happened")
+        reporter.finish()
+        assert stream.getvalue() == ""
+
+    def test_note_prints_when_enabled(self):
+        stream = io.StringIO()
+        reporter = ProgressReporter(total=1, enabled=True, stream=stream)
+        reporter.note("pool restarted")
+        assert "[sweep] pool restarted" in stream.getvalue()
+
+    def test_no_per_point_lines_on_non_tty(self):
+        stream = io.StringIO()  # isatty() is False
+        reporter = ProgressReporter(total=2, enabled=True, stream=stream)
+        reporter.executed()
+        assert stream.getvalue() == ""
+
+    def test_progress_line_shape(self):
+        reporter = ProgressReporter(total=4)
+        reporter.cache_hit()
+        reporter.executed()
+        line = reporter.progress_line()
+        assert line.startswith("[sweep] 2/4 points (1 cached)")
+        assert "points/s" in line
+        assert "ETA" in line
