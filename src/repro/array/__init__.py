@@ -27,7 +27,12 @@ and verify bit-exact recovery end to end.
 from repro.array.addressing import ArrayAddressing
 from repro.array.controller import ArrayController, ControllerStats
 from repro.array.datastore import DataStore
-from repro.array.faults import ArrayFaults, DiskMode
+from repro.array.faults import (
+    ArrayFaults,
+    DataLossError,
+    DataLossEvent,
+    DiskMode,
+)
 from repro.array.locks import StripeLockTable
 from repro.array.requests import UserRequest
 from repro.array.scrubber import ParityScrubber, ScrubReport
@@ -38,6 +43,8 @@ __all__ = [
     "ArrayController",
     "ArrayFaults",
     "ControllerStats",
+    "DataLossError",
+    "DataLossEvent",
     "DataStore",
     "DiskMode",
     "ParityScrubber",

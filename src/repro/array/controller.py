@@ -27,9 +27,25 @@ from repro.array.faults import ArrayFaults
 from repro.array.locks import StripeLockTable
 from repro.array.requests import UserRequest
 from repro.disk.drive import KIND_USER, Disk
+from repro.faults.log import (
+    DATA_LOSS,
+    DATA_LOSS_ACCESS,
+    DISK_FAILURE,
+    ESCALATION,
+    FOREGROUND_REPAIR,
+    MEDIA_ERROR,
+    RETRY,
+    RETRY_EXHAUSTED,
+    TRANSIENT_FAULT,
+    FaultLog,
+)
+from repro.faults.profile import FaultProfile
+from repro.faults.retry import RetryPolicy
+from repro.faults.state import ERROR_TIMEOUT, DiskFaultState
 from repro.layout.base import UnitAddress
 from repro.recon.algorithms import BASELINE, ReconAlgorithm
 from repro.recon.status import ReconStatus
+from repro.sim.rng import RandomStreams
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim import Environment
@@ -60,6 +76,10 @@ class ArrayController:
         algorithm: ReconAlgorithm = BASELINE,
         with_datastore: bool = False,
         disk_factory: typing.Optional[typing.Callable[..., Disk]] = None,
+        fault_profile: typing.Optional[FaultProfile] = None,
+        retry_policy: typing.Optional[RetryPolicy] = None,
+        fault_log: typing.Optional[FaultLog] = None,
+        on_disk_failure: typing.Optional[typing.Callable[[int], None]] = None,
     ):
         self.env = env
         self.addressing = addressing
@@ -79,13 +99,79 @@ class ArrayController:
         )
         self.recon_status: typing.Optional[ReconStatus] = None
         self.stats = ControllerStats()
+        # Fault injection is strictly opt-in: with no profile, every
+        # access takes the exact legacy path (no extra RNG draws, no
+        # wrapper processes, no timing or event-ordering changes).
+        self.fault_profile = fault_profile
+        self.retry_policy = retry_policy if retry_policy is not None else (
+            RetryPolicy() if fault_profile is not None else None
+        )
+        self.fault_log = fault_log if fault_log is not None else (
+            FaultLog() if fault_profile is not None else None
+        )
+        #: Callback ``(disk_id) -> None`` for escalated failures; a
+        #: FaultInjector installs itself here so threshold-crossing
+        #: disks take the same spare-pool path as crashed ones.
+        self.on_disk_failure = on_disk_failure
+        self._fault_streams = (
+            RandomStreams(fault_profile.seed).spawn("disk-fault-states")
+            if fault_profile is not None
+            else None
+        )
+        if fault_profile is not None:
+            for disk in self.disks:
+                self._attach_fault_state(disk)
+
+    @property
+    def _fault_enabled(self) -> bool:
+        return self.fault_profile is not None
+
+    def _attach_fault_state(self, disk: Disk) -> None:
+        """Give ``disk`` a fresh fault model on its slot's RNG stream."""
+        disk.fault_state = DiskFaultState(
+            self.fault_profile,
+            self._fault_streams.stream(f"disk-{disk.disk_id}"),
+            disk_id=disk.disk_id,
+        )
 
     # ------------------------------------------------------------------
     # Fault management
     # ------------------------------------------------------------------
     def fail_disk(self, disk: int) -> None:
-        """Mark a disk failed; its contents become unreadable."""
+        """Mark a disk failed; its contents become unreadable.
+
+        The first concurrent failure is the repairable one. A failure
+        beyond the array's redundancy raises
+        :class:`~repro.array.faults.DataLossError` — unless fault
+        injection is enabled, in which case it is recorded as a graceful
+        :class:`~repro.array.faults.DataLossEvent`: the array enters a
+        degraded terminal state and user requests touching
+        doubly-exposed stripes take the accounted ``data-loss`` path
+        instead of crashing the simulation.
+        """
+        if not self.faults.fault_free and self._fault_enabled:
+            event = self.faults.fail(disk, allow_data_loss=True)
+            event.at_ms = self.env.now
+            if self.datastore is not None:
+                self.datastore.poison_disk(disk)
+            event.exposed_stripes = tuple(
+                stripe
+                for stripe in range(self.addressing.num_stripes)
+                if self._stripe_data_lost(stripe)
+            )
+            self.fault_log.record(
+                DATA_LOSS,
+                self.env.now,
+                disk=disk,
+                detail=(
+                    f"{len(event.exposed_stripes)} stripes doubly exposed; "
+                    f"concurrent failures {event.all_failed_disks}"
+                ),
+            )
+            return
         self.faults.fail(disk)
+        if self.fault_log is not None:
+            self.fault_log.record(DISK_FAILURE, self.env.now, disk=disk)
         if self.datastore is not None:
             self.datastore.poison_disk(disk)
         self.recon_status = None
@@ -100,6 +186,10 @@ class ArrayController:
         self.disks[failed] = self._disk_factory(
             self.env, self.spec, disk_id=failed, policy=self.policy
         )
+        if self._fault_enabled:
+            # A replacement is a new spindle: fresh latent/error state,
+            # drawing from the same per-slot RNG stream.
+            self._attach_fault_state(self.disks[failed])
         if self.datastore is not None:
             self.datastore.clear_disk(failed)
         self.recon_status = ReconStatus(
@@ -207,10 +297,46 @@ class ArrayController:
         if self.faults.fault_free:
             return True
         failed = self.faults.failed_disk
+        lost = self.faults.lost_disks
         for address in self.layout.stripe_units(stripe):
+            if address.disk in lost:
+                return False
             if address.disk == failed and not self._unit_built(address.offset):
                 return False
         return True
+
+    def _stripe_data_lost(self, stripe: int) -> bool:
+        """True if two or more of the stripe's units are unreadable.
+
+        One unreadable unit is the tolerated fault (XOR recovers it);
+        two mean this stripe's data is gone. Only possible once a
+        multi-failure has populated ``faults.lost_disks``.
+        """
+        lost = self.faults.lost_disks
+        if not lost:
+            return False
+        failed = self.faults.failed_disk
+        unreadable = 0
+        for address in self.layout.stripe_units(stripe):
+            if address.disk in lost:
+                unreadable += 1
+            elif address.disk == failed and not self._unit_built(address.offset):
+                unreadable += 1
+        return unreadable >= 2
+
+    def _record_data_loss_access(self, request: UserRequest, logical: int,
+                                 stripe: int) -> None:
+        """Account a user access that touched destroyed data."""
+        request.lost_units.append(logical)
+        request.paths.append("data-loss")
+        self.stats.record_path("data-loss")
+        if self.fault_log is not None:
+            self.fault_log.record(
+                DATA_LOSS_ACCESS,
+                self.env.now,
+                stripe=stripe,
+                detail=f"logical unit {logical}",
+            )
 
     def _unit_built(self, offset: int) -> bool:
         return self.recon_status is not None and self.recon_status.is_built(offset)
@@ -243,12 +369,93 @@ class ArrayController:
         failure.
         """
         failed = self.faults.failed_disk
-        if address.disk == failed and not self.faults.replacement_installed:
+        if (
+            address.disk == failed and not self.faults.replacement_installed
+        ) or address.disk in self.faults.lost_disks:
             self.stats.straddled_accesses += 1
         sector = self.addressing.unit_to_sector(address)
+        if self._fault_enabled:
+            return self.env.process(
+                self._resilient_access(address, sector, is_write, kind),
+                name="resilient-access",
+            )
         return self.disks[address.disk].access(
             sector, self.addressing.sectors_per_unit, is_write=is_write, kind=kind
         )
+
+    def _resilient_access(self, address: UnitAddress, sector: int,
+                          is_write: bool, kind: str):
+        """One access under the retry policy; the process's value is the
+        final (possibly still failed) :class:`~repro.disk.drive.DiskRequest`.
+
+        Transient timeouts are retried with exponential backoff in
+        simulated time up to the policy's bound; media errors are
+        deterministic and not retried by default. An access that ends
+        in a hard error counts toward the disk's escalation threshold,
+        past which the whole disk is declared failed.
+        """
+        policy = self.retry_policy
+        attempt = 0
+        while True:
+            # Re-fetch the disk each attempt: a replacement may have
+            # been installed in this slot while we were backing off.
+            disk_request = yield self.disks[address.disk].access(
+                sector, self.addressing.sectors_per_unit, is_write=is_write,
+                kind=kind,
+            )
+            error = disk_request.error
+            if error is None:
+                return disk_request
+            self.fault_log.record(
+                TRANSIENT_FAULT if error == ERROR_TIMEOUT else MEDIA_ERROR,
+                self.env.now,
+                disk=address.disk,
+                offset=address.offset,
+            )
+            if policy.should_retry(error, attempt):
+                delay = policy.delay_ms(attempt)
+                self.fault_log.record(
+                    RETRY,
+                    self.env.now,
+                    disk=address.disk,
+                    offset=address.offset,
+                    detail=f"attempt {attempt + 1}, backoff {delay:.2f} ms",
+                )
+                yield self.env.timeout(delay)
+                attempt += 1
+                continue
+            if error == ERROR_TIMEOUT:
+                self.fault_log.record(
+                    RETRY_EXHAUSTED,
+                    self.env.now,
+                    disk=address.disk,
+                    offset=address.offset,
+                    detail=f"gave up after {attempt} retries",
+                )
+            self._count_hard_error(address.disk)
+            return disk_request
+
+    def _count_hard_error(self, disk_id: int) -> None:
+        """Accumulate a hard error; escalate a sick disk to failed."""
+        state = self.disks[disk_id].fault_state
+        if state is None:
+            return
+        state.hard_errors += 1
+        if state.hard_errors < self.fault_profile.escalation_threshold:
+            return
+        faults = self.faults
+        if disk_id == faults.failed_disk or disk_id in faults.lost_disks:
+            return  # already dead; nothing further to escalate
+        self.fault_log.record(
+            ESCALATION,
+            self.env.now,
+            disk=disk_id,
+            detail=f"{state.hard_errors} hard errors",
+        )
+        if self.on_disk_failure is not None:
+            self.on_disk_failure(disk_id)
+        else:
+            self.fail_disk(disk_id)
 
     def _surviving_peers(self, stripe: int, exclude: UnitAddress) -> typing.List[UnitAddress]:
         """All stripe units except ``exclude`` (data peers and parity)."""
@@ -285,7 +492,15 @@ class ArrayController:
         logical = request.logical_unit + unit_index
         address = self.addressing.logical_unit_address(logical)
         failed = self.faults.failed_disk
-        if address.disk != failed:
+        lost = self.faults.lost_disks
+        if lost and self._stripe_data_lost(self.layout.stripe_of_logical(logical)):
+            # Two units of this stripe are gone: the read cannot be
+            # served. Account it rather than fabricate data.
+            self._record_data_loss_access(
+                request, logical, self.layout.stripe_of_logical(logical)
+            )
+            return
+        if address.disk != failed and address.disk not in lost:
             target = address
             if self.layout.stripe_size == 2:
                 # Mirrored reads balance across the two copies: take the
@@ -294,16 +509,26 @@ class ArrayController:
                 mirror = self.layout.parity_unit(self.layout.stripe_of_logical(logical))
                 if (
                     mirror.disk != failed
+                    and mirror.disk not in lost
                     and self.disks[mirror.disk].queue_length
                     < self.disks[target.disk].queue_length
                 ):
                     target = mirror
-            yield self._disk_access(target, is_write=False)
+            outcome = yield self._disk_access(target, is_write=False)
+            if self._fault_enabled and outcome.error is not None:
+                # Media error (or exhausted retries) on a live disk:
+                # rebuild the unit from its stripe peers in-line.
+                yield from self._repair_read(request, unit_index, logical, target)
+                return
             request.read_values[unit_index] = self._ds_read(target)
             request.paths.append("read")
             self.stats.record_path("read")
             return
-        if self.algorithm.redirect_reads and self._unit_built(address.offset):
+        if (
+            address.disk == failed
+            and self.algorithm.redirect_reads
+            and self._unit_built(address.offset)
+        ):
             # Redirection of reads: the rebuilt unit lives on the replacement.
             yield self._disk_access(address, is_write=False)
             request.read_values[unit_index] = self._ds_read(address)
@@ -315,12 +540,22 @@ class ArrayController:
         yield self.locks.acquire(stripe)
         peers = self._surviving_peers(stripe, address)
         value = self._xor(self._ds_read(peer) for peer in peers)
-        yield self.env.all_of([self._disk_access(peer, is_write=False) for peer in peers])
+        peer_events = [self._disk_access(peer, is_write=False) for peer in peers]
+        yield self.env.all_of(peer_events)
+        if self._fault_enabled and any(
+            event.value.error is not None for event in peer_events
+        ):
+            # A surviving peer was unreadable too: with the target
+            # already lost, this stripe is doubly exposed right now.
+            self._record_data_loss_access(request, logical, stripe)
+            self.locks.release(stripe)
+            return
         request.read_values[unit_index] = value
         request.paths.append("on-the-fly-read")
         self.stats.record_path("on-the-fly-read")
         if (
-            self.algorithm.piggyback
+            address.disk == failed
+            and self.algorithm.piggyback
             and self.faults.replacement_installed
             and not self.recon_status.is_built(address.offset)
             and not self.recon_status.is_claimed(address.offset)
@@ -342,6 +577,52 @@ class ArrayController:
         self.recon_status.mark_built(address.offset)
         self.locks.release(stripe)
 
+    def _repair_read(self, request: UserRequest, unit_index: int, logical: int,
+                     target: UnitAddress):
+        """Foreground repair: rebuild an unreadable unit from its peers.
+
+        This is the scrubber's repair promoted into the read path: the
+        latent unit is reconstructed by XOR over the surviving stripe
+        units and written back in place (remap-on-write clears the
+        latent extent). If a peer is dead or unreadable too, the stripe
+        is doubly exposed and the read is accounted as data loss.
+        """
+        stripe = self.layout.stripe_of_logical(logical)
+        yield self.locks.acquire(stripe)
+        try:
+            failed = self.faults.failed_disk
+            lost = self.faults.lost_disks
+            peers = self._surviving_peers(stripe, target)
+            if any(
+                peer.disk in lost
+                or (peer.disk == failed and not self._unit_built(peer.offset))
+                for peer in peers
+            ):
+                # Latent error on top of a failed peer: nothing left to
+                # XOR the unit back from.
+                self._record_data_loss_access(request, logical, stripe)
+                return
+            value = self._xor(self._ds_read(peer) for peer in peers)
+            peer_events = [self._disk_access(peer, is_write=False) for peer in peers]
+            yield self.env.all_of(peer_events)
+            if any(event.value.error is not None for event in peer_events):
+                self._record_data_loss_access(request, logical, stripe)
+                return
+            yield self._disk_access(target, is_write=True)
+            self._ds_write(target, value)
+        finally:
+            self.locks.release(stripe)
+        request.read_values[unit_index] = value
+        request.paths.append("repaired-read")
+        self.stats.record_path("repaired-read")
+        self.fault_log.record(
+            FOREGROUND_REPAIR,
+            self.env.now,
+            disk=target.disk,
+            offset=target.offset,
+            detail=f"logical unit {logical}",
+        )
+
     # ------------------------------------------------------------------
     # Write paths
     # ------------------------------------------------------------------
@@ -349,34 +630,51 @@ class ArrayController:
         address = self.addressing.logical_unit_address(logical)
         stripe = self.layout.stripe_of_logical(logical)
         parity = self.layout.parity_unit(stripe)
+        if self.faults.lost_disks and self._stripe_data_lost(stripe):
+            # The stripe's data is already gone; writing one unit of it
+            # cannot restore consistency. Account and fail the update.
+            self._record_data_loss_access(request, logical, stripe)
+            return
         yield self.locks.acquire(stripe)
         try:
             failed = self.faults.failed_disk
+            lost = self.faults.lost_disks
             on_failed_data = address.disk == failed
             on_failed_parity = parity.disk == failed
-            data_ok = not on_failed_data or self._unit_live(address.offset)
-            parity_ok = not on_failed_parity or self._unit_live(parity.offset)
+            data_dead = on_failed_data or address.disk in lost
+            parity_dead = on_failed_parity or parity.disk in lost
+            data_ok = not data_dead or (
+                on_failed_data and self._unit_live(address.offset)
+            )
+            parity_ok = not parity_dead or (
+                on_failed_parity and self._unit_live(parity.offset)
+            )
             if data_ok and parity_ok:
                 peers_readable = all(
-                    peer.disk != failed or self._unit_live(peer.offset)
+                    peer.disk not in lost
+                    and (peer.disk != failed or self._unit_live(peer.offset))
                     for peer in self._data_peers(stripe, address)
                 )
                 if self.layout.stripe_size == 3 and peers_readable:
                     path = yield from self._small_stripe_write(stripe, address, parity, value)
                 else:
                     path = yield from self._read_modify_write(address, parity, value)
-            elif on_failed_data:
-                if self.faults.replacement_installed and self.algorithm.writes_to_replacement:
+            elif data_dead:
+                if (
+                    on_failed_data
+                    and self.faults.replacement_installed
+                    and self.algorithm.writes_to_replacement
+                ):
                     path = yield from self._reconstruct_write(stripe, address, parity, value)
                 else:
                     # Under strict isolation the unit may be rebuilt but
                     # about to go stale: dirty it *before* the fold so
                     # reconstruction cannot declare completion meanwhile.
-                    if self.recon_status is not None:
+                    if on_failed_data and self.recon_status is not None:
                         self.recon_status.mark_dirty(address.offset)
                     path = yield from self._fold_write(stripe, address, parity, value)
             else:
-                if self.recon_status is not None:
+                if on_failed_parity and self.recon_status is not None:
                     self.recon_status.mark_dirty(parity.offset)
                 path = yield from self._data_only_write(address, value)
         finally:

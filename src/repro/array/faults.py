@@ -1,9 +1,28 @@
-"""Array fault state: which disk is failed, replaced, or healthy."""
+"""Array fault state: which disks are failed, replaced, or healthy.
+
+A single-failure-correcting array tolerates one lost disk; the state
+machine below tracks that repairable fault exactly as before. What
+changed for the fault-injection subsystem is the *second* failure: it
+used to be an unconditional :class:`RuntimeError`, which made crash the
+only possible outcome of a double fault. Now callers choose:
+
+- ``fail(disk)`` (the historical contract) still raises — but the
+  exception is :class:`DataLossError`, a ``RuntimeError`` subclass that
+  carries the concurrent failures and, when the caller knows them, the
+  doubly-exposed stripes;
+- ``fail(disk, allow_data_loss=True)`` records a
+  :class:`DataLossEvent` instead and moves the array into a *degraded
+  terminal* state: the extra disk joins :attr:`lost_disks`, requests
+  touching doubly-exposed stripes take the controller's accounted
+  ``data-loss`` path, and the simulation keeps running so a campaign
+  can measure time-to-data-loss rather than crash at it.
+"""
 
 from __future__ import annotations
 
 import enum
 import typing
+from dataclasses import dataclass, field
 
 
 class DiskMode(enum.Enum):
@@ -14,33 +33,104 @@ class DiskMode(enum.Enum):
     RECONSTRUCTING = "reconstructing"  # replacement installed, rebuild underway
 
 
+class DataLossError(RuntimeError):
+    """A failure beyond the array's redundancy was rejected.
+
+    Raised by :meth:`ArrayFaults.fail` when a second concurrent failure
+    arrives and the caller did not opt into graceful data loss.
+    ``failed_disks`` lists every concurrently-failed disk including the
+    new one; ``exposed_stripes`` carries the doubly-exposed stripes when
+    the raising layer knows the layout (the bare state machine does
+    not).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        failed_disks: typing.Sequence[int] = (),
+        exposed_stripes: typing.Sequence[int] = (),
+    ):
+        super().__init__(message)
+        self.failed_disks = tuple(failed_disks)
+        self.exposed_stripes = tuple(exposed_stripes)
+
+
+@dataclass
+class DataLossEvent:
+    """One recorded unrecoverable multi-failure."""
+
+    disk: int                                  # the failure that lost data
+    concurrent_failures: typing.Tuple[int, ...]  # disks already down
+    at_ms: float = 0.0
+    exposed_stripes: typing.Tuple[int, ...] = field(default_factory=tuple)
+
+    @property
+    def all_failed_disks(self) -> typing.Tuple[int, ...]:
+        return tuple(sorted(set(self.concurrent_failures) | {self.disk}))
+
+
 class ArrayFaults:
-    """Tracks the single tolerated fault of a parity-protected array."""
+    """Tracks the single tolerated fault of a parity-protected array,
+    plus any unrecoverable failures beyond it."""
 
     def __init__(self, num_disks: int):
         self.num_disks = num_disks
         self.failed_disk: typing.Optional[int] = None
         self.replacement_installed = False
+        #: Disks lost beyond the array's redundancy (terminal state).
+        self.lost_disks: typing.Set[int] = set()
+        self.data_loss_events: typing.List[DataLossEvent] = []
 
     @property
     def fault_free(self) -> bool:
-        return self.failed_disk is None
+        return self.failed_disk is None and not self.lost_disks
+
+    @property
+    def data_lost(self) -> bool:
+        """True once any multi-failure has destroyed data (terminal)."""
+        return bool(self.data_loss_events)
 
     def mode_of(self, disk: int) -> DiskMode:
+        if disk in self.lost_disks:
+            return DiskMode.FAILED
         if disk != self.failed_disk:
             return DiskMode.OK
         return DiskMode.RECONSTRUCTING if self.replacement_installed else DiskMode.FAILED
 
-    def fail(self, disk: int) -> None:
+    def fail(self, disk: int,
+             allow_data_loss: bool = False) -> typing.Optional[DataLossEvent]:
+        """Record a disk failure.
+
+        The first failure is the repairable one and returns None. A
+        concurrent second failure raises :class:`DataLossError` unless
+        ``allow_data_loss`` is set, in which case it is recorded as a
+        :class:`DataLossEvent` (returned for the caller to enrich with
+        timing and exposed stripes) and the array enters its degraded
+        terminal state.
+        """
         if not 0 <= disk < self.num_disks:
             raise ValueError(f"disk {disk} outside array of {self.num_disks}")
-        if self.failed_disk is not None:
-            raise RuntimeError(
-                f"disk {self.failed_disk} already failed; a second failure "
-                "loses data in a single-failure-correcting array"
+        if disk == self.failed_disk or disk in self.lost_disks:
+            raise ValueError(f"disk {disk} has already failed")
+        if self.fault_free and not self.data_lost:
+            self.failed_disk = disk
+            self.replacement_installed = False
+            return None
+        concurrent = tuple(sorted(
+            ({self.failed_disk} if self.failed_disk is not None else set())
+            | self.lost_disks
+        ))
+        if not allow_data_loss:
+            raise DataLossError(
+                f"disk {concurrent[0] if concurrent else '?'} already failed; "
+                "a second failure loses data in a single-failure-correcting "
+                "array",
+                failed_disks=concurrent + (disk,),
             )
-        self.failed_disk = disk
-        self.replacement_installed = False
+        event = DataLossEvent(disk=disk, concurrent_failures=concurrent)
+        self.lost_disks.add(disk)
+        self.data_loss_events.append(event)
+        return event
 
     def install_replacement(self) -> None:
         if self.failed_disk is None:
@@ -50,7 +140,11 @@ class ArrayFaults:
         self.replacement_installed = True
 
     def repair_complete(self) -> None:
-        """Reconstruction finished: the slot is healthy again."""
+        """Reconstruction finished: the slot is healthy again.
+
+        Lost disks stay lost — repairing the repairable fault does not
+        resurrect data destroyed by a multi-failure.
+        """
         if self.failed_disk is None or not self.replacement_installed:
             raise RuntimeError("repair_complete without an active reconstruction")
         self.failed_disk = None

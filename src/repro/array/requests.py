@@ -25,6 +25,9 @@ class UserRequest:
     done: object = None            # Event, attached by the controller
     read_values: typing.List[int] = field(default_factory=list)
     paths: typing.List[str] = field(default_factory=list)  # access paths taken
+    #: Logical units this request touched whose data was destroyed by a
+    #: multi-failure (served via the accounted ``data-loss`` path).
+    lost_units: typing.List[int] = field(default_factory=list)
 
     def __post_init__(self):
         if self.num_units < 1:
@@ -38,6 +41,11 @@ class UserRequest:
     @property
     def response_ms(self) -> float:
         return self.complete_ms - self.submit_ms
+
+    @property
+    def data_lost(self) -> bool:
+        """True if any unit of this request hit destroyed data."""
+        return bool(self.lost_units)
 
     def units(self) -> range:
         return range(self.logical_unit, self.logical_unit + self.num_units)

@@ -34,6 +34,11 @@ class ScrubReport:
     repairs_written: int = 0
     duration_ms: float = 0.0
     mismatched_stripes: typing.List[int] = field(default_factory=list)
+    #: Units whose scrub read completed with an error (latent sector
+    #: errors surface here before any reconstruction needs them).
+    media_errors_found: int = 0
+    #: Errored units rebuilt from their stripe peers and rewritten.
+    media_repairs: int = 0
 
 
 class ParityScrubber:
@@ -88,13 +93,34 @@ class ParityScrubber:
             yield controller.locks.acquire(stripe)
             try:
                 units = layout.stripe_units(stripe)
-                yield env.all_of(
-                    [
-                        controller._disk_access(unit, is_write=False, kind=KIND_RECON)
-                        for unit in units
-                    ]
-                )
+                unit_events = [
+                    controller._disk_access(unit, is_write=False, kind=KIND_RECON)
+                    for unit in units
+                ]
+                yield env.all_of(unit_events)
                 self.report.stripes_checked += 1
+                if controller._fault_enabled:
+                    errored = [
+                        index
+                        for index, event in enumerate(unit_events)
+                        if event.value.error is not None
+                    ]
+                    self.report.media_errors_found += len(errored)
+                    if self.repair and len(errored) == 1:
+                        # One unreadable unit: rebuild it by XOR over
+                        # the rest and rewrite it in place (the write
+                        # remaps the latent extent).
+                        bad = units[errored[0]]
+                        rebuilt = controller._xor(
+                            controller._ds_read(unit)
+                            for unit in units
+                            if unit != bad
+                        )
+                        yield controller._disk_access(
+                            bad, is_write=True, kind=KIND_RECON
+                        )
+                        controller._ds_write(bad, rebuilt)
+                        self.report.media_repairs += 1
                 if controller.datastore is None:
                     continue
                 expected = controller._xor(

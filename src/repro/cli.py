@@ -112,6 +112,13 @@ def _reliability(scale: str, options: SweepOptions) -> RunResult:
     return rows, reliability.format_rows(rows)
 
 
+def _campaign(scale: str, options: SweepOptions) -> RunResult:
+    from repro.experiments import campaign
+
+    rows = campaign.run(scale, options=options)
+    return rows, campaign.format_rows(rows)
+
+
 def _saturation(scale: str, options: SweepOptions) -> RunResult:
     from repro.experiments import saturation
 
@@ -131,6 +138,7 @@ EXPERIMENTS: typing.Dict[str, typing.Tuple[str, RunnerFn]] = {
     "table8-1": ("reconstruction cycle read/write phases", _table8_1),
     "fig8-6": ("Muntz & Lui model vs simulation", _fig8_6),
     "reliability": ("derived MTTDL from measured repair times", _reliability),
+    "campaign": ("Monte Carlo fault campaign: empirical vs Markov MTTDL", _campaign),
     "saturation": ("response time vs offered load (capacity knee)", _saturation),
 }
 

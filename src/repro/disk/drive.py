@@ -48,6 +48,10 @@ class DiskRequest:
     start_service_ms: float = 0.0
     complete_ms: float = 0.0
     cylinder: int = 0  # cached for the scheduler
+    #: Error outcome: None on success, else ``"media"`` / ``"timeout"``
+    #: (see :mod:`repro.faults.state`). Only ever set when the disk
+    #: carries a fault state.
+    error: typing.Optional[str] = None
 
     @property
     def queue_wait_ms(self) -> float:
@@ -123,6 +127,10 @@ class Disk:
         self.track_buffer = track_buffer
         self.buffer_hit_ms = buffer_hit_ms
         self._buffered_track: typing.Optional[typing.Tuple[int, int]] = None
+        #: Optional fault model (:class:`repro.faults.state.DiskFaultState`).
+        #: None keeps the drive's behavior — timing and completions —
+        #: bit-identical to a fault-free build.
+        self.fault_state = None
         self._idle_wakeup = None
         self._process = env.process(self._run(), name=f"disk-{disk_id}")
 
@@ -169,6 +177,13 @@ class Disk:
             request.start_service_ms = self.env.now
             service_ms, seek_ms, rotation_ms, transfer_ms = self._service_time(request)
             yield self.env.timeout(service_ms)
+            if self.fault_state is not None:
+                error, penalty_ms = self.fault_state.outcome_for(
+                    request.start_sector, request.sector_count, request.is_write
+                )
+                if penalty_ms > 0:
+                    yield self.env.timeout(penalty_ms)
+                request.error = error
             request.complete_ms = self.env.now
             self.stats.record(request, seek_ms, rotation_ms, transfer_ms)
             request.done.succeed(request)

@@ -1,0 +1,177 @@
+"""Monte Carlo continuous-operation campaign: empirical MTTDL vs alpha.
+
+The paper's reliability argument (Section 8, via [Patterson88]) is
+analytic: MTTDL ≈ MTTF² / (C·(C−1)·MTTR), so shorter reconstructions
+buy reliability. This experiment *measures* it: a
+:class:`~repro.faults.injector.FaultInjector` drives an accelerated
+life test — hours-scale disk MTTF, a spare pool repairing each failure
+— against arrays of varying declustering ratio, and each trial runs
+until a second concurrent failure loses data or the mission ends. The
+empirical MTTDL (censored exponential MLE: total observed time over
+observed losses) is then cross-checked against the Markov
+approximation fed with the campaign's own measured mean repair time.
+
+Campaigns always run on a micro-sized array: failure/repair statistics
+need many repair cycles, not big disks, and per-access timing detail
+is irrelevant at user rate 0. The CLI ``--scale`` therefore selects
+the trial count, not the disk size.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.analysis.reliability import (
+    ReliabilityInputs,
+    data_loss_probability,
+    mttdl_hours,
+)
+from repro.experiments.reporting import format_table
+from repro.experiments.scales import ScalePreset
+from repro.faults.profile import MS_PER_HOUR, FaultProfile
+from repro.sweep import SweepOptions, SweepSpec, run_sweep
+
+CAMPAIGN_STRIPE_SIZES = (4, 6, 10, 21)
+
+#: Three cylinders ≈ a few hundred stripe units per disk: repairs take
+#: seconds of simulated time, so one mission observes dozens of them.
+MICRO = ScalePreset(
+    name="campaign-micro",
+    cylinders=3,
+    steady_duration_ms=1_000.0,
+    warmup_ms=0.0,
+    note="fault-campaign size: a few hundred units/disk, fast repairs",
+)
+
+#: Accelerated life test: a 1-hour disk MTTF compresses years of array
+#: lifetime into minutes of simulated time while keeping the
+#: failure-vs-repair race (MTTR ≪ MTTF) in the realistic regime.
+DISK_MTTF_HOURS = 1.0
+#: Latent sector errors ride along to exercise the media-error paths;
+#: they never fire the campaign's terminal double-disk-failure event,
+#: so the MTTDL cross-check stays apples-to-apples with the Markov
+#: model.
+LATENT_ERRORS_PER_HOUR = 0.1
+REPLACEMENT_DELAY_MS = 1_000.0
+MISSION_HOURS = 12.0
+#: Trials per stripe size, by CLI scale name.
+TRIALS = {"tiny": 3, "small": 8, "paper": 16}
+
+
+def campaign_profile(seed: int) -> FaultProfile:
+    """The accelerated fault profile for one campaign trial."""
+    return FaultProfile(
+        disk_mttf_hours=DISK_MTTF_HOURS,
+        latent_errors_per_hour=LATENT_ERRORS_PER_HOUR,
+        seed=seed,
+    )
+
+
+def run(
+    scale: str = "tiny",
+    stripe_sizes: typing.Sequence[int] = CAMPAIGN_STRIPE_SIZES,
+    seed: int = 1992,
+    trials: typing.Optional[int] = None,
+    mission_hours: float = MISSION_HOURS,
+    options: typing.Optional[SweepOptions] = None,
+) -> typing.List[dict]:
+    """Run the campaign grid; one row per stripe size."""
+    trials = trials if trials is not None else TRIALS.get(scale, 3)
+    profiles = [campaign_profile(seed + trial) for trial in range(trials)]
+    spec = SweepSpec(
+        axes=[("stripe_size", stripe_sizes), ("fault_profile", profiles)],
+        base=dict(
+            user_rate_per_s=0.0,  # pure reliability estimation
+            read_fraction=0.5,
+            mode="campaign",
+            recon_workers=8,
+            scale=MICRO,
+            seed=seed,
+            spares=512,
+            replacement_delay_ms=REPLACEMENT_DELAY_MS,
+            mission_ms=mission_hours * MS_PER_HOUR,
+        ),
+    )
+    outcome = run_sweep(spec, options)
+    rows = []
+    # Row-major enumeration: trials of one stripe size are contiguous.
+    for start in range(0, len(outcome.results), trials):
+        group = outcome.results[start : start + trials]
+        config = group[0].config
+        losses = sum(1 for r in group if r.fault_summary["data_lost"])
+        observed_hours = sum(r.simulated_ms for r in group) / MS_PER_HOUR
+        repair_samples = [
+            r.fault_summary["mean_repair_ms"]
+            for r in group
+            if r.fault_summary["mean_repair_ms"] is not None
+        ]
+        mean_repair_ms = (
+            sum(repair_samples) / len(repair_samples) if repair_samples else None
+        )
+        empirical_mttdl_h = observed_hours / losses if losses else float("inf")
+        analytic_mttdl_h = None
+        analytic_loss_p = None
+        if mean_repair_ms is not None:
+            inputs = ReliabilityInputs(
+                num_disks=config.num_disks,
+                disk_mttf_hours=DISK_MTTF_HOURS,
+                repair_hours=mean_repair_ms / MS_PER_HOUR,
+            )
+            analytic_mttdl_h = mttdl_hours(inputs)
+            analytic_loss_p = data_loss_probability(inputs, mission_hours)
+        rows.append(
+            {
+                "g": config.stripe_size,
+                "alpha": round(config.alpha, 3),
+                "trials": trials,
+                "losses": losses,
+                "loss_fraction": round(losses / trials, 3),
+                "mean_repair_s": (
+                    round(mean_repair_ms / 1000.0, 2)
+                    if mean_repair_ms is not None
+                    else None
+                ),
+                "empirical_mttdl_h": (
+                    round(empirical_mttdl_h, 3)
+                    if empirical_mttdl_h != float("inf")
+                    else None
+                ),
+                "analytic_mttdl_h": (
+                    round(analytic_mttdl_h, 3)
+                    if analytic_mttdl_h is not None
+                    else None
+                ),
+                "mttdl_ratio": (
+                    round(empirical_mttdl_h / analytic_mttdl_h, 2)
+                    if analytic_mttdl_h is not None
+                    and empirical_mttdl_h != float("inf")
+                    else None
+                ),
+                "analytic_loss_probability": (
+                    round(analytic_loss_p, 3) if analytic_loss_p is not None else None
+                ),
+            }
+        )
+    return rows
+
+
+def format_rows(rows: typing.Sequence[dict]) -> str:
+    return format_table(
+        headers=[
+            "alpha", "G", "trials", "losses", "repair (s)",
+            "MTTDL emp (h)", "MTTDL Markov (h)", "ratio", "P(loss) Markov",
+        ],
+        rows=[
+            [
+                r["alpha"], r["g"], r["trials"], r["losses"], r["mean_repair_s"],
+                r["empirical_mttdl_h"], r["analytic_mttdl_h"], r["mttdl_ratio"],
+                r["analytic_loss_probability"],
+            ]
+            for r in rows
+        ],
+        title=(
+            "Fault campaign: empirical vs Markov MTTDL "
+            f"(C=21, accelerated disk MTTF {DISK_MTTF_HOURS:.0f} h, "
+            f"{MISSION_HOURS:.0f} h missions, 8-way repair sweep)"
+        ),
+    )

@@ -5,11 +5,17 @@ A *scenario* is one (layout, rate, read fraction, mode) point:
 - ``fault-free`` — steady-state response-time measurement;
 - ``degraded``  — disk 0 failed, no replacement, steady-state;
 - ``recon``     — disk 0 failed, replacement installed, the sweep and
-  the user workload run concurrently until reconstruction completes.
+  the user workload run concurrently until reconstruction completes;
+- ``campaign``  — a continuous-operation fault campaign: a
+  :class:`~repro.faults.injector.FaultInjector` drives stochastic disk
+  failures and latent sector errors against the array (with a spare
+  pool repairing what it can) until the mission time elapses or data
+  is lost.
 
 Runner output carries everything any figure or table needs: user
-response summaries, reconstruction time, per-cycle phase records, and
-per-disk utilization.
+response summaries, reconstruction time, per-cycle phase records,
+per-disk utilization, and — when fault injection is enabled — the
+fault campaign summary.
 """
 
 from __future__ import annotations
@@ -23,13 +29,14 @@ from repro.array.controller import ArrayController
 from repro.disk.constant import ConstantRateDisk
 from repro.experiments.builders import PAPER_NUM_DISKS, build_layout
 from repro.experiments.scales import ScalePreset, get_scale
+from repro.faults.profile import FaultProfile
 from repro.recon.algorithms import BASELINE, ReconAlgorithm, algorithm_by_name
 from repro.recon.sweeper import ReconstructionResult, Reconstructor
 from repro.sim.environment import Environment
 from repro.workload.recorder import ResponseRecorder, ResponseSummary
 from repro.workload.synthetic import SyntheticWorkload, WorkloadConfig
 
-MODES = ("fault-free", "degraded", "recon")
+MODES = ("fault-free", "degraded", "recon", "campaign")
 
 
 @dataclass(frozen=True)
@@ -54,12 +61,25 @@ class ScenarioConfig:
     #: Extension: idle time each sweep worker inserts between cycles
     #: (reconstruction throttling, Section 9 future work).
     recon_cycle_delay_ms: float = 0.0
+    #: Fault injection (strictly opt-in): when set, disks carry error
+    #: models and the controller retries/escalates. Required (and the
+    #: stochastic failure clocks only run) in ``campaign`` mode.
+    fault_profile: typing.Optional[FaultProfile] = None
+    #: Campaign knobs: spare disks on the shelf, spare switch-in time,
+    #: and the mission length (defaults to the scale's steady duration).
+    spares: int = 0
+    replacement_delay_ms: float = 0.0
+    mission_ms: typing.Optional[float] = None
 
     def __post_init__(self):
         if self.mode not in MODES:
             raise ValueError(f"mode must be one of {MODES}, got {self.mode!r}")
         if self.recon_workers < 1:
             raise ValueError("recon_workers must be >= 1")
+        if self.mode == "campaign" and self.fault_profile is None:
+            raise ValueError("campaign mode requires a fault_profile")
+        if self.spares < 0:
+            raise ValueError("spares cannot be negative")
 
     @property
     def alpha(self) -> float:
@@ -84,6 +104,8 @@ class ScenarioConfig:
         key["algorithm"] = self.algorithm.name
         if isinstance(self.scale, ScalePreset):
             key["scale"] = dataclasses.asdict(self.scale)
+        if self.fault_profile is not None:
+            key["fault_profile"] = dataclasses.asdict(self.fault_profile)
         return key
 
     @classmethod
@@ -94,6 +116,8 @@ class ScenarioConfig:
             kwargs["algorithm"] = algorithm_by_name(kwargs["algorithm"])
         if isinstance(kwargs.get("scale"), dict):
             kwargs["scale"] = ScalePreset(**kwargs["scale"])
+        if isinstance(kwargs.get("fault_profile"), dict):
+            kwargs["fault_profile"] = FaultProfile(**kwargs["fault_profile"])
         return cls(**kwargs)
 
 
@@ -111,6 +135,9 @@ class ScenarioResult:
     disk_utilization: typing.List[float] = field(default_factory=list)
     reconstruction: typing.Optional[ReconstructionResult] = None
     integrity_errors: typing.List[str] = field(default_factory=list)
+    #: JSON-safe fault campaign summary; None when fault injection was
+    #: disabled (the default).
+    fault_summary: typing.Optional[typing.Dict[str, typing.Any]] = None
 
     @property
     def reconstruction_time_s(self) -> float:
@@ -140,19 +167,25 @@ def run_scenario(config: ScenarioConfig) -> ScenarioResult:
         algorithm=config.algorithm,
         with_datastore=config.with_datastore,
         disk_factory=disk_factory,
+        fault_profile=config.fault_profile,
     )
     recorder = ResponseRecorder(warmup_ms=scale.warmup_ms)
-    workload = SyntheticWorkload(
-        controller,
-        WorkloadConfig(
-            access_rate_per_s=config.user_rate_per_s,
-            read_fraction=config.read_fraction,
-            seed=config.seed,
-        ),
-        recorder=recorder,
-    )
+    workload: typing.Optional[SyntheticWorkload] = None
+    if not (config.mode == "campaign" and config.user_rate_per_s <= 0):
+        # A campaign may run without user traffic (pure reliability
+        # estimation); every other mode requires a workload.
+        workload = SyntheticWorkload(
+            controller,
+            WorkloadConfig(
+                access_rate_per_s=config.user_rate_per_s,
+                read_fraction=config.read_fraction,
+                seed=config.seed,
+            ),
+            recorder=recorder,
+        )
 
     reconstruction: typing.Optional[ReconstructionResult] = None
+    fault_extra: typing.Dict[str, typing.Any] = {}
     if config.mode == "fault-free":
         workload.run(duration_ms=scale.steady_duration_ms)
         env.run(until=scale.steady_duration_ms)
@@ -162,7 +195,7 @@ def run_scenario(config: ScenarioConfig) -> ScenarioResult:
         workload.run(duration_ms=scale.steady_duration_ms)
         env.run(until=scale.steady_duration_ms)
         measure_since = None
-    else:  # recon
+    elif config.mode == "recon":
         controller.fail_disk(config.failed_disk)
         controller.install_replacement()
         reconstructor = Reconstructor(
@@ -177,21 +210,81 @@ def run_scenario(config: ScenarioConfig) -> ScenarioResult:
         env.run(until=workload.drained())
         reconstruction = reconstructor.result()
         measure_since = None  # warm-up alone; the whole window is recovery
+    else:  # campaign
+        from repro.array.sparing import SparePool
+        from repro.faults.injector import FaultInjector
 
-    workload.stop()
+        spare_pool = (
+            SparePool(
+                controller,
+                spares=config.spares,
+                replacement_delay_ms=config.replacement_delay_ms,
+                recon_workers=config.recon_workers,
+                cycle_delay_ms=config.recon_cycle_delay_ms,
+            )
+            if config.spares > 0
+            else None
+        )
+        injector = FaultInjector(controller, monitor=spare_pool).start()
+        mission = (
+            config.mission_ms
+            if config.mission_ms is not None
+            else scale.steady_duration_ms
+        )
+        if workload is not None:
+            workload.run(duration_ms=mission)
+        env.run(until=env.any_of([env.timeout(mission), injector.data_loss_event]))
+        measure_since = None
+        repairs = spare_pool.repairs if spare_pool is not None else []
+        fault_extra = {
+            "mission_ms": mission,
+            "disk_failures": injector.disk_failures,
+            "repairs_completed": injector.repairs_completed,
+            "spares_remaining": (
+                spare_pool.spares_remaining if spare_pool is not None else 0
+            ),
+            "mean_repair_ms": (
+                sum(record.total_repair_ms for record in repairs) / len(repairs)
+                if repairs
+                else None
+            ),
+        }
+
+    if workload is not None:
+        workload.stop()
     end_ms = env.now
     utilization = [
         disk.stats.busy_ms / end_ms if end_ms > 0 else 0.0 for disk in controller.disks
     ]
+    fault_summary: typing.Optional[typing.Dict[str, typing.Any]] = None
+    if controller.fault_log is not None:
+        faults = controller.faults
+        loss_events = faults.data_loss_events
+        fault_summary = {
+            "events": controller.fault_log.summary(),
+            "data_lost": faults.data_lost,
+            "lost_disks": sorted(faults.lost_disks),
+            "data_loss_events": len(loss_events),
+            "time_to_data_loss_ms": (
+                loss_events[0].at_ms if loss_events else None
+            ),
+            "exposed_stripes": (
+                len(loss_events[0].exposed_stripes) if loss_events else 0
+            ),
+        }
+        fault_summary.update(fault_extra)
     return ScenarioResult(
         config=config,
         response=recorder.summary(since_ms=measure_since),
         read_response=recorder.summary(reads_only=True, since_ms=measure_since),
         write_response=recorder.summary(writes_only=True, since_ms=measure_since),
         simulated_ms=end_ms,
-        requests_completed=workload.completed,
+        requests_completed=workload.completed if workload is not None else 0,
         mapped_units_per_disk=addressing.mapped_units_per_disk,
         disk_utilization=utilization,
         reconstruction=reconstruction,
-        integrity_errors=list(workload.integrity_errors),
+        integrity_errors=(
+            list(workload.integrity_errors) if workload is not None else []
+        ),
+        fault_summary=fault_summary,
     )

@@ -1,0 +1,77 @@
+"""The fault flight recorder.
+
+Every injected fault, retry, repair, escalation, and lost stripe is
+appended to a :class:`FaultLog` as a :class:`FaultEvent`. The log is
+the campaign's single source of truth: data-loss probability, retry
+counts, and repair accounting are all reductions over it, and tests
+assert against it instead of instrumenting internals.
+"""
+
+from __future__ import annotations
+
+import typing
+from dataclasses import dataclass, field
+
+# Event kinds. Strings, not an enum, so logs serialize to JSON directly.
+DISK_FAILURE = "disk-failure"          # a whole disk died
+LATENT_ERROR = "latent-error"          # a latent sector error was planted
+TRANSIENT_FAULT = "transient-fault"    # one access timed out transiently
+MEDIA_ERROR = "media-error"            # an access hit an unreadable unit
+RETRY = "retry"                        # the controller retried an access
+RETRY_EXHAUSTED = "retry-exhausted"    # retries gave up on an access
+FOREGROUND_REPAIR = "foreground-repair"  # a read rebuilt a latent unit in-line
+ESCALATION = "escalation"              # error threshold crossed: disk declared dead
+DATA_LOSS = "data-loss"                # a multi-failure lost data (terminal)
+DATA_LOSS_ACCESS = "data-loss-access"  # a user request touched lost data
+REBUILD_LOST = "rebuild-lost"          # reconstruction surrendered a stripe
+REPAIR_COMPLETE = "repair-complete"    # a spare-pool repair finished
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One recorded fault-related occurrence."""
+
+    at_ms: float
+    kind: str
+    disk: typing.Optional[int] = None
+    stripe: typing.Optional[int] = None
+    offset: typing.Optional[int] = None
+    detail: str = ""
+
+
+@dataclass
+class FaultLog:
+    """Append-only record of everything the fault subsystem did."""
+
+    events: typing.List[FaultEvent] = field(default_factory=list)
+    counts: typing.Dict[str, int] = field(default_factory=dict)
+
+    def record(
+        self,
+        kind: str,
+        at_ms: float,
+        disk: typing.Optional[int] = None,
+        stripe: typing.Optional[int] = None,
+        offset: typing.Optional[int] = None,
+        detail: str = "",
+    ) -> FaultEvent:
+        event = FaultEvent(
+            at_ms=at_ms, kind=kind, disk=disk, stripe=stripe, offset=offset,
+            detail=detail,
+        )
+        self.events.append(event)
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+        return event
+
+    def count(self, kind: str) -> int:
+        return self.counts.get(kind, 0)
+
+    def of_kind(self, kind: str) -> typing.List[FaultEvent]:
+        return [event for event in self.events if event.kind == kind]
+
+    def summary(self) -> typing.Dict[str, int]:
+        """Event counts by kind (a JSON-safe copy)."""
+        return dict(self.counts)
+
+    def __len__(self) -> int:
+        return len(self.events)

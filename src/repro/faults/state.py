@@ -1,0 +1,104 @@
+"""Mutable per-spindle fault state, consulted by the drive.
+
+A :class:`DiskFaultState` attached to a :class:`~repro.disk.drive.Disk`
+turns the drive's clean completion into an error model: reads of
+latent-error sectors complete with a ``"media"`` error, any access can
+complete with a transient ``"timeout"``, and writes repair the latent
+sectors they cover (remap-on-write, as real firmware does). The state
+also accumulates the *hard* error count the controller uses to escalate
+a sick disk to a whole-disk failure.
+
+The state draws from a dedicated :class:`random.Random` stream and only
+draws when a fault source is actually configured, so attaching a
+quiescent state perturbs nothing.
+"""
+
+from __future__ import annotations
+
+import random
+import typing
+
+from repro.faults.profile import FaultProfile
+
+#: Error outcomes a disk access can complete with.
+ERROR_MEDIA = "media"
+ERROR_TIMEOUT = "timeout"
+
+
+class DiskFaultState:
+    """Fault bookkeeping for one physical spindle.
+
+    A replacement disk gets a *fresh* state: latent errors and the hard
+    error count belong to the physical drive, not the array slot.
+    """
+
+    def __init__(self, profile: FaultProfile, rng: random.Random, disk_id: int = 0):
+        self.profile = profile
+        self.rng = rng
+        self.disk_id = disk_id
+        #: Latent-error extents: start sector -> sector count.
+        self.latent: typing.Dict[int, int] = {}
+        self.hard_errors = 0
+        self.media_faults = 0
+        self.transient_faults = 0
+
+    # ------------------------------------------------------------------
+    # Latent sector errors
+    # ------------------------------------------------------------------
+    def add_latent(self, start_sector: int, sector_count: int = 1) -> None:
+        """Mark ``sector_count`` sectors from ``start_sector`` unreadable."""
+        if sector_count < 1:
+            raise ValueError("a latent extent covers at least one sector")
+        self.latent[start_sector] = max(self.latent.get(start_sector, 0), sector_count)
+
+    def has_latent_overlap(self, start_sector: int, sector_count: int) -> bool:
+        end = start_sector + sector_count
+        for latent_start, latent_count in self.latent.items():
+            if latent_start < end and start_sector < latent_start + latent_count:
+                return True
+        return False
+
+    def clear_latent_overlap(self, start_sector: int, sector_count: int) -> int:
+        """Drop latent extents a write covers; returns how many cleared."""
+        end = start_sector + sector_count
+        cleared = [
+            latent_start
+            for latent_start, latent_count in self.latent.items()
+            if latent_start < end and start_sector < latent_start + latent_count
+        ]
+        for latent_start in cleared:
+            del self.latent[latent_start]
+        return len(cleared)
+
+    @property
+    def latent_extents(self) -> int:
+        return len(self.latent)
+
+    # ------------------------------------------------------------------
+    # Access outcome
+    # ------------------------------------------------------------------
+    def outcome_for(self, start_sector: int, sector_count: int,
+                    is_write: bool) -> typing.Tuple[typing.Optional[str], float]:
+        """(error, extra service ms) for one access, advancing the state.
+
+        Writes repair the latent sectors they cover even when the
+        access itself then times out transiently — the media was
+        written before the completion was lost.
+        """
+        if is_write and self.latent:
+            self.clear_latent_overlap(start_sector, sector_count)
+        if self.profile.transient_error_prob > 0:
+            if self.rng.random() < self.profile.transient_error_prob:
+                self.transient_faults += 1
+                return ERROR_TIMEOUT, self.profile.transient_penalty_ms
+        if not is_write and self.latent:
+            if self.has_latent_overlap(start_sector, sector_count):
+                self.media_faults += 1
+                return ERROR_MEDIA, 0.0
+        return None, 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"<DiskFaultState disk={self.disk_id} latent={len(self.latent)} "
+            f"hard_errors={self.hard_errors}>"
+        )

@@ -19,6 +19,7 @@ import typing
 from dataclasses import dataclass, field
 
 from repro.disk.drive import KIND_RECON
+from repro.faults.log import REBUILD_LOST
 from repro.layout.base import UnitAddress
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -66,6 +67,7 @@ class ReconstructionResult:
     swept_units: int          # distinct units rebuilt by the sweep itself
     user_built_units: int     # rebuilt by user writes / piggybacks
     resweeps: int             # extra cycles spent on baseline-dirtied units
+    lost_units: int = 0       # units surrendered to a multi-failure
     cycles: typing.List[CycleRecord] = field(default_factory=list)
 
     def phase_summary(self, last_n: int = 300) -> typing.Tuple[PhaseSummary, PhaseSummary]:
@@ -108,6 +110,7 @@ class Reconstructor:
         self.workers = workers
         self.cycle_delay_ms = cycle_delay_ms
         self.cycles: typing.List[CycleRecord] = []
+        self.lost_units = 0
         self._started = False
 
     def start(self):
@@ -139,8 +142,9 @@ class Reconstructor:
             reconstruction_time_ms=status.reconstruction_time_ms(),
             total_units=status.total_units,
             swept_units=unique_swept,
-            user_built_units=status.total_units - unique_swept,
+            user_built_units=status.total_units - unique_swept - self.lost_units,
             resweeps=len(self.cycles) - unique_swept,
+            lost_units=self.lost_units,
             cycles=list(self.cycles),
         )
 
@@ -168,16 +172,29 @@ class Reconstructor:
                 if status.is_built(offset):
                     # A user reconstruct-write landed while we waited.
                     continue
+                if controller._stripe_data_lost(stripe):
+                    # A multi-failure destroyed another unit of this
+                    # stripe: nothing left to rebuild the target from.
+                    # Surrender the unit (marking it built lets the
+                    # sweep terminate) and account the loss.
+                    self._surrender(stripe, offset)
+                    continue
                 target = self._address(failed, offset)
                 peers = controller._surviving_peers(stripe, target)
                 value = controller._xor(controller._ds_read(peer) for peer in peers)
                 read_start = env.now
-                yield env.all_of(
-                    [
-                        controller._disk_access(peer, is_write=False, kind=KIND_RECON)
-                        for peer in peers
-                    ]
-                )
+                peer_events = [
+                    controller._disk_access(peer, is_write=False, kind=KIND_RECON)
+                    for peer in peers
+                ]
+                yield env.all_of(peer_events)
+                if controller._fault_enabled and any(
+                    event.value.error is not None for event in peer_events
+                ):
+                    # A peer was unreadable (latent error survived the
+                    # retries): this unit cannot be rebuilt by the sweep.
+                    self._surrender(stripe, offset)
+                    continue
                 write_start = env.now
                 yield controller._disk_access(target, is_write=True, kind=KIND_RECON)
                 controller._ds_write(target, value)
@@ -194,6 +211,20 @@ class Reconstructor:
                 controller.locks.release(stripe)
             if self.cycle_delay_ms > 0:
                 yield env.timeout(self.cycle_delay_ms)
+
+    def _surrender(self, stripe: int, offset: int) -> None:
+        """Give up on a unit destroyed by a multi-failure.
+
+        Marking it built is what lets the sweep terminate; the loss is
+        accounted in ``lost_units`` and the fault log, never silently.
+        """
+        controller = self.controller
+        self.lost_units += 1
+        controller.recon_status.mark_built(offset)
+        if controller.fault_log is not None:
+            controller.fault_log.record(
+                REBUILD_LOST, controller.env.now, stripe=stripe, offset=offset
+            )
 
     @staticmethod
     def _address(disk: int, offset: int) -> UnitAddress:

@@ -23,6 +23,7 @@ import os
 import pathlib
 import tempfile
 import typing
+import warnings
 
 from repro._version import __version__
 from repro.experiments.runner import ScenarioConfig, ScenarioResult
@@ -30,7 +31,8 @@ from repro.recon.sweeper import CycleRecord, ReconstructionResult
 from repro.workload.recorder import ResponseSummary
 
 #: Bump when the stored result schema changes; invalidates all entries.
-CACHE_FORMAT_VERSION = 1
+#: v2: fault_summary on results, lost_units on reconstructions.
+CACHE_FORMAT_VERSION = 2
 
 
 def default_cache_dir() -> pathlib.Path:
@@ -78,6 +80,7 @@ def result_to_dict(result: ScenarioResult) -> dict:
             "swept_units": recon.swept_units,
             "user_built_units": recon.user_built_units,
             "resweeps": recon.resweeps,
+            "lost_units": recon.lost_units,
             # Compact: one [offset, start, read_phase, write_phase] per cycle.
             "cycles": [
                 [c.offset, c.start_ms, c.read_phase_ms, c.write_phase_ms]
@@ -85,6 +88,7 @@ def result_to_dict(result: ScenarioResult) -> dict:
             ],
         },
         "integrity_errors": list(result.integrity_errors),
+        "fault_summary": result.fault_summary,
     }
 
 
@@ -99,6 +103,7 @@ def result_from_dict(document: typing.Mapping) -> ScenarioResult:
             swept_units=recon_doc["swept_units"],
             user_built_units=recon_doc["user_built_units"],
             resweeps=recon_doc["resweeps"],
+            lost_units=recon_doc.get("lost_units", 0),
             cycles=[
                 CycleRecord(
                     offset=offset,
@@ -120,6 +125,7 @@ def result_from_dict(document: typing.Mapping) -> ScenarioResult:
         disk_utilization=list(document["disk_utilization"]),
         reconstruction=reconstruction,
         integrity_errors=list(document["integrity_errors"]),
+        fault_summary=document.get("fault_summary"),
     )
 
 
@@ -132,6 +138,12 @@ class ResultCache:
     mismatched entry as a miss; writes are atomic (temp file +
     ``os.replace``), so concurrent sweeps sharing a cache directory
     cannot observe torn entries.
+
+    A cache that cannot be written (read-only directory, full disk, a
+    file squatting on the path) must not kill a sweep that spent
+    minutes simulating: the first failed write warns once and disables
+    further writes for this cache instance; reads (and the sweep)
+    carry on uncached.
     """
 
     def __init__(
@@ -141,6 +153,7 @@ class ResultCache:
     ):
         self.directory = pathlib.Path(directory)
         self.version = version
+        self._write_disabled = False
 
     def path_for(self, config: ScenarioConfig) -> pathlib.Path:
         key = config_cache_key(config, version=self.version)
@@ -162,6 +175,20 @@ class ResultCache:
         return None if document is None else result_from_dict(document)
 
     def put_dict(self, config: ScenarioConfig, result: dict) -> None:
+        if self._write_disabled:
+            return
+        try:
+            self._write_entry(config, result)
+        except OSError as error:
+            self._write_disabled = True
+            warnings.warn(
+                f"sweep result cache at {self.directory} is not writable "
+                f"({error}); continuing uncached",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+
+    def _write_entry(self, config: ScenarioConfig, result: dict) -> None:
         path = self.path_for(config)
         path.parent.mkdir(parents=True, exist_ok=True)
         document = {

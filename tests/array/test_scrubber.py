@@ -3,6 +3,7 @@
 import pytest
 
 from repro.array.scrubber import ParityScrubber
+from repro.faults.profile import FaultProfile
 from repro.workload import SyntheticWorkload, WorkloadConfig
 from tests.conftest import build_array
 
@@ -96,3 +97,68 @@ class TestLifecycle:
     def test_negative_delay_rejected(self, small_array):
         with pytest.raises(ValueError):
             ParityScrubber(small_array.controller, cycle_delay_ms=-1.0)
+
+
+def plant_latent(array, unit):
+    """Mark one stripe unit latent-unreadable on its disk."""
+    sector = array.addressing.unit_to_sector(unit)
+    state = array.controller.disks[unit.disk].fault_state
+    state.add_latent(sector, array.addressing.sectors_per_unit)
+    return state
+
+
+class TestLatentErrorScrub:
+    """Satellite: the scrub detects and repairs latent sector errors."""
+
+    def build_faulty_array(self):
+        # A quiescent profile arms the error-outcome paths without any
+        # stochastic fault source perturbing the scrub.
+        return build_array(fault_profile=FaultProfile(seed=3))
+
+    def test_latent_unit_is_detected_and_repaired(self):
+        array = self.build_faulty_array()
+        unit = array.layout.stripe_units(4)[1]
+        state = plant_latent(array, unit)
+        report = array.env.run(until=ParityScrubber(array.controller).start())
+        assert report.media_errors_found == 1
+        assert report.media_repairs == 1
+        # The rewrite remapped the extent and restored the value.
+        assert state.latent_extents == 0
+        store = array.controller.datastore
+        for stripe in range(array.addressing.num_stripes):
+            assert store.stripe_is_consistent(stripe)
+
+    def test_repaired_parity_passes_the_parity_check(self):
+        array = self.build_faulty_array()
+        parity = array.layout.parity_unit(7)
+        plant_latent(array, parity)
+        report = array.env.run(until=ParityScrubber(array.controller).start())
+        assert report.media_repairs == 1
+        assert report.mismatches_found == 0
+
+    def test_report_only_scrub_leaves_the_latent_extent(self):
+        array = self.build_faulty_array()
+        unit = array.layout.stripe_units(2)[0]
+        state = plant_latent(array, unit)
+        report = array.env.run(
+            until=ParityScrubber(array.controller, repair=False).start()
+        )
+        assert report.media_errors_found == 1
+        assert report.media_repairs == 0
+        assert state.latent_extents == 1
+
+    def test_two_latent_units_in_one_stripe_cannot_be_rebuilt(self):
+        array = self.build_faulty_array()
+        units = array.layout.stripe_units(9)
+        plant_latent(array, units[0])
+        plant_latent(array, units[2])
+        report = array.env.run(until=ParityScrubber(array.controller).start())
+        assert report.media_errors_found == 2
+        assert report.media_repairs == 0
+
+    def test_clean_faulty_array_scrubs_clean(self):
+        array = self.build_faulty_array()
+        report = array.env.run(until=ParityScrubber(array.controller).start())
+        assert report.media_errors_found == 0
+        assert report.media_repairs == 0
+        assert report.mismatches_found == 0

@@ -44,6 +44,8 @@ def build_array(
     algorithm=BASELINE,
     with_datastore: bool = True,
     policy: str = "cvscan",
+    fault_profile=None,
+    retry_policy=None,
 ) -> ArrayUnderTest:
     """Assemble a small array for tests."""
     env = Environment()
@@ -57,6 +59,7 @@ def build_array(
     controller = ArrayController(
         env, addressing, policy=policy, algorithm=algorithm,
         with_datastore=with_datastore,
+        fault_profile=fault_profile, retry_policy=retry_policy,
     )
     return ArrayUnderTest(env=env, controller=controller, addressing=addressing)
 

@@ -1,0 +1,117 @@
+"""Tests for the Monte Carlo fault campaign experiment."""
+
+import json
+
+import pytest
+
+from repro.experiments import campaign
+from repro.experiments.runner import ScenarioConfig, run_scenario
+from repro.faults.profile import MS_PER_HOUR, FaultProfile
+from repro.sweep import SweepOptions
+
+
+def campaign_config(**overrides):
+    kwargs = dict(
+        stripe_size=4,
+        user_rate_per_s=0.0,
+        read_fraction=0.5,
+        mode="campaign",
+        recon_workers=8,
+        scale=campaign.MICRO,
+        seed=1992,
+        spares=0,
+        fault_profile=FaultProfile(
+            disk_mttf_hours=1000.0 / MS_PER_HOUR,  # 1000 ms mean lifetime
+            seed=1992,
+        ),
+        mission_ms=60_000.0,
+    )
+    kwargs.update(overrides)
+    return ScenarioConfig(**kwargs)
+
+
+class TestCampaignConfig:
+    def test_campaign_mode_requires_a_fault_profile(self):
+        with pytest.raises(ValueError, match="fault_profile"):
+            ScenarioConfig(
+                stripe_size=4, user_rate_per_s=0.0, read_fraction=0.5,
+                mode="campaign",
+            )
+
+    def test_config_with_profile_survives_json_round_trip(self):
+        config = campaign_config()
+        rebuilt = ScenarioConfig.from_key(json.loads(json.dumps(config.to_key())))
+        assert rebuilt == config
+        assert rebuilt.fault_profile == config.fault_profile
+
+
+class TestForcedDataLoss:
+    def test_double_failure_is_recorded_not_raised(self):
+        # Acceptance: 1000 ms disk lifetimes with no spares guarantee a
+        # second concurrent failure long before the mission ends — the
+        # scenario must terminate with a recorded data-loss event, not
+        # an unhandled exception.
+        result = run_scenario(campaign_config())
+        summary = result.fault_summary
+        assert summary is not None
+        assert summary["data_lost"]
+        assert summary["data_loss_events"] == 1
+        assert len(summary["lost_disks"]) == 1
+        assert summary["exposed_stripes"] > 0
+        assert 0 < summary["time_to_data_loss_ms"] < summary["mission_ms"]
+        # The campaign stops at the loss, not at the mission horizon.
+        assert result.simulated_ms == summary["time_to_data_loss_ms"]
+        assert summary["disk_failures"] == 2
+        assert summary["repairs_completed"] == 0
+
+    def test_spared_campaign_survives_longer_than_unspared(self):
+        # Lifetimes long enough (200 s) that a ~2 s repair usually
+        # finishes before the next failure: sparing must now buy
+        # mission time that the unspared array cannot reach.
+        profile = FaultProfile(disk_mttf_hours=200_000.0 / MS_PER_HOUR, seed=1992)
+        unspared = run_scenario(campaign_config(fault_profile=profile))
+        spared = run_scenario(
+            campaign_config(
+                fault_profile=profile, spares=64, replacement_delay_ms=0.0
+            )
+        )
+        assert unspared.fault_summary["data_lost"]
+        assert spared.fault_summary["repairs_completed"] >= 1
+        assert spared.simulated_ms > unspared.simulated_ms
+
+
+class TestCampaignExperiment:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        # One stripe size, four 6-hour missions: ~10 s of wall time.
+        return campaign.run(
+            scale="tiny",
+            stripe_sizes=(4,),
+            seed=1992,
+            trials=4,
+            mission_hours=6.0,
+            options=SweepOptions(cache=None),
+        )
+
+    def test_row_schema(self, rows):
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["g"] == 4
+        assert row["alpha"] == round(3 / 20, 3)
+        assert row["trials"] == 4
+        assert 0 <= row["losses"] <= 4
+        assert row["loss_fraction"] == round(row["losses"] / 4, 3)
+
+    def test_empirical_mttdl_within_2x_of_markov(self, rows):
+        # Acceptance: with a fixed seed, the measured MTTDL lands
+        # within a factor of two of the Markov approximation fed with
+        # the campaign's own mean repair time.
+        row = rows[0]
+        assert row["losses"] >= 1
+        assert row["mean_repair_s"] > 0
+        assert 0.5 <= row["mttdl_ratio"] <= 2.0
+
+    def test_format_rows_mentions_the_model(self, rows):
+        text = campaign.format_rows(rows)
+        assert "MTTDL" in text
+        assert "Markov" in text

@@ -1,0 +1,45 @@
+"""Unit tests for the fault flight recorder."""
+
+from repro.faults.log import DISK_FAILURE, LATENT_ERROR, RETRY, FaultLog
+
+
+class TestFaultLog:
+    def test_starts_empty(self):
+        log = FaultLog()
+        assert len(log) == 0
+        assert log.count(DISK_FAILURE) == 0
+        assert log.of_kind(DISK_FAILURE) == []
+        assert log.summary() == {}
+
+    def test_record_returns_the_event(self):
+        log = FaultLog()
+        event = log.record(LATENT_ERROR, 12.5, disk=3, offset=7, detail="planted")
+        assert event.kind == LATENT_ERROR
+        assert event.at_ms == 12.5
+        assert event.disk == 3
+        assert event.offset == 7
+        assert event.detail == "planted"
+        assert log.events == [event]
+
+    def test_counts_by_kind(self):
+        log = FaultLog()
+        log.record(RETRY, 1.0, disk=0)
+        log.record(RETRY, 2.0, disk=1)
+        log.record(DISK_FAILURE, 3.0, disk=1)
+        assert log.count(RETRY) == 2
+        assert log.count(DISK_FAILURE) == 1
+        assert len(log) == 3
+
+    def test_of_kind_preserves_order(self):
+        log = FaultLog()
+        first = log.record(RETRY, 1.0, disk=0)
+        log.record(DISK_FAILURE, 2.0, disk=0)
+        second = log.record(RETRY, 3.0, disk=0)
+        assert log.of_kind(RETRY) == [first, second]
+
+    def test_summary_is_a_copy(self):
+        log = FaultLog()
+        log.record(RETRY, 1.0)
+        summary = log.summary()
+        summary[RETRY] = 99
+        assert log.count(RETRY) == 1

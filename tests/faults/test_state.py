@@ -1,0 +1,92 @@
+"""Unit tests for the per-disk fault state machine."""
+
+import random
+
+import pytest
+
+from repro.faults.profile import FaultProfile
+from repro.faults.state import ERROR_MEDIA, ERROR_TIMEOUT, DiskFaultState
+
+
+class ExplodingRandom(random.Random):
+    """An RNG that fails the test if anything draws from it."""
+
+    def random(self):  # pragma: no cover - only hit on regression
+        raise AssertionError("quiescent fault state drew from its RNG")
+
+
+def make_state(profile=None, rng=None):
+    return DiskFaultState(
+        profile if profile is not None else FaultProfile(),
+        rng if rng is not None else random.Random(5),
+    )
+
+
+class TestLatentExtents:
+    def test_add_and_overlap(self):
+        state = make_state()
+        state.add_latent(100, 8)
+        assert state.latent_extents == 1
+        assert state.has_latent_overlap(96, 8)       # tail overlaps head
+        assert state.has_latent_overlap(104, 8)      # head overlaps tail
+        assert not state.has_latent_overlap(88, 8)   # ends exactly at start
+        assert not state.has_latent_overlap(108, 8)  # begins exactly at end
+
+    def test_add_merges_by_max(self):
+        state = make_state()
+        state.add_latent(50, 4)
+        state.add_latent(50, 2)
+        assert state.latent == {50: 4}
+        state.add_latent(50, 8)
+        assert state.latent == {50: 8}
+
+    def test_empty_extent_rejected(self):
+        with pytest.raises(ValueError):
+            make_state().add_latent(0, 0)
+
+    def test_clear_overlap_drops_covered_extents(self):
+        state = make_state()
+        state.add_latent(10, 4)
+        state.add_latent(100, 4)
+        assert state.clear_latent_overlap(8, 8) == 1
+        assert state.latent == {100: 4}
+
+
+class TestOutcomes:
+    def test_clean_state_is_clean(self):
+        assert make_state().outcome_for(0, 8, is_write=False) == (None, 0.0)
+
+    def test_read_over_latent_is_a_media_error(self):
+        state = make_state()
+        state.add_latent(64, 8)
+        assert state.outcome_for(64, 8, is_write=False) == (ERROR_MEDIA, 0.0)
+        assert state.media_faults == 1
+
+    def test_write_remaps_latent_sectors(self):
+        state = make_state()
+        state.add_latent(64, 8)
+        assert state.outcome_for(64, 8, is_write=True) == (None, 0.0)
+        assert state.latent_extents == 0
+        # The remapped sectors now read cleanly.
+        assert state.outcome_for(64, 8, is_write=False) == (None, 0.0)
+
+    def test_certain_transient_fault_with_penalty(self):
+        profile = FaultProfile(transient_error_prob=1.0, transient_penalty_ms=7.5)
+        state = make_state(profile)
+        assert state.outcome_for(0, 8, is_write=False) == (ERROR_TIMEOUT, 7.5)
+        assert state.transient_faults == 1
+
+    def test_write_remap_happens_even_under_transient_fault(self):
+        # The media was written before the completion was lost.
+        profile = FaultProfile(transient_error_prob=1.0)
+        state = make_state(profile)
+        state.add_latent(64, 8)
+        error, _penalty = state.outcome_for(64, 8, is_write=True)
+        assert error == ERROR_TIMEOUT
+        assert state.latent_extents == 0
+
+    def test_quiescent_state_never_draws(self):
+        state = make_state(FaultProfile(), ExplodingRandom())
+        for _ in range(10):
+            assert state.outcome_for(0, 8, is_write=False) == (None, 0.0)
+            assert state.outcome_for(0, 8, is_write=True) == (None, 0.0)

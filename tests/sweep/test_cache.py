@@ -135,3 +135,58 @@ class TestResultCache:
         assert cache.clear() == 3
         assert len(cache) == 0
         assert cache.get(micro_config()) is None
+
+
+class TestUnwritableCache:
+    """Satellite: a cache that cannot be written must not kill a sweep."""
+
+    def unwritable_cache(self, tmp_path):
+        # A regular file squatting on the cache path: every mkdir under
+        # it fails with NotADirectoryError (an OSError), the same
+        # failure class as a read-only directory or a full disk.
+        squatter = tmp_path / "cache"
+        squatter.write_text("not a directory")
+        return ResultCache(squatter)
+
+    def test_first_failed_write_warns_and_continues(self, tmp_path):
+        import pytest
+
+        cache = self.unwritable_cache(tmp_path)
+        config = micro_config()
+        with pytest.warns(RuntimeWarning, match="continuing uncached"):
+            cache.put(config, fake_result(config))
+        assert cache.get(config) is None
+
+    def test_subsequent_writes_are_silent_no_ops(self, tmp_path):
+        import warnings
+
+        import pytest
+
+        cache = self.unwritable_cache(tmp_path)
+        config = micro_config()
+        with pytest.warns(RuntimeWarning):
+            cache.put(config, fake_result(config))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            for stripe_size in (4, 5, 6):
+                other = micro_config(stripe_size=stripe_size)
+                cache.put(other, fake_result(other))
+        assert len(cache) == 0
+
+    def test_sweep_completes_against_an_unwritable_cache(self, tmp_path):
+        import pytest
+
+        from repro.sweep import SweepOptions, SweepSpec, run_sweep
+        from tests.sweep.conftest import fake_execute
+
+        squatter = tmp_path / "cache"
+        squatter.write_text("not a directory")
+        spec = SweepSpec(
+            axes=[("stripe_size", [4, 5])], base=micro_spec_base()
+        )
+        options = SweepOptions(cache=squatter)
+        with pytest.warns(RuntimeWarning, match="continuing uncached"):
+            outcome = run_sweep(spec, options, execute=fake_execute)
+        assert len(outcome.results) == 2
+        assert outcome.summary.executed == 2
+        assert outcome.summary.cache_hits == 0
