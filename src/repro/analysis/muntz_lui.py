@@ -123,7 +123,6 @@ class MuntzLuiModel:
 
     def free_rebuild_rate(self, algorithm: ReconAlgorithm, f: float) -> float:
         """Units/sec rebuilt by user activity rather than the sweep."""
-        inputs = self.inputs
         _a, a_r, a_w = self.per_disk_rates()
         rate = 0.0
         if algorithm.writes_to_replacement:

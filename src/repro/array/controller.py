@@ -537,45 +537,53 @@ class ArrayController:
             return
         # On-the-fly reconstruction: XOR of all surviving stripe units.
         stripe = self.layout.stripe_of_logical(logical)
+        handoff = False
         yield self.locks.acquire(stripe)
-        peers = self._surviving_peers(stripe, address)
-        value = self._xor(self._ds_read(peer) for peer in peers)
-        peer_events = [self._disk_access(peer, is_write=False) for peer in peers]
-        yield self.env.all_of(peer_events)
-        if self._fault_enabled and any(
-            event.value.error is not None for event in peer_events
-        ):
-            # A surviving peer was unreadable too: with the target
-            # already lost, this stripe is doubly exposed right now.
-            self._record_data_loss_access(request, logical, stripe)
-            self.locks.release(stripe)
-            return
-        request.read_values[unit_index] = value
-        request.paths.append("on-the-fly-read")
-        self.stats.record_path("on-the-fly-read")
-        if (
-            address.disk == failed
-            and self.algorithm.piggyback
-            and self.faults.replacement_installed
-            and not self.recon_status.is_built(address.offset)
-            and not self.recon_status.is_claimed(address.offset)
-        ):
-            # Piggybacking of writes: store the recovered unit on the
-            # replacement while still holding the stripe lock. The user
-            # response is not delayed — it completed above; only the
-            # stripe stays locked for the piggyback write's duration.
-            self.stats.piggyback_writes += 1
-            self.env.process(
-                self._piggyback_write(stripe, address, value), name="piggyback"
-            )
-        else:
-            self.locks.release(stripe)
+        try:
+            peers = self._surviving_peers(stripe, address)
+            value = self._xor(self._ds_read(peer) for peer in peers)
+            peer_events = [self._disk_access(peer, is_write=False) for peer in peers]
+            yield self.env.all_of(peer_events)
+            if self._fault_enabled and any(
+                event.value.error is not None for event in peer_events
+            ):
+                # A surviving peer was unreadable too: with the target
+                # already lost, this stripe is doubly exposed right now.
+                self._record_data_loss_access(request, logical, stripe)
+                return
+            request.read_values[unit_index] = value
+            request.paths.append("on-the-fly-read")
+            self.stats.record_path("on-the-fly-read")
+            if (
+                address.disk == failed
+                and self.algorithm.piggyback
+                and self.faults.replacement_installed
+                and not self.recon_status.is_built(address.offset)
+                and not self.recon_status.is_claimed(address.offset)
+            ):
+                # Piggybacking of writes: store the recovered unit on the
+                # replacement while still holding the stripe lock. The user
+                # response is not delayed — it completed above; only the
+                # stripe stays locked for the piggyback write's duration.
+                self.stats.piggyback_writes += 1
+                self.env.process(
+                    self._piggyback_write(stripe, address, value), name="piggyback"
+                )
+                handoff = True
+        finally:
+            # Lock ownership transfers to the piggyback process on the
+            # handoff path; every other exit — including a fault
+            # exception thrown into this generator — releases here.
+            if not handoff:
+                self.locks.release(stripe)
 
     def _piggyback_write(self, stripe: int, address: UnitAddress, value: int):
-        yield self._disk_access(address, is_write=True)
-        self._ds_write(address, value)
-        self.recon_status.mark_built(address.offset)
-        self.locks.release(stripe)
+        try:
+            yield self._disk_access(address, is_write=True)
+            self._ds_write(address, value)
+            self.recon_status.mark_built(address.offset)
+        finally:
+            self.locks.release(stripe)
 
     def _repair_read(self, request: UserRequest, unit_index: int, logical: int,
                      target: UnitAddress):

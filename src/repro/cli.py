@@ -157,6 +157,10 @@ def build_parser() -> argparse.ArgumentParser:
             "Reproduce Holland & Gibson, 'Parity Declustering for Continuous "
             "Operation in Redundant Disk Arrays' (ASPLOS 1992)."
         ),
+        epilog=(
+            "Developer tooling: 'repro lint' runs the simlint determinism "
+            "& lock-discipline static analysis (see 'repro lint --help')."
+        ),
     )
     parser.add_argument("--version", action="version", version=f"repro {__version__}")
     parser.add_argument(
@@ -211,6 +215,13 @@ def sweep_options_from_args(args: argparse.Namespace) -> SweepOptions:
 
 
 def main(argv: typing.Optional[typing.Sequence[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "lint":
+        # Developer tooling rides the same entry point but owns its
+        # flags: everything after "lint" belongs to simlint.
+        from repro.devtools.simlint.cli import main as lint_main
+
+        return lint_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         for name, (description, _fn) in sorted(EXPERIMENTS.items()):

@@ -1,0 +1,8 @@
+"""Developer tooling that guards the reproduction's invariants.
+
+Nothing in this package is imported by the simulator itself: these are
+build-time checks (static analysis, CI gates) that keep the runtime
+packages honest. The first citizen is :mod:`repro.devtools.simlint`,
+the determinism and lock-discipline linter run by ``python -m repro
+lint`` and by CI.
+"""

@@ -1,0 +1,54 @@
+"""simlint — determinism & lock-discipline static analysis.
+
+An AST-based, plugin-rule linter specialized to this codebase. The
+paper's figures are only reproducible because every run of a
+``ScenarioConfig`` replays the same event order, RNG stream, and lock
+schedule; simlint enforces the coding invariants that property rests
+on. Run it as ``python -m repro lint``; CI runs it with the checked-in
+``simlint-baseline.json`` so pre-existing, justified findings don't
+block the build while new violations do.
+
+Public surface:
+
+- :func:`lint_paths` / :func:`lint_source` — run the analysis
+- :class:`Finding`, :class:`LintReport` — results
+- :class:`Rule`, :func:`register`, :func:`all_rules` — the plugin API
+- :mod:`~repro.devtools.simlint.baseline` — accepted-findings file
+"""
+
+from repro.devtools.simlint.baseline import (
+    Baseline,
+    BaselineError,
+    load_baseline,
+    write_baseline,
+)
+from repro.devtools.simlint.context import ModuleContext
+from repro.devtools.simlint.engine import (
+    LintUsageError,
+    iter_python_files,
+    lint_paths,
+    lint_source,
+)
+from repro.devtools.simlint.findings import Finding, LintReport
+from repro.devtools.simlint.registry import Rule, all_rules, get_rules, register
+from repro.devtools.simlint.reporters import format_json, format_text
+
+__all__ = [
+    "Baseline",
+    "BaselineError",
+    "Finding",
+    "LintReport",
+    "LintUsageError",
+    "ModuleContext",
+    "Rule",
+    "all_rules",
+    "format_json",
+    "format_text",
+    "get_rules",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+    "load_baseline",
+    "register",
+    "write_baseline",
+]

@@ -1,0 +1,7 @@
+"""Module entry point for ``python -m repro.devtools.simlint``."""
+
+import sys
+
+from repro.devtools.simlint.cli import main
+
+sys.exit(main())

@@ -1,0 +1,144 @@
+"""Checked-in baseline: pre-existing findings that do not fail CI.
+
+The baseline is a JSON document listing findings that were reviewed
+and deliberately left in place, each with a human reason. CI fails on
+any finding *not* in the baseline, so the debt is frozen: new
+violations cannot ride in on old ones.
+
+Entries match findings on ``(rule, path, symbol, snippet)`` — no line
+numbers — so surrounding edits don't invalidate the baseline, while
+editing the offending line itself resurfaces the finding.
+
+Refresh with ``python -m repro lint --write-baseline`` after fixing
+findings (stale entries are dropped, reasons of surviving entries are
+preserved, new entries get a TODO reason that should be replaced
+before committing).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import typing
+
+from repro.devtools.simlint.findings import Finding
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = "simlint-baseline.json"
+TODO_REASON = "TODO: justify this baseline entry or fix the finding"
+
+
+class BaselineError(ValueError):
+    """The baseline file is malformed."""
+
+
+def _normalize_path(path: str) -> str:
+    """Identity-comparable form of a finding/entry path.
+
+    Baselines store repo-relative paths; findings carry whatever path
+    the caller passed (possibly absolute). Relativize against the
+    working directory so ``lint /abs/repo/src`` still matches a
+    baseline written as ``src/...``.
+    """
+    candidate = pathlib.Path(path)
+    if candidate.is_absolute():
+        try:
+            candidate = candidate.resolve().relative_to(pathlib.Path.cwd())
+        except ValueError:
+            pass
+    return candidate.as_posix()
+
+
+class Baseline:
+    """An in-memory baseline: identity -> entry dict."""
+
+    def __init__(self, entries: typing.Optional[typing.List[dict]] = None):
+        self.entries: typing.List[dict] = list(entries or [])
+        self._by_identity: typing.Dict[tuple, dict] = {}
+        for entry in self.entries:
+            self._by_identity[self._identity(entry)] = entry
+        self._matched: typing.Set[tuple] = set()
+
+    @classmethod
+    def _identity(cls, entry: dict) -> tuple:
+        return (
+            entry.get("rule", ""),
+            _normalize_path(entry.get("path", "")),
+            entry.get("symbol", ""),
+            entry.get("snippet", ""),
+        )
+
+    @staticmethod
+    def _finding_identity(finding: Finding) -> tuple:
+        rule, path, symbol, snippet = finding.identity()
+        return (rule, _normalize_path(path), symbol, snippet)
+
+    def match(self, finding: Finding) -> typing.Optional[dict]:
+        """The entry covering ``finding``, marking it used; else None."""
+        identity = self._finding_identity(finding)
+        entry = self._by_identity.get(identity)
+        if entry is not None:
+            self._matched.add(identity)
+        return entry
+
+    def stale_entries(self) -> typing.List[dict]:
+        """Entries that matched nothing in the last run."""
+        return [
+            entry
+            for entry in self.entries
+            if self._identity(entry) not in self._matched
+        ]
+
+    def reason_for(self, finding: Finding) -> str:
+        entry = self._by_identity.get(self._finding_identity(finding))
+        return entry.get("reason", "") if entry else ""
+
+
+def load_baseline(path: typing.Union[str, pathlib.Path]) -> Baseline:
+    path = pathlib.Path(path)
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as error:
+        raise BaselineError(f"baseline {path} is not valid JSON: {error}") from error
+    if not isinstance(document, dict) or "entries" not in document:
+        raise BaselineError(f"baseline {path} lacks an 'entries' list")
+    entries = document["entries"]
+    if not isinstance(entries, list):
+        raise BaselineError(f"baseline {path} 'entries' must be a list")
+    for entry in entries:
+        if not isinstance(entry, dict) or not entry.get("rule"):
+            raise BaselineError(f"baseline {path} has a malformed entry: {entry!r}")
+    return Baseline(entries)
+
+
+def write_baseline(
+    path: typing.Union[str, pathlib.Path],
+    findings: typing.Iterable[Finding],
+    previous: typing.Optional[Baseline] = None,
+) -> int:
+    """Write a fresh baseline covering ``findings``; returns entry count.
+
+    Reasons are carried over from ``previous`` where the identity still
+    matches; new entries get :data:`TODO_REASON` so a human has to
+    write the justification before committing.
+    """
+    entries = []
+    seen = set()
+    for finding in sorted(findings, key=Finding.sort_key):
+        if finding.identity() in seen:
+            continue
+        seen.add(finding.identity())
+        reason = previous.reason_for(finding) if previous else ""
+        entries.append(
+            {
+                "rule": finding.rule,
+                "path": finding.path,
+                "symbol": finding.symbol,
+                "snippet": finding.snippet,
+                "reason": reason or TODO_REASON,
+            }
+        )
+    document = {"version": BASELINE_VERSION, "entries": entries}
+    text = json.dumps(document, indent=2, sort_keys=True) + "\n"
+    pathlib.Path(path).write_text(text, encoding="utf-8")
+    return len(entries)

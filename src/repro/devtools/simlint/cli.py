@@ -1,0 +1,171 @@
+"""``python -m repro lint`` — the simlint command line.
+
+Exit codes: 0 clean (possibly via suppressions/baseline), 1 findings,
+2 usage error. ``--write-baseline`` records the current findings as
+the new baseline and exits 0; a human then fills in the TODO reasons.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import typing
+
+from repro.devtools.simlint.baseline import (
+    DEFAULT_BASELINE_NAME,
+    Baseline,
+    BaselineError,
+    load_baseline,
+    write_baseline,
+)
+from repro.devtools.simlint.engine import LintUsageError, lint_paths
+from repro.devtools.simlint.registry import all_rules
+from repro.devtools.simlint.reporters import format_json, format_text
+
+EXIT_OK = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description=(
+            "simlint: determinism & lock-discipline static analysis for "
+            "the simulator. Suppress a finding inline with "
+            "'# simlint: disable=RULE (reason)'."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help=(
+            "baseline of accepted findings (default: "
+            f"{DEFAULT_BASELINE_NAME} if it exists)"
+        ),
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file; report every finding",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="record current findings as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="IDS",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="IDS",
+        default=None,
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="describe every registered rule and exit",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also report suppressed and baselined findings (text format)",
+    )
+    return parser
+
+
+def _split_ids(text: typing.Optional[str]) -> typing.Optional[typing.List[str]]:
+    if text is None:
+        return None
+    return [part.strip() for part in text.split(",") if part.strip()]
+
+
+def _list_rules(stream: typing.TextIO) -> None:
+    for rule in all_rules():
+        stream.write(f"{rule.id}  [{rule.severity}]  {rule.title}\n")
+        stream.write(f"    why:  {rule.rationale}\n")
+        stream.write(f"    fix:  {rule.hint}\n")
+
+
+def _resolve_baseline(
+    args: argparse.Namespace,
+) -> typing.Tuple[typing.Optional[Baseline], typing.Optional[pathlib.Path]]:
+    if args.no_baseline and not args.write_baseline:
+        return None, None
+    if args.baseline is not None:
+        path = pathlib.Path(args.baseline)
+        if path.exists():
+            return load_baseline(path), path
+        if args.write_baseline:
+            return None, path
+        raise BaselineError(f"baseline file not found: {path}")
+    default = pathlib.Path(DEFAULT_BASELINE_NAME)
+    if default.exists():
+        return load_baseline(default), default
+    return None, default if args.write_baseline else None
+
+
+def main(argv: typing.Optional[typing.Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        _list_rules(sys.stdout)
+        return EXIT_OK
+
+    try:
+        baseline, baseline_path = _resolve_baseline(args)
+    except BaselineError as error:
+        print(f"simlint: error: {error}", file=sys.stderr)
+        return EXIT_USAGE
+
+    try:
+        if args.write_baseline:
+            # Baseline refresh wants the raw findings, unfiltered.
+            report = lint_paths(
+                args.paths,
+                select=_split_ids(args.select),
+                ignore=_split_ids(args.ignore),
+                baseline=None,
+            )
+            target = baseline_path or pathlib.Path(DEFAULT_BASELINE_NAME)
+            count = write_baseline(target, report.active, previous=baseline)
+            print(f"simlint: wrote {count} entr{'y' if count == 1 else 'ies'} "
+                  f"to {target}")
+            return EXIT_OK
+        report = lint_paths(
+            args.paths,
+            select=_split_ids(args.select),
+            ignore=_split_ids(args.ignore),
+            baseline=baseline,
+        )
+    except LintUsageError as error:
+        print(f"simlint: error: {error}", file=sys.stderr)
+        return EXIT_USAGE
+
+    if args.format == "json":
+        sys.stdout.write(format_json(report))
+    else:
+        print(format_text(report, verbose=args.verbose))
+    return EXIT_OK if report.ok else EXIT_FINDINGS
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

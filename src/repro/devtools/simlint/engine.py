@@ -1,0 +1,100 @@
+"""The lint engine: walk files, run rules, apply suppressions/baseline.
+
+File discovery is itself deterministic (paths sorted, duplicates
+dropped) — the linter practices what it preaches, so two runs over the
+same tree produce byte-identical reports.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import typing
+
+from repro.devtools.simlint.baseline import Baseline
+from repro.devtools.simlint.context import ModuleContext
+from repro.devtools.simlint.findings import Finding, LintReport
+from repro.devtools.simlint.registry import Rule, get_rules
+
+
+class LintUsageError(ValueError):
+    """Bad invocation: unknown rule id, missing path, unreadable file."""
+
+
+def iter_python_files(
+    paths: typing.Sequence[typing.Union[str, pathlib.Path]],
+) -> typing.List[pathlib.Path]:
+    """Every ``.py`` file under ``paths``, sorted, without duplicates."""
+    found: typing.Set[pathlib.Path] = set()
+    for raw in paths:
+        path = pathlib.Path(raw)
+        if path.is_file():
+            found.add(path)
+        elif path.is_dir():
+            found.update(path.rglob("*.py"))
+        else:
+            raise LintUsageError(f"no such file or directory: {path}")
+    return sorted(p for p in found if p.suffix == ".py")
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: typing.Optional[typing.Sequence[Rule]] = None,
+) -> typing.List[Finding]:
+    """Lint one source string; the workhorse for tests and fixtures.
+
+    Findings suppressed inline are still returned, flagged with
+    ``suppressed=True``, so callers can distinguish "clean" from
+    "suppressed".
+    """
+    ctx = ModuleContext(path, source)
+    findings: typing.List[Finding] = []
+    for rule in rules if rules is not None else get_rules():
+        for finding in rule.check(ctx):
+            reason = ctx.suppression_for(finding.rule, finding.line)
+            if reason is not None:
+                finding.suppressed = True
+                finding.suppress_reason = reason
+            findings.append(finding)
+    findings.sort(key=Finding.sort_key)
+    return findings
+
+
+def lint_paths(
+    paths: typing.Sequence[typing.Union[str, pathlib.Path]],
+    select: typing.Optional[typing.Sequence[str]] = None,
+    ignore: typing.Optional[typing.Sequence[str]] = None,
+    baseline: typing.Optional[Baseline] = None,
+) -> LintReport:
+    """Lint every file under ``paths`` and classify the findings."""
+    try:
+        rules = get_rules(select=select, ignore=ignore)
+    except KeyError as error:
+        raise LintUsageError(str(error)) from error
+    report = LintReport()
+    for path in iter_python_files(paths):
+        try:
+            source = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as error:
+            raise LintUsageError(f"cannot read {path}: {error}") from error
+        try:
+            findings = lint_source(source, path.as_posix(), rules)
+        except SyntaxError as error:
+            raise LintUsageError(f"cannot parse {path}: {error}") from error
+        report.files_checked += 1
+        for finding in findings:
+            if finding.suppressed:
+                report.suppressed.append(finding)
+                continue
+            if baseline is not None:
+                entry = baseline.match(finding)
+                if entry is not None:
+                    finding.baselined = True
+                    finding.baseline_reason = entry.get("reason", "")
+                    report.baselined.append(finding)
+                    continue
+            report.active.append(finding)
+    if baseline is not None:
+        report.stale_baseline = baseline.stale_entries()
+    report.active.sort(key=Finding.sort_key)
+    return report

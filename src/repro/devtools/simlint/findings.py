@@ -1,0 +1,80 @@
+"""The unit of lint output: one finding at one source location.
+
+A finding's *identity* deliberately excludes the line number: baselines
+match on ``(rule, path, symbol, snippet)`` so that unrelated edits that
+shift code up or down do not invalidate the baseline, while touching
+the offending line itself (changing its text) surfaces the finding
+again for a fresh look.
+"""
+
+from __future__ import annotations
+
+import typing
+from dataclasses import dataclass, field
+
+#: Severities in increasing order of importance.
+SEVERITIES = ("note", "warning", "error")
+
+
+@dataclass
+class Finding:
+    """One rule violation at one location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    severity: str = "error"
+    symbol: str = "<module>"
+    snippet: str = ""
+    hint: str = ""
+    #: Set by the engine when an inline suppression covers the finding.
+    suppressed: bool = False
+    #: The inline suppression's stated reason, if any.
+    suppress_reason: str = ""
+    #: Set by the engine when a baseline entry covers the finding.
+    baselined: bool = False
+    baseline_reason: str = ""
+
+    def identity(self) -> typing.Tuple[str, str, str, str]:
+        """Line-number-independent identity used for baseline matching."""
+        return (self.rule, self.path, self.symbol, self.snippet)
+
+    def sort_key(self) -> typing.Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "severity": self.severity,
+            "message": self.message,
+            "symbol": self.symbol,
+            "snippet": self.snippet,
+            "hint": self.hint,
+        }
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced, before and after filtering.
+
+    ``active`` findings are the ones that fail the build; suppressed
+    and baselined findings are kept for reporting (``--format json``
+    emits their counts) but do not affect the exit code. ``stale``
+    lists baseline entries that no longer match any finding — a nudge
+    to refresh the baseline, never an error.
+    """
+
+    active: typing.List[Finding] = field(default_factory=list)
+    suppressed: typing.List[Finding] = field(default_factory=list)
+    baselined: typing.List[Finding] = field(default_factory=list)
+    stale_baseline: typing.List[dict] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.active

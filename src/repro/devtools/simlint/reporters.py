@@ -1,0 +1,75 @@
+"""Finding reporters: human text and machine JSON."""
+
+from __future__ import annotations
+
+import json
+import typing
+
+from repro.devtools.simlint.findings import LintReport
+
+REPORT_VERSION = 1
+
+
+def format_text(report: LintReport, verbose: bool = False) -> str:
+    """The human report: one block per finding plus a summary line."""
+    lines: typing.List[str] = []
+    for finding in report.active:
+        lines.append(
+            f"{finding.path}:{finding.line}:{finding.col + 1}: "
+            f"{finding.rule} {finding.severity}: {finding.message}"
+        )
+        if finding.snippet:
+            lines.append(f"    {finding.snippet}")
+        if finding.hint:
+            lines.append(f"    hint: {finding.hint}")
+    if verbose:
+        for finding in report.suppressed:
+            lines.append(
+                f"{finding.path}:{finding.line}: {finding.rule} suppressed "
+                f"inline: {finding.suppress_reason}"
+            )
+        for finding in report.baselined:
+            lines.append(
+                f"{finding.path}:{finding.line}: {finding.rule} baselined: "
+                f"{finding.baseline_reason}"
+            )
+    for entry in report.stale_baseline:
+        lines.append(
+            f"note: stale baseline entry {entry.get('rule')} at "
+            f"{entry.get('path')}:{entry.get('symbol')} matches nothing — "
+            "refresh with --write-baseline"
+        )
+    lines.append(
+        f"simlint: {len(report.active)} finding(s) in "
+        f"{report.files_checked} file(s) "
+        f"({len(report.suppressed)} suppressed inline, "
+        f"{len(report.baselined)} baselined, "
+        f"{len(report.stale_baseline)} stale baseline entr"
+        f"{'y' if len(report.stale_baseline) == 1 else 'ies'})"
+    )
+    return "\n".join(lines)
+
+
+def format_json(report: LintReport) -> str:
+    """The machine report: stable key order, newline-terminated."""
+    document = {
+        "version": REPORT_VERSION,
+        "findings": [finding.to_dict() for finding in report.active],
+        "suppressed": [
+            dict(finding.to_dict(), reason=finding.suppress_reason)
+            for finding in report.suppressed
+        ],
+        "baselined": [
+            dict(finding.to_dict(), reason=finding.baseline_reason)
+            for finding in report.baselined
+        ],
+        "stale_baseline": report.stale_baseline,
+        "summary": {
+            "files_checked": report.files_checked,
+            "active": len(report.active),
+            "suppressed": len(report.suppressed),
+            "baselined": len(report.baselined),
+            "ok": report.ok,
+        },
+    }
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"

@@ -1,0 +1,17 @@
+"""Rule modules. Importing this package registers every rule.
+
+Rule inventory (IDs are stable public API):
+
+- ``DET001`` — no wall-clock reads in simulation code
+- ``DET002`` — no module-level or unseeded random draws
+- ``DET003`` — no id()-based ordering
+- ``DET004`` — no iteration over hash-ordered collections
+- ``LOCK001`` — stripe-lock acquire must release in try/finally
+- ``TIME001`` — no ==/!= between float simulated timestamps
+- ``MUT001`` — no mutation of frozen configs outside constructors
+- ``ERR001`` — no broad except that can swallow DataLossError
+"""
+
+from repro.devtools.simlint.rules import determinism, errors, hygiene, locks
+
+__all__ = ["determinism", "errors", "hygiene", "locks"]

@@ -1,0 +1,87 @@
+"""Error-hygiene rule: ERR001.
+
+:class:`~repro.array.faults.DataLossError` is the simulator's "the
+array just lost data" signal. It must reach the accounting layer (or
+the operator) — a broad ``except`` that catches and discards it turns
+a measured data-loss event into a silent wrong answer. The rule flags
+bare/broad handlers unless they visibly re-raise or a more specific
+``DataLossError`` handler runs first.
+"""
+
+from __future__ import annotations
+
+import ast
+import typing
+
+from repro.devtools.simlint.context import ModuleContext, dotted_parts
+from repro.devtools.simlint.findings import Finding
+from repro.devtools.simlint.registry import Rule, register
+
+_BROAD = frozenset({"Exception", "BaseException"})
+
+
+def _exception_names(type_node: typing.Optional[ast.expr]) -> typing.List[str]:
+    """Terminal names of the exception types one handler catches."""
+    if type_node is None:
+        return []
+    nodes = type_node.elts if isinstance(type_node, ast.Tuple) else [type_node]
+    names = []
+    for node in nodes:
+        parts = dotted_parts(node)
+        if parts:
+            names.append(parts[-1])
+    return names
+
+
+def _contains_raise(stmts: typing.Sequence[ast.stmt]) -> bool:
+    stack: typing.List[ast.AST] = list(stmts)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+    return False
+
+
+@register
+class BroadExceptRule(Rule):
+    id = "ERR001"
+    title = "no broad except that can swallow DataLossError"
+    rationale = (
+        "DataLossError is a measured result, not a flake: a broad "
+        "handler that discards it turns an accounted data-loss event "
+        "into a silently wrong answer"
+    )
+    hint = (
+        "catch the specific exceptions you can handle, add an `except "
+        "DataLossError` arm before the broad one, or re-raise"
+    )
+
+    def check(self, ctx: ModuleContext) -> typing.Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Try):
+                continue
+            data_loss_handled = False
+            for handler in node.handlers:
+                names = _exception_names(handler.type)
+                if "DataLossError" in names:
+                    data_loss_handled = True
+                    continue
+                broad = handler.type is None or any(
+                    name in _BROAD for name in names
+                )
+                if not broad:
+                    continue
+                if data_loss_handled:
+                    continue
+                if _contains_raise(handler.body):
+                    continue
+                label = "bare except:" if handler.type is None else (
+                    f"broad except {' / '.join(names)}"
+                )
+                yield self.finding(
+                    ctx, handler,
+                    f"{label} can swallow DataLossError without re-raising",
+                )

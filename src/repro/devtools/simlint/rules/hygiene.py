@@ -1,0 +1,163 @@
+"""Sim-time and frozen-config hygiene rules: TIME001, MUT001.
+
+Simulated timestamps are floats accumulated through arithmetic
+(seek + rotation + transfer, retry backoff doublings...), so exact
+``==``/``!=`` between two of them is brittle: a refactor that changes
+the order of float additions flips the comparison without changing the
+physics. State machines should track phase explicitly or compare with
+inequalities.
+
+Frozen configs (``ScenarioConfig``, ``FaultProfile``) are hashed into
+cache keys; mutating one after construction desynchronizes the object
+from the key it was cached under.
+"""
+
+from __future__ import annotations
+
+import ast
+import typing
+
+from repro.devtools.simlint.context import ModuleContext
+from repro.devtools.simlint.findings import Finding
+from repro.devtools.simlint.registry import Rule, register
+
+#: Terminal attribute/variable names treated as simulated timestamps.
+_TIMESTAMP_SUFFIXES = ("_ms",)
+_TIMESTAMP_NAMES = frozenset({"now"})
+
+#: Frozen config types whose instances must never be mutated in place.
+FROZEN_CONFIG_TYPES = ("FaultProfile", "ScenarioConfig")
+
+#: Methods allowed to call object.__setattr__ (frozen-dataclass
+#: construction and unpickling).
+_CONSTRUCTOR_METHODS = frozenset(
+    {"__init__", "__post_init__", "__new__", "__setstate__"}
+)
+
+
+def _is_timestamp(node: ast.AST) -> bool:
+    if isinstance(node, ast.Attribute):
+        terminal = node.attr
+    elif isinstance(node, ast.Name):
+        terminal = node.id
+    else:
+        return False
+    return terminal in _TIMESTAMP_NAMES or terminal.endswith(_TIMESTAMP_SUFFIXES)
+
+
+@register
+class SimTimeEqualityRule(Rule):
+    id = "TIME001"
+    title = "no ==/!= between float simulated timestamps"
+    rationale = (
+        "simulated timestamps are accumulated floats; exact equality "
+        "flips under refactors that reorder additions, silently changing "
+        "replayed behaviour"
+    )
+    hint = (
+        "compare with <=/>= (or an explicit tolerance), or track the "
+        "state transition explicitly instead of re-deriving it from time"
+    )
+
+    def check(self, ctx: ModuleContext) -> typing.Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+                continue
+            operands = [node.left] + list(node.comparators)
+            if any(_is_timestamp(operand) for operand in operands):
+                yield self.finding(
+                    ctx, node,
+                    "exact ==/!= comparison involving a simulated timestamp",
+                )
+
+
+@register
+class FrozenConfigMutationRule(Rule):
+    id = "MUT001"
+    title = "no mutation of frozen configs outside constructors"
+    rationale = (
+        "ScenarioConfig/FaultProfile are hashed into content-addressed "
+        "cache keys; in-place mutation desynchronizes the object from "
+        "the key it was cached under"
+    )
+    hint = "derive a new config with dataclasses.replace(...) instead"
+
+    def check(self, ctx: ModuleContext) -> typing.Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_setattr(ctx, node)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_attribute_stores(ctx, node)
+
+    def _check_setattr(
+        self, ctx: ModuleContext, node: ast.Call
+    ) -> typing.Iterator[Finding]:
+        if ctx.resolve(node.func) != "object.__setattr__":
+            return
+        function = ctx.enclosing_function(node)
+        if function is not None and function.name in _CONSTRUCTOR_METHODS:
+            return
+        yield self.finding(
+            ctx, node,
+            "object.__setattr__ outside a constructor defeats frozen "
+            "dataclass protection",
+        )
+
+    def _check_attribute_stores(
+        self,
+        ctx: ModuleContext,
+        function: typing.Union[ast.FunctionDef, ast.AsyncFunctionDef],
+    ) -> typing.Iterator[Finding]:
+        frozen_names = self._frozen_annotated_names(function)
+        if not frozen_names:
+            return
+        for node in ast.walk(function):
+            targets: typing.List[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id in frozen_names
+                ):
+                    yield self.finding(
+                        ctx, node,
+                        f"assignment to attribute of frozen config "
+                        f"{target.value.id!r} "
+                        f"({frozen_names[target.value.id]})",
+                    )
+
+    @staticmethod
+    def _frozen_annotated_names(
+        function: typing.Union[ast.FunctionDef, ast.AsyncFunctionDef],
+    ) -> typing.Dict[str, str]:
+        """Parameter/variable names annotated with a frozen config type."""
+        names: typing.Dict[str, str] = {}
+
+        def note(name: str, annotation: typing.Optional[ast.expr]) -> None:
+            if annotation is None:
+                return
+            try:
+                text = ast.unparse(annotation)
+            except (ValueError, AttributeError):  # pragma: no cover - malformed
+                return
+            for frozen_type in FROZEN_CONFIG_TYPES:
+                if frozen_type in text:
+                    names[name] = frozen_type
+
+        args = function.args
+        for arg in (
+            list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        ):
+            note(arg.arg, arg.annotation)
+        for node in ast.walk(function):
+            if isinstance(node, ast.AnnAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                note(node.target.id, node.annotation)
+        return names

@@ -1,0 +1,166 @@
+"""Lock-discipline rule: LOCK001.
+
+A poor-man's race detector for the discrete-event simulator. Stripe
+locks (:mod:`repro.array.locks`) are acquired inside generator
+processes; any ``yield`` between acquire and release is a point where
+a simulated-fault exception can be thrown *into* the generator
+(``generator.throw`` — see :mod:`repro.sim.process`). If the release
+is not guaranteed by a ``try/finally``, that exception leaks the
+stripe lock and every later request on the stripe deadlocks — a bug
+that only manifests under fault injection, long after the code merged.
+
+The rule checks every generator function: a statement that acquires a
+stripe lock (``<chain>.locks.acquire(...)``, or any ``.acquire()`` on
+an object whose name ends in ``locks``/``lock_table``) must either be
+immediately followed by a ``try`` whose ``finally`` releases the same
+lock object, or already sit inside such a ``try``. Lock-ownership
+handoffs (release happens in another process) are legitimate but rare
+enough to demand an explicit inline suppression with a reason.
+"""
+
+from __future__ import annotations
+
+import ast
+import typing
+
+from repro.devtools.simlint.context import ModuleContext, dotted_parts
+from repro.devtools.simlint.findings import Finding
+from repro.devtools.simlint.registry import Rule, register
+
+#: Final component of the object a lock method is called on.
+LOCK_BASES = ("locks", "lock_table", "stripe_locks")
+
+
+def _lock_chain(call: ast.Call, method: str) -> typing.Optional[str]:
+    """``"self.locks"`` for ``self.locks.acquire(...)``; None otherwise."""
+    func = call.func
+    if not (isinstance(func, ast.Attribute) and func.attr == method):
+        return None
+    parts = dotted_parts(func.value)
+    if not parts:
+        return None
+    if parts[-1] in LOCK_BASES or parts[-1].endswith("_locks"):
+        return ".".join(parts)
+    return None
+
+
+def _find_call(node: ast.AST, method: str) -> typing.Optional[typing.Tuple[ast.Call, str]]:
+    for child in ast.walk(node):
+        if isinstance(child, ast.Call):
+            chain = _lock_chain(child, method)
+            if chain is not None:
+                return child, chain
+    return None
+
+
+def _is_generator(func: typing.Union[ast.FunctionDef, ast.AsyncFunctionDef]) -> bool:
+    """Does ``func`` itself (not a nested def) contain a yield?"""
+    stack: typing.List[ast.AST] = list(func.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            return True
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+    return False
+
+
+def _releases_in(stmts: typing.Sequence[ast.stmt], chain: str) -> bool:
+    for stmt in stmts:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call) and _lock_chain(node, "release") == chain:
+                return True
+    return False
+
+
+_BLOCK_FIELDS = ("body", "orelse", "finalbody")
+
+
+@register
+class LockReleaseRule(Rule):
+    id = "LOCK001"
+    title = "stripe-lock acquire must release in try/finally"
+    rationale = (
+        "a simulated-fault exception thrown into a generator between "
+        "acquire and release leaks the stripe lock and deadlocks every "
+        "later request on that stripe"
+    )
+    hint = (
+        "follow `yield locks.acquire(s)` immediately with try/finally "
+        "releasing the same lock; suppress with a reason for deliberate "
+        "ownership handoffs"
+    )
+
+    def check(self, ctx: ModuleContext) -> typing.Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not _is_generator(node):
+                continue
+            yield from self._check_block(ctx, node.body, guarded=frozenset())
+
+    def _check_block(
+        self,
+        ctx: ModuleContext,
+        stmts: typing.Sequence[ast.stmt],
+        guarded: typing.FrozenSet[str],
+    ) -> typing.Iterator[Finding]:
+        """Scan one statement list; ``guarded`` holds lock chains whose
+        release is already guaranteed by an enclosing finally."""
+        for index, stmt in enumerate(stmts):
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            compound = any(
+                getattr(stmt, fieldname, None) for fieldname in _BLOCK_FIELDS
+            ) or bool(getattr(stmt, "handlers", None))
+            # Only simple statements are judged here; acquires inside a
+            # compound statement's blocks are judged by the recursion,
+            # against their own sibling list and guard set.
+            if not compound:
+                acquire = _find_call(stmt, "acquire")
+                if acquire is not None:
+                    call, chain = acquire
+                    if chain not in guarded and not self._next_is_guarding_try(
+                        stmts, index, chain
+                    ):
+                        yield self.finding(
+                            ctx, call,
+                            f"{chain}.acquire() on a yield-containing path is "
+                            "not guarded by try/finally release",
+                        )
+            # Recurse into nested blocks with updated guards.
+            if isinstance(stmt, ast.Try):
+                inner = guarded
+                for chain in self._released_chains(stmt.finalbody):
+                    inner = inner | {chain}
+                yield from self._check_block(ctx, stmt.body, inner)
+                for handler in stmt.handlers:
+                    yield from self._check_block(ctx, handler.body, inner)
+                yield from self._check_block(ctx, stmt.orelse, inner)
+                yield from self._check_block(ctx, stmt.finalbody, guarded)
+            else:
+                for fieldname in _BLOCK_FIELDS:
+                    inner_stmts = getattr(stmt, fieldname, None)
+                    if inner_stmts:
+                        yield from self._check_block(ctx, inner_stmts, guarded)
+
+    @staticmethod
+    def _released_chains(finalbody: typing.Sequence[ast.stmt]) -> typing.List[str]:
+        chains = []
+        for stmt in finalbody:
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Call):
+                    chain = _lock_chain(node, "release")
+                    if chain is not None:
+                        chains.append(chain)
+        return chains
+
+    @staticmethod
+    def _next_is_guarding_try(
+        stmts: typing.Sequence[ast.stmt], index: int, chain: str
+    ) -> bool:
+        if index + 1 >= len(stmts):
+            return False
+        nxt = stmts[index + 1]
+        return isinstance(nxt, ast.Try) and _releases_in(nxt.finalbody, chain)

@@ -30,6 +30,7 @@ import typing
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 
+from repro.array.faults import DataLossError
 from repro.experiments.runner import ScenarioConfig, ScenarioResult, run_scenario
 from repro.sweep.cache import ResultCache, result_from_dict, result_to_dict
 from repro.sweep.grid import SweepPoint, SweepSpec
@@ -48,6 +49,21 @@ def execute_config_key(key: typing.Dict[str, typing.Any]) -> dict:
     """Worker entry point: canonical config key in, result dict out."""
     config = ScenarioConfig.from_key(key)
     return result_to_dict(run_scenario(config))
+
+
+def _attach_scenario_key(
+    error: BaseException, point: SweepPoint
+) -> BaseException:
+    """Tag ``error`` with the scenario that raised it.
+
+    The sweep runs many points; an exception that escapes (or lands in
+    the failure log) must say *which* config produced it, or the report
+    is undebuggable. The key is attached once — retries of the same
+    point reuse the tag.
+    """
+    if getattr(error, "scenario_key", None) is None:
+        error.scenario_key = point.config.to_key()  # type: ignore[attr-defined]
+    return error
 
 
 @dataclass
@@ -144,11 +160,15 @@ def run_sweep(
     if failures and options.strict:
         point, error = failures[0]
         where = point.coords or point.config
-        raise SweepError(
+        sweep_error = SweepError(
             f"sweep point #{point.index} ({where}) failed after "
             f"{options.retries} retries: {error!r}"
             + (f" (+{len(failures) - 1} more failed points)" if len(failures) > 1 else "")
-        ) from error
+        )
+        sweep_error.scenario_key = (
+            getattr(error, "scenario_key", None) or point.config.to_key()
+        )
+        raise sweep_error from error
     return SweepOutcome(results=results, summary=summary)
 
 
@@ -162,8 +182,14 @@ def _serial_run(points, options, execute, reporter, on_done, on_fail) -> None:
                 reporter.retried()
             try:
                 result = execute(key)
+            except DataLossError as exc:
+                # Data loss is a deterministic *result* of this config,
+                # not a flake: retrying replays it bit-identically, so
+                # fail the point immediately and keep the full context.
+                error = _attach_scenario_key(exc, point)
+                break
             except Exception as exc:
-                error = exc
+                error = _attach_scenario_key(exc, point)
             else:
                 on_done(point, result)
                 error = None
@@ -205,12 +231,14 @@ def _pool_run(points, options, execute, reporter, on_done, on_fail) -> None:
                 point, budget = pending.popleft()
                 future = pool.submit(execute, point.config.to_key())
                 deadline = (
+                    # simlint: disable=DET001 (wall-clock bounds worker runtime, never feeds results)
                     time.monotonic() + options.timeout_s if options.timeout_s else None
                 )
                 outstanding[future] = (point, budget, deadline)
 
             deadlines = [d for _p, _b, d in outstanding.values() if d is not None]
             wait_s = (
+                # simlint: disable=DET001 (wall-clock bounds worker runtime, never feeds results)
                 max(0.0, min(deadlines) - time.monotonic()) if deadlines else None
             )
             done, _not_done = concurrent.futures.wait(
@@ -228,8 +256,12 @@ def _pool_run(points, options, execute, reporter, on_done, on_fail) -> None:
                     except BrokenProcessPool as exc:
                         broken = True
                         charge(point, budget, exc)
+                    except DataLossError as exc:
+                        # Deterministic result, not a flake: no retry
+                        # budget is spent re-simulating the same loss.
+                        on_fail(point, _attach_scenario_key(exc, point))
                     except Exception as exc:
-                        charge(point, budget, exc)
+                        charge(point, budget, _attach_scenario_key(exc, point))
                     else:
                         on_done(point, result)
                 if broken:
@@ -243,7 +275,7 @@ def _pool_run(points, options, execute, reporter, on_done, on_fail) -> None:
                 continue
 
             # Nothing finished within the nearest deadline: expire points.
-            now = time.monotonic()
+            now = time.monotonic()  # simlint: disable=DET001 (wall-clock bounds worker runtime, never feeds results)
             expired = {
                 future
                 for future, (_p, _b, deadline) in outstanding.items()

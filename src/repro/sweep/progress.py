@@ -9,6 +9,8 @@ and failure counts are how a caller verifies what actually ran.
 
 from __future__ import annotations
 
+# simlint: disable-file=DET001 (progress/ETA display reads the wall clock; elapsed_s is measurement metadata, never part of a cached result)
+
 import sys
 import time
 import typing

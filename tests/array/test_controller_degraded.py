@@ -1,7 +1,5 @@
 """Degraded-mode behaviour: failed disk, no replacement installed."""
 
-import pytest
-
 from repro.array.datastore import initial_data_pattern
 from tests.conftest import build_array, total_disk_accesses
 

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.array import ArrayFaults, DiskMode
+from repro.array.faults import DataLossError
 
 
 class TestFaultTransitions:
@@ -65,3 +66,47 @@ class TestFaultTransitions:
     def test_out_of_range_disk_rejected(self):
         with pytest.raises(ValueError):
             ArrayFaults(5).fail(5)
+
+
+class TestDeterministicOrdering:
+    """Regression tests pinning the sorted-tuple idiom (simlint DET004).
+
+    Failure records are built from sets; cache keys and result documents
+    embed them, so their ordering must not depend on insertion order.
+    """
+
+    def test_concurrent_failures_sorted_regardless_of_failure_order(self):
+        faults = ArrayFaults(8)
+        faults.fail(5)
+        faults.fail(1, allow_data_loss=True)
+        event = faults.fail(6, allow_data_loss=True)
+        assert event.concurrent_failures == (1, 5)
+        assert event.all_failed_disks == (1, 5, 6)
+
+    def test_reversed_failure_order_yields_identical_tuples(self):
+        forward = ArrayFaults(8)
+        forward.fail(1)
+        forward.fail(5, allow_data_loss=True)
+        backward = ArrayFaults(8)
+        backward.fail(5)
+        backward.fail(1, allow_data_loss=True)
+        next_forward = forward.fail(3, allow_data_loss=True)
+        next_backward = backward.fail(3, allow_data_loss=True)
+        assert next_forward.concurrent_failures == (1, 5)
+        assert (
+            next_forward.concurrent_failures
+            == next_backward.concurrent_failures
+        )
+        assert next_forward.all_failed_disks == next_backward.all_failed_disks
+
+    def test_data_loss_error_lists_disks_sorted(self):
+        faults = ArrayFaults(8)
+        faults.fail(6)
+        with pytest.raises(DataLossError) as exc_info:
+            faults.fail(2)
+        assert exc_info.value.failed_disks == (6, 2)
+        # The concurrent (already-down) prefix is sorted; the new disk
+        # is appended last so callers can tell which failure lost data.
+        assert exc_info.value.failed_disks[:-1] == tuple(
+            sorted(exc_info.value.failed_disks[:-1])
+        )

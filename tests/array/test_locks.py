@@ -1,8 +1,15 @@
-"""Unit tests for per-stripe locks."""
+"""Unit tests for per-stripe locks.
+
+The discipline tests (release on exception, FIFO grants, no double
+release) are the runtime counterpart of simlint's LOCK001 rule: the
+lint proves the try/finally is *written*, these prove it *works*.
+"""
 
 import pytest
 
 from repro.array import StripeLockTable
+from repro.array.faults import DataLossError
+from repro.array.locks import _Mutex
 from repro.sim import Environment
 
 
@@ -70,6 +77,31 @@ class TestMutualExclusion:
         env.run()
         assert admitted == ["a", "b", "c"]
 
+    def test_fifo_grant_order_under_same_instant_contention(self):
+        """Waiters queued at the same simulated instant are granted in
+        submission order — the replayable schedule LOCK001 protects."""
+        env = Environment()
+        locks = StripeLockTable(env)
+        admitted = []
+
+        def holder(env):
+            yield locks.acquire(0)
+            yield env.timeout(5.0)
+            locks.release(0)
+
+        def waiter(env, tag):
+            yield locks.acquire(0)
+            admitted.append((tag, env.now))
+            locks.release(0)
+
+        env.process(holder(env))
+        for tag in ("w0", "w1", "w2", "w3"):
+            env.process(waiter(env, tag))
+        env.run()
+        assert admitted == [
+            ("w0", 5.0), ("w1", 5.0), ("w2", 5.0), ("w3", 5.0)
+        ]
+
 
 class TestHousekeeping:
     def test_idle_locks_are_discarded(self):
@@ -102,3 +134,99 @@ class TestHousekeeping:
         locks = StripeLockTable(env)
         with pytest.raises(KeyError):
             locks.release(9)
+
+
+class TestDiscipline:
+    def test_lock_released_on_exception_in_critical_section(self):
+        """A fault raised inside a try/finally critical section must not
+        leak the stripe lock: later acquirers still get in."""
+        env = Environment()
+        locks = StripeLockTable(env)
+        admitted = []
+
+        def faulty(env):
+            yield locks.acquire(4)
+            try:
+                yield env.timeout(2.0)
+                raise DataLossError("simulated double failure")
+            except DataLossError:
+                pass
+            finally:
+                locks.release(4)
+
+        def follower(env):
+            yield env.timeout(1.0)
+            yield locks.acquire(4)
+            admitted.append(env.now)
+            locks.release(4)
+
+        env.process(faulty(env))
+        env.process(follower(env))
+        env.run()
+        assert admitted == [2.0]
+        assert locks.held_count == 0
+
+    def test_exception_thrown_into_waiting_process_releases_lock(self):
+        """The LOCK001 scenario end to end: the fault arrives *via the
+        kernel* (a failing event thrown into the generator at its yield
+        point), and the try/finally still releases the stripe lock."""
+        env = Environment()
+        locks = StripeLockTable(env)
+        admitted = []
+        doomed = env.event()
+
+        def victim(env):
+            yield locks.acquire(8)
+            try:
+                yield doomed  # fails -> DataLossError thrown in here
+            except DataLossError:
+                pass
+            finally:
+                locks.release(8)
+
+        def saboteur(env):
+            yield env.timeout(3.0)
+            doomed.fail(DataLossError("injected at the yield point"))
+
+        def follower(env):
+            yield env.timeout(1.0)
+            yield locks.acquire(8)
+            admitted.append(env.now)
+            locks.release(8)
+
+        env.process(victim(env))
+        env.process(saboteur(env))
+        env.process(follower(env))
+        env.run()
+        assert admitted == [3.0]
+        assert locks.held_count == 0
+
+    def test_double_release_raises(self):
+        """A second release of the same stripe raises instead of silently
+        corrupting lock state (the table discards idle mutexes, so the
+        stale stripe key is gone)."""
+        env = Environment()
+        locks = StripeLockTable(env)
+        errors = []
+
+        def body(env):
+            yield locks.acquire(5)
+            locks.release(5)
+            try:
+                locks.release(5)
+            except (KeyError, RuntimeError) as error:
+                errors.append(error)
+
+        env.process(body(env))
+        env.run()
+        assert len(errors) == 1
+        assert locks.held_count == 0
+
+    def test_mutex_double_release_raises(self):
+        """The underlying mutex refuses to release an unlocked lock."""
+        env = Environment()
+        mutex = _Mutex(env)
+        mutex.acquire()
+        mutex.release()
+        with pytest.raises(RuntimeError, match="release of an unlocked mutex"):
+            mutex.release()

@@ -4,7 +4,6 @@ import pytest
 
 from repro.array.sparing import SparePool
 from repro.recon import USER_WRITES
-from tests.conftest import build_array
 
 
 class TestAutomaticRepair:

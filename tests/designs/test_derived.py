@@ -88,3 +88,40 @@ class TestComplementDesign:
         nearly_full = complete_design(4, 3)
         with pytest.raises(DesignError, match="size"):
             complement_design(nearly_full)
+
+
+class TestDeterministicOrdering:
+    """Regression tests pinning tuple ordering (simlint DET004).
+
+    Design tuples feed layout tables and, through them, every cached
+    sweep result — two runs must emit byte-identical tuples.
+    """
+
+    def test_derived_tuples_are_reproducible(self):
+        first = derived_design(quadratic_residue_design(11))
+        second = derived_design(quadratic_residue_design(11))
+        assert first.tuples == second.tuples
+
+    def test_derived_relabelling_follows_base_tuple_order(self):
+        # The base tuple's elements map to 0..k-1 in the order they
+        # appear in the base tuple, so every intersection is expressed
+        # in a deterministic labelling, not set-iteration order.
+        symmetric = quadratic_residue_design(11)
+        base = symmetric.tuples[0]
+        relabel = {obj: i for i, obj in enumerate(base)}
+        derived = derived_design(symmetric)
+        for original, intersection in zip(symmetric.tuples[1:], derived.tuples):
+            expected = tuple(
+                relabel[obj] for obj in original if obj in set(base)
+            )
+            assert intersection == expected
+
+    def test_complement_tuples_are_ascending(self):
+        comp = complement_design(quadratic_residue_design(11))
+        for t in comp.tuples:
+            assert t == tuple(sorted(t))
+
+    def test_complement_tuples_are_reproducible(self):
+        first = complement_design(complete_design(6, 2))
+        second = complement_design(complete_design(6, 2))
+        assert first.tuples == second.tuples

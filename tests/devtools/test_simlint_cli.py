@@ -1,0 +1,128 @@
+"""CLI tests, including the acceptance gates: the repo lints clean
+under its checked-in baseline, and introducing any rule's positive
+fixture makes the exit code non-zero."""
+
+import json
+import pathlib
+import textwrap
+
+import pytest
+
+from repro.cli import main as repro_main
+from repro.devtools.simlint import all_rules
+from repro.devtools.simlint.cli import main as lint_main
+
+from tests.devtools.test_simlint_rules import FIXTURES
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, tmp_path):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        assert lint_main([str(tmp_path), "--no-baseline"]) == 0
+
+    @pytest.mark.parametrize(
+        "rule,snippet",
+        [(rule, positives[0]) for rule, positives, _neg in FIXTURES],
+    )
+    def test_each_rules_positive_fixture_fails_the_build(
+        self, tmp_path, rule, snippet
+    ):
+        (tmp_path / "bad.py").write_text(textwrap.dedent(snippet))
+        assert lint_main([str(tmp_path), "--no-baseline"]) == 1
+
+    def test_usage_error_exits_two(self, tmp_path, capsys):
+        assert lint_main([str(tmp_path / "missing"), "--no-baseline"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_unknown_rule_exits_two(self, tmp_path):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        assert lint_main([str(tmp_path), "--select", "NOPE1"]) == 2
+
+    def test_missing_baseline_file_exits_two(self, tmp_path):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        assert (
+            lint_main([str(tmp_path), "--baseline", str(tmp_path / "nope.json")])
+            == 2
+        )
+
+
+class TestRepoIsClean:
+    """The acceptance criterion: `python -m repro lint` exits 0 here."""
+
+    def test_src_lints_clean_with_checked_in_baseline(self, monkeypatch, capsys):
+        monkeypatch.chdir(REPO_ROOT)
+        exit_code = lint_main(["--format", "json"])
+        document = json.loads(capsys.readouterr().out)
+        assert exit_code == 0, document["findings"]
+        assert document["summary"]["ok"] is True
+        # Every baselined finding carries a human reason, not the TODO.
+        for entry in document["baselined"]:
+            assert entry["reason"]
+            assert not entry["reason"].startswith("TODO")
+
+    def test_checked_in_baseline_has_no_todo_or_stale_entries(
+        self, monkeypatch, capsys
+    ):
+        monkeypatch.chdir(REPO_ROOT)
+        document = json.loads(
+            (REPO_ROOT / "simlint-baseline.json").read_text(encoding="utf-8")
+        )
+        for entry in document["entries"]:
+            assert entry["reason"] and not entry["reason"].startswith("TODO")
+        lint_main(["--format", "json"])
+        report = json.loads(capsys.readouterr().out)
+        assert report["stale_baseline"] == []
+
+    def test_tests_tree_parses_under_lint(self, monkeypatch):
+        # The test tree is not gated (fixtures intentionally violate
+        # rules), but the engine must at least parse it without crashing.
+        monkeypatch.chdir(REPO_ROOT)
+        assert lint_main(["src/repro/devtools", "--no-baseline"]) == 0
+
+
+class TestListAndWrite:
+    def test_list_rules_names_every_rule(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in all_rules():
+            assert rule.id in out
+
+    def test_write_baseline_then_clean(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "bad.py").write_text(
+            "import time\n\ndef stamp():\n    return time.time()\n"
+        )
+        assert lint_main([str(tmp_path), "--write-baseline"]) == 0
+        capsys.readouterr()
+        baseline = tmp_path / "simlint-baseline.json"
+        assert baseline.exists()
+        assert lint_main([str(tmp_path), "--baseline", str(baseline)]) == 0
+
+    def test_no_baseline_overrides_default_file(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "bad.py").write_text(
+            "import time\n\ndef stamp():\n    return time.time()\n"
+        )
+        assert lint_main([str(tmp_path), "--write-baseline"]) == 0
+        assert lint_main([str(tmp_path)]) == 0
+        assert lint_main([str(tmp_path), "--no-baseline"]) == 1
+
+
+class TestReproEntryPoint:
+    def test_python_m_repro_lint_dispatches(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        assert repro_main(["lint", str(tmp_path), "--no-baseline"]) == 0
+        assert "simlint: 0 finding(s)" in capsys.readouterr().out
+
+    def test_python_m_repro_lint_fails_on_violation(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text(
+            "import random\n\ndef draw():\n    return random.random()\n"
+        )
+        assert repro_main(["lint", str(tmp_path), "--no-baseline"]) == 1
+        assert "DET002" in capsys.readouterr().out
+
+    def test_experiment_cli_still_works(self, capsys):
+        assert repro_main(["list"]) == 0
+        assert "fig4-3" in capsys.readouterr().out

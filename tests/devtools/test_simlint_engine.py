@@ -1,0 +1,296 @@
+"""Engine-level tests: suppressions, baseline lifecycle, reporters,
+rule selection, and determinism of the linter's own output."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.devtools.simlint import (
+    Baseline,
+    BaselineError,
+    LintUsageError,
+    format_json,
+    format_text,
+    lint_paths,
+    lint_source,
+    load_baseline,
+    write_baseline,
+)
+from repro.devtools.simlint.baseline import TODO_REASON
+
+WALL_CLOCK = textwrap.dedent(
+    """
+    import time
+
+    def stamp():
+        return time.time()
+    """
+)
+
+
+def write_module(tmp_path, name, code):
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(code), encoding="utf-8")
+    return path
+
+
+class TestSuppressions:
+    def test_inline_disable_with_reason(self):
+        code = (
+            "import time\n\n"
+            "def stamp():\n"
+            "    return time.time()  # simlint: disable=DET001 (log label only)\n"
+        )
+        (finding,) = lint_source(code)
+        assert finding.suppressed
+        assert finding.suppress_reason == "log label only"
+
+    def test_inline_disable_without_reason(self):
+        code = (
+            "import time\n\n"
+            "def stamp():\n"
+            "    return time.time()  # simlint: disable=DET001\n"
+        )
+        (finding,) = lint_source(code)
+        assert finding.suppressed
+
+    def test_disable_only_covers_named_rule(self):
+        code = (
+            "import time, random\n\n"
+            "def stamp():\n"
+            "    return time.time()  # simlint: disable=DET002 (wrong rule)\n"
+        )
+        (finding,) = lint_source(code)
+        assert not finding.suppressed
+
+    def test_standalone_comment_covers_next_line(self):
+        code = (
+            "import time\n\n"
+            "def stamp():\n"
+            "    # simlint: disable=DET001 (measured outside the sim)\n"
+            "    return time.time()\n"
+        )
+        (finding,) = lint_source(code)
+        assert finding.suppressed
+
+    def test_file_level_disable(self):
+        code = (
+            "# simlint: disable-file=DET001 (orchestration module)\n"
+            "import time\n\n"
+            "def stamp():\n"
+            "    return time.time()\n\n"
+            "def stamp2():\n"
+            "    return time.time()\n"
+        )
+        findings = lint_source(code)
+        assert len(findings) == 2
+        assert all(f.suppressed for f in findings)
+
+    def test_multiple_rules_one_comment(self):
+        code = (
+            "import time, random\n\n"
+            "def stamp():\n"
+            "    return time.time(), random.random()  "
+            "# simlint: disable=DET001,DET002 (demo)\n"
+        )
+        findings = lint_source(code)
+        assert len(findings) == 2
+        assert all(f.suppressed for f in findings)
+
+
+class TestBaseline:
+    def test_roundtrip_hides_known_findings(self, tmp_path):
+        module = write_module(tmp_path, "mod.py", WALL_CLOCK)
+        baseline_path = tmp_path / "baseline.json"
+        report = lint_paths([module])
+        assert len(report.active) == 1
+        write_baseline(baseline_path, report.active)
+        report2 = lint_paths([module], baseline=load_baseline(baseline_path))
+        assert report2.active == []
+        assert len(report2.baselined) == 1
+        assert report2.baselined[0].baseline_reason == TODO_REASON
+
+    def test_baseline_survives_line_moves(self, tmp_path):
+        module = write_module(tmp_path, "mod.py", WALL_CLOCK)
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, lint_paths([module]).active)
+        # Shift the offending line down; identity ignores line numbers.
+        module.write_text(
+            "'''docstring'''\n\n\n" + module.read_text(), encoding="utf-8"
+        )
+        report = lint_paths([module], baseline=load_baseline(baseline_path))
+        assert report.active == []
+        assert len(report.baselined) == 1
+
+    def test_new_violation_not_masked(self, tmp_path):
+        module = write_module(tmp_path, "mod.py", WALL_CLOCK)
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, lint_paths([module]).active)
+        module.write_text(
+            module.read_text()
+            + "\ndef fresh():\n    return time.monotonic()\n",
+            encoding="utf-8",
+        )
+        report = lint_paths([module], baseline=load_baseline(baseline_path))
+        assert len(report.active) == 1
+        assert "time.monotonic" in report.active[0].message
+
+    def test_stale_entries_reported_not_fatal(self, tmp_path):
+        module = write_module(tmp_path, "mod.py", WALL_CLOCK)
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, lint_paths([module]).active)
+        write_module(tmp_path, "mod.py", "def clean():\n    return 1\n")
+        report = lint_paths([module], baseline=load_baseline(baseline_path))
+        assert report.ok
+        assert len(report.stale_baseline) == 1
+        assert report.stale_baseline[0]["rule"] == "DET001"
+
+    def test_rewrite_preserves_reasons(self, tmp_path):
+        module = write_module(tmp_path, "mod.py", WALL_CLOCK)
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, lint_paths([module]).active)
+        document = json.loads(baseline_path.read_text())
+        document["entries"][0]["reason"] = "reviewed: display only"
+        baseline_path.write_text(json.dumps(document))
+        write_baseline(
+            baseline_path,
+            lint_paths([module]).active,
+            previous=load_baseline(baseline_path),
+        )
+        document = json.loads(baseline_path.read_text())
+        assert document["entries"][0]["reason"] == "reviewed: display only"
+
+    def test_malformed_baseline_rejected(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(BaselineError):
+            load_baseline(bad)
+        bad.write_text('{"version": 1}')
+        with pytest.raises(BaselineError):
+            load_baseline(bad)
+
+    def test_absolute_lint_paths_match_relative_baseline(
+        self, tmp_path, monkeypatch
+    ):
+        # Baselines store repo-relative paths; linting the same tree via
+        # an absolute path must still match them.
+        monkeypatch.chdir(tmp_path)
+        module = write_module(tmp_path, "mod.py", WALL_CLOCK)
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, lint_paths(["mod.py"]).active)
+        report = lint_paths(
+            [module.resolve()], baseline=load_baseline(baseline_path)
+        )
+        assert report.active == []
+        assert len(report.baselined) == 1
+        assert report.stale_baseline == []
+
+    def test_match_requires_same_rule_and_snippet(self, tmp_path):
+        baseline = Baseline(
+            [
+                {
+                    "rule": "DET002",
+                    "path": "src/x.py",
+                    "symbol": "stamp",
+                    "snippet": "return time.time()",
+                    "reason": "r",
+                }
+            ]
+        )
+        module = write_module(tmp_path, "mod.py", WALL_CLOCK)
+        report = lint_paths([module], baseline=baseline)
+        assert len(report.active) == 1  # rule/path differ -> no match
+
+
+class TestSelection:
+    def test_select_narrows(self, tmp_path):
+        module = write_module(
+            tmp_path,
+            "mod.py",
+            """
+            import time, random
+
+            def stamp():
+                return time.time(), random.random()
+            """,
+        )
+        report = lint_paths([module], select=["DET002"])
+        assert [f.rule for f in report.active] == ["DET002"]
+
+    def test_ignore_drops(self, tmp_path):
+        module = write_module(
+            tmp_path,
+            "mod.py",
+            """
+            import time, random
+
+            def stamp():
+                return time.time(), random.random()
+            """,
+        )
+        report = lint_paths([module], ignore=["DET001"])
+        assert [f.rule for f in report.active] == ["DET002"]
+
+    def test_unknown_rule_id_is_usage_error(self, tmp_path):
+        module = write_module(tmp_path, "mod.py", "x = 1\n")
+        with pytest.raises(LintUsageError):
+            lint_paths([module], select=["NOPE999"])
+
+    def test_missing_path_is_usage_error(self, tmp_path):
+        with pytest.raises(LintUsageError):
+            lint_paths([tmp_path / "does-not-exist"])
+
+    def test_syntax_error_is_usage_error(self, tmp_path):
+        module = write_module(tmp_path, "mod.py", "def broken(:\n")
+        with pytest.raises(LintUsageError):
+            lint_paths([module])
+
+
+class TestReportersAndDeterminism:
+    def test_text_report_shape(self, tmp_path):
+        module = write_module(tmp_path, "mod.py", WALL_CLOCK)
+        report = lint_paths([module])
+        text = format_text(report)
+        assert "DET001" in text
+        assert f"{module.as_posix()}:5:" in text
+        assert "hint:" in text
+        assert "1 finding(s)" in text
+
+    def test_json_report_shape(self, tmp_path):
+        module = write_module(tmp_path, "mod.py", WALL_CLOCK)
+        report = lint_paths([module])
+        document = json.loads(format_json(report))
+        assert document["version"] == 1
+        assert document["summary"]["active"] == 1
+        assert document["summary"]["ok"] is False
+        (finding,) = document["findings"]
+        assert finding["rule"] == "DET001"
+        assert finding["symbol"] == "stamp"
+
+    def test_two_runs_byte_identical(self, tmp_path):
+        write_module(tmp_path, "b.py", WALL_CLOCK)
+        write_module(
+            tmp_path,
+            "a.py",
+            """
+            import random
+
+            def draw():
+                return random.random()
+            """,
+        )
+        first = format_json(lint_paths([tmp_path]))
+        second = format_json(lint_paths([tmp_path]))
+        assert first == second
+        document = json.loads(first)
+        paths = [f["path"] for f in document["findings"]]
+        assert paths == sorted(paths)
+
+    def test_directory_walk_counts_files(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        write_module(tmp_path, "pkg/__init__.py", "")
+        write_module(tmp_path, "pkg/mod.py", "x = 1\n")
+        report = lint_paths([tmp_path])
+        assert report.files_checked == 2
+        assert report.ok

@@ -54,7 +54,7 @@ class TestConstantRateDisk:
     def test_queueing_still_applies(self):
         env = Environment()
         disk = ConstantRateDisk(env, IBM_0661, rate_per_s=100.0)
-        first = disk.access(0, 8, is_write=False)
+        disk.access(0, 8, is_write=False)
         second = disk.access(8, 8, is_write=False)
         env.run()
         assert second.value.complete_ms == pytest.approx(20.0)

@@ -3,7 +3,6 @@
 from repro.layout import ParityLayout, UnitAddress
 from repro.layout.criteria import (
     check_distributed_parity,
-    check_distributed_reconstruction,
     check_efficient_mapping,
     check_large_write_optimization,
     check_single_failure_correcting,

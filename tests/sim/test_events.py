@@ -3,7 +3,7 @@
 import pytest
 
 from repro.sim import Environment, SimulationError
-from repro.sim.events import Event, Timeout
+from repro.sim.events import Timeout
 
 
 class TestEventLifecycle:

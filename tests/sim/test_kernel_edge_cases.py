@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import AnyOf, Environment, Interrupt, SimulationError, Store
+from repro.sim import Environment, Interrupt, Store
 
 
 class TestConditionEdges:

@@ -99,6 +99,12 @@ def always_fail_execute(key: dict) -> dict:
     raise RuntimeError("this point never succeeds")
 
 
+def data_loss_execute(key: dict) -> dict:
+    from repro.array.faults import DataLossError
+
+    raise DataLossError("array lost data", failed_disks=(1, 3))
+
+
 def sleepy_execute(key: dict) -> dict:
     time.sleep(3.0)
     return fake_execute(key)

@@ -11,7 +11,7 @@ from repro.sweep import (
     result_to_dict,
 )
 
-from tests.sweep.conftest import MICRO, fake_result, micro_spec_base
+from tests.sweep.conftest import fake_result, micro_spec_base
 
 
 def micro_config(**overrides):

@@ -8,7 +8,7 @@ import io
 
 import pytest
 
-from repro.experiments.runner import ScenarioConfig
+from repro.array.faults import DataLossError
 from repro.sweep import (
     ResultCache,
     SweepError,
@@ -21,6 +21,7 @@ from repro.sweep import (
 from tests.sweep.conftest import (
     always_fail_execute,
     clear_markers,
+    data_loss_execute,
     fail_once_execute,
     fake_execute,
     fake_result,
@@ -87,6 +88,50 @@ class TestSerial:
         assert outcome.results == [None, None]
         assert outcome.summary.failures == 2
         assert outcome.summary.executed == 0
+
+    def test_failures_carry_the_scenario_key(self):
+        spec = tiny_spec()
+        with pytest.raises(SweepError) as exc_info:
+            run_sweep(spec, SweepOptions(retries=0), execute=always_fail_execute)
+        assert exc_info.value.scenario_key == spec.points()[0].config.to_key()
+        assert (
+            exc_info.value.__cause__.scenario_key
+            == spec.points()[0].config.to_key()
+        )
+
+
+class TestDataLoss:
+    """DataLossError is a deterministic result, never a retried flake."""
+
+    def test_data_loss_is_not_retried(self):
+        outcome = run_sweep(
+            tiny_spec(),
+            SweepOptions(retries=3, strict=False),
+            execute=data_loss_execute,
+        )
+        assert outcome.results == [None, None]
+        assert outcome.summary.failures == 2
+        # A generic failure would have burned 3 retries per point.
+        assert outcome.summary.retries == 0
+
+    def test_strict_mode_surfaces_data_loss_with_key(self):
+        spec = tiny_spec()
+        with pytest.raises(SweepError) as exc_info:
+            run_sweep(spec, SweepOptions(retries=2), execute=data_loss_execute)
+        cause = exc_info.value.__cause__
+        assert isinstance(cause, DataLossError)
+        assert cause.scenario_key == spec.points()[0].config.to_key()
+        assert exc_info.value.scenario_key == cause.scenario_key
+
+    def test_pool_mode_fails_fast_on_data_loss(self):
+        outcome = run_sweep(
+            tiny_spec(),
+            SweepOptions(jobs=2, retries=3, strict=False),
+            execute=data_loss_execute,
+        )
+        assert outcome.results == [None, None]
+        assert outcome.summary.failures == 2
+        assert outcome.summary.retries == 0
 
 
 class TestCacheFlow:
