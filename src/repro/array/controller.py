@@ -43,6 +43,7 @@ from repro.faults.profile import FaultProfile
 from repro.faults.retry import RetryPolicy
 from repro.faults.state import ERROR_TIMEOUT, DiskFaultState
 from repro.layout.base import UnitAddress
+from repro.metrics.registry import MetricsRegistry
 from repro.recon.algorithms import BASELINE, ReconAlgorithm
 from repro.recon.status import ReconStatus
 from repro.sim.rng import RandomStreams
@@ -80,6 +81,8 @@ class ArrayController:
         retry_policy: typing.Optional[RetryPolicy] = None,
         fault_log: typing.Optional[FaultLog] = None,
         on_disk_failure: typing.Optional[typing.Callable[[int], None]] = None,
+        metrics: typing.Optional[MetricsRegistry] = None,
+        measure_since_ms: float = 0.0,
     ):
         self.env = env
         self.addressing = addressing
@@ -87,11 +90,28 @@ class ArrayController:
         self.spec = addressing.spec
         self.policy = policy
         self.algorithm = algorithm
+        # Observability is strictly passive: the registry only records
+        # what already happened (latencies, queue depths), and the
+        # measurement boundary only affects what the windowed stats
+        # count — neither changes a single simulation event. The
+        # boundary applies to replacements too, which is why the
+        # controller owns it rather than the runner.
+        self.metrics = metrics
+        self.measure_since_ms = measure_since_ms
+        # Per-request latency recording is the hottest metrics path, so
+        # the two user-class histograms are resolved once up front
+        # (empty ones are omitted from serialization).
+        self._read_latency = self._write_latency = None
+        if metrics is not None:
+            self._read_latency = metrics.latency_histogram("user-read")
+            self._write_latency = metrics.latency_histogram("user-write")
         self._disk_factory = disk_factory if disk_factory is not None else Disk
         self.disks: typing.List[Disk] = [
             self._disk_factory(env, addressing.spec, disk_id=d, policy=policy)
             for d in range(self.layout.num_disks)
         ]
+        for disk in self.disks:
+            self._instrument_disk(disk)
         self.faults = ArrayFaults(self.layout.num_disks)
         self.locks = StripeLockTable(env)
         self.datastore: typing.Optional[DataStore] = (
@@ -125,6 +145,17 @@ class ArrayController:
     @property
     def _fault_enabled(self) -> bool:
         return self.fault_profile is not None
+
+    def _instrument_disk(self, disk: Disk) -> None:
+        """Apply the measurement boundary (and any gauges) to a disk.
+
+        Runs for every disk the controller creates — including
+        replacements — so windowed utilization and queue-depth series
+        stay consistent across a repair.
+        """
+        disk.stats.busy_window.since_ms = self.measure_since_ms
+        if self.metrics is not None:
+            disk.queue_gauge = self.metrics.queue_gauge(disk.disk_id)
 
     def _attach_fault_state(self, disk: Disk) -> None:
         """Give ``disk`` a fresh fault model on its slot's RNG stream."""
@@ -192,9 +223,14 @@ class ArrayController:
             self._attach_fault_state(self.disks[failed])
         if self.datastore is not None:
             self.datastore.clear_disk(failed)
+        self._instrument_disk(self.disks[failed])
         self.recon_status = ReconStatus(
             self.env, total_units=self.addressing.mapped_units_per_disk
         )
+        if self.metrics is not None:
+            self.recon_status.progress = self.metrics.start_recon_progress(
+                self.recon_status.total_units
+            )
         return self.recon_status
 
     def finish_repair(self) -> None:
@@ -251,7 +287,12 @@ class ArrayController:
             yield subops[0]
         else:
             yield self.env.all_of(subops)
-        request.complete_ms = self.env.now
+        now = self.env.now
+        request.complete_ms = now
+        if self._read_latency is not None and now >= self.measure_since_ms:
+            (self._write_latency if request.is_write else self._read_latency).record(
+                now - request.submit_ms
+            )
         request.done.succeed(request)
 
     def _plan_write(self, request: UserRequest):

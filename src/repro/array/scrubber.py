@@ -90,6 +90,7 @@ class ParityScrubber:
         layout = controller.layout
         start_ms = env.now
         for stripe in range(controller.addressing.num_stripes):
+            cycle_start_ms = env.now
             yield controller.locks.acquire(stripe)
             try:
                 units = layout.stripe_units(stripe)
@@ -138,6 +139,10 @@ class ParityScrubber:
                         self.report.repairs_written += 1
             finally:
                 controller.locks.release(stripe)
+            if controller.metrics is not None:
+                controller.metrics.record_latency(
+                    "scrub", env.now - cycle_start_ms, env.now
+                )
             if self.cycle_delay_ms > 0:
                 yield env.timeout(self.cycle_delay_ms)
         self.report.duration_ms = env.now - start_ms

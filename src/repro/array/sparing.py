@@ -79,6 +79,15 @@ class SparePool:
         self.algorithm = algorithm
         self.cycle_delay_ms = cycle_delay_ms
         self.repairs: typing.List[RepairRecord] = []
+        #: Callback ``(RepairRecord) -> None`` invoked *synchronously*
+        #: the instant a repair record lands in ``repairs`` — before
+        #: the completion event fires. A FaultInjector installs its
+        #: counter here so the two can never disagree, even when the
+        #: simulation stops on the very tick a repair completes (an
+        #: event-driven listener would still be waiting on the heap).
+        self.on_repair: typing.Optional[
+            typing.Callable[[RepairRecord], None]
+        ] = None
 
     def handle_failure(self, disk: int):
         """Fail ``disk`` and repair it from the pool.
@@ -132,4 +141,6 @@ class SparePool:
             repair_completed_at_ms=env.now,
         )
         self.repairs.append(record)
+        if self.on_repair is not None:
+            self.on_repair(record)
         done.succeed(record)

@@ -159,7 +159,10 @@ def build_parser() -> argparse.ArgumentParser:
         ),
         epilog=(
             "Developer tooling: 'repro lint' runs the simlint determinism "
-            "& lock-discipline static analysis (see 'repro lint --help')."
+            "& lock-discipline static analysis (see 'repro lint --help'); "
+            "'repro report' renders stored scenario results (sweep-cache "
+            "entries or result JSON) as per-run metric tables (see "
+            "'repro report --help')."
         ),
     )
     parser.add_argument("--version", action="version", version=f"repro {__version__}")
@@ -222,6 +225,11 @@ def main(argv: typing.Optional[typing.Sequence[str]] = None) -> int:
         from repro.devtools.simlint.cli import main as lint_main
 
         return lint_main(argv[1:])
+    if argv and argv[0] == "report":
+        # Same carve-out for the metrics report renderer.
+        from repro.metrics.report import main as report_main
+
+        return report_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         for name, (description, _fn) in sorted(EXPERIMENTS.items()):

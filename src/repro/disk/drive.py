@@ -22,6 +22,7 @@ from repro.disk.geometry import DiskGeometry
 from repro.disk.scheduling.base import Scheduler, make_scheduler
 from repro.disk.seek import SeekModel
 from repro.disk.specs import DiskSpec
+from repro.metrics.accumulators import WindowedDuration
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim import Environment
@@ -79,12 +80,18 @@ class DiskStats:
     total_seek_ms: float = 0.0
     total_rotation_ms: float = 0.0
     total_transfer_ms: float = 0.0
+    #: Busy time clipped to the measurement window: the controller sets
+    #: ``busy_window.since_ms`` to the scenario's warmup boundary, so
+    #: utilization excludes the warm-up ramp (``busy_ms`` above remains
+    #: the raw whole-run total).
+    busy_window: WindowedDuration = field(default_factory=WindowedDuration)
 
     def record(self, request: DiskRequest, seek_ms: float, rotation_ms: float,
                transfer_ms: float) -> None:
         self.completed += 1
         self.completed_by_kind[request.kind] = self.completed_by_kind.get(request.kind, 0) + 1
         self.busy_ms += request.service_ms
+        self.busy_window.add(request.start_service_ms, request.complete_ms)
         self.total_service_ms += request.service_ms
         self.total_queue_wait_ms += request.queue_wait_ms
         self.total_seek_ms += seek_ms
@@ -131,6 +138,11 @@ class Disk:
         #: None keeps the drive's behavior — timing and completions —
         #: bit-identical to a fault-free build.
         self.fault_state = None
+        #: Optional waiting-queue depth gauge
+        #: (:class:`repro.metrics.accumulators.TimeWeightedGauge`),
+        #: attached by the controller when a metrics registry is in
+        #: play. None keeps submit/pop free of any extra work.
+        self.queue_gauge = None
         self._idle_wakeup = None
         self._process = env.process(self._run(), name=f"disk-{disk_id}")
 
@@ -145,6 +157,8 @@ class Disk:
         request.submit_ms = self.env.now
         request.cylinder = self.geometry.cylinder_of(request.start_sector)
         self.scheduler.push(request)
+        if self.queue_gauge is not None:
+            self.queue_gauge.add(1, request.submit_ms)
         if self._idle_wakeup is not None and not self._idle_wakeup.triggered:
             self._idle_wakeup.succeed()
         return request.done
@@ -175,6 +189,8 @@ class Disk:
             self._idle_wakeup = None
             request = self.scheduler.pop(self.head_cylinder, self.direction)
             request.start_service_ms = self.env.now
+            if self.queue_gauge is not None:
+                self.queue_gauge.add(-1, request.start_service_ms)
             service_ms, seek_ms, rotation_ms, transfer_ms = self._service_time(request)
             yield self.env.timeout(service_ms)
             if self.fault_state is not None:

@@ -30,6 +30,7 @@ from repro.disk.constant import ConstantRateDisk
 from repro.experiments.builders import PAPER_NUM_DISKS, build_layout
 from repro.experiments.scales import ScalePreset, get_scale
 from repro.faults.profile import FaultProfile
+from repro.metrics import MetricsRegistry
 from repro.recon.algorithms import BASELINE, ReconAlgorithm, algorithm_by_name
 from repro.recon.sweeper import ReconstructionResult, Reconstructor
 from repro.sim.environment import Environment
@@ -138,6 +139,11 @@ class ScenarioResult:
     #: JSON-safe fault campaign summary; None when fault injection was
     #: disabled (the default).
     fault_summary: typing.Optional[typing.Dict[str, typing.Any]] = None
+    #: JSON-safe observability block (latency histograms by class,
+    #: per-disk utilization and queue depth, reconstruction progress) —
+    #: see :meth:`repro.metrics.MetricsRegistry.to_dict`. None when the
+    #: run was executed with ``collect_metrics=False``.
+    metrics: typing.Optional[typing.Dict[str, typing.Any]] = None
 
     @property
     def reconstruction_time_s(self) -> float:
@@ -153,13 +159,23 @@ class ScenarioResult:
         return self.reconstruction.reconstruction_time_ms / self.reconstruction.total_units
 
 
-def run_scenario(config: ScenarioConfig) -> ScenarioResult:
-    """Simulate one scenario point and summarize it."""
+def run_scenario(config: ScenarioConfig, collect_metrics: bool = True) -> ScenarioResult:
+    """Simulate one scenario point and summarize it.
+
+    ``collect_metrics`` controls only the observability block attached
+    to the result — it is deliberately *not* part of
+    :class:`ScenarioConfig` (and thus not part of the cache key),
+    because metrics collection is passive: the simulation is
+    event-for-event identical with it on or off.
+    """
     scale = config.scale_preset()
     env = Environment()
     layout = build_layout(config.num_disks, config.stripe_size)
     addressing = ArrayAddressing(layout, scale.spec())
     disk_factory = ConstantRateDisk if config.constant_rate_disks else None
+    metrics = (
+        MetricsRegistry(measure_since_ms=scale.warmup_ms) if collect_metrics else None
+    )
     controller = ArrayController(
         env,
         addressing,
@@ -168,6 +184,8 @@ def run_scenario(config: ScenarioConfig) -> ScenarioResult:
         with_datastore=config.with_datastore,
         disk_factory=disk_factory,
         fault_profile=config.fault_profile,
+        metrics=metrics,
+        measure_since_ms=scale.warmup_ms,
     )
     recorder = ResponseRecorder(warmup_ms=scale.warmup_ms)
     workload: typing.Optional[SyntheticWorkload] = None
@@ -235,7 +253,15 @@ def run_scenario(config: ScenarioConfig) -> ScenarioResult:
             workload.run(duration_ms=mission)
         env.run(until=env.any_of([env.timeout(mission), injector.data_loss_event]))
         measure_since = None
+        # mean_repair_ms averages spare_pool.repairs, and
+        # injector.repairs_completed counts the same completions: the
+        # injector installs a synchronous SparePool.on_repair callback,
+        # so the two sources agree at every instant — including a
+        # mission that ends on the exact tick a repair finishes (an
+        # event-driven count would still be one behind on the heap).
+        # With no spare pool there are no repairs and the count is 0.
         repairs = spare_pool.repairs if spare_pool is not None else []
+        assert injector.repairs_completed == len(repairs)
         fault_extra = {
             "mission_ms": mission,
             "disk_failures": injector.disk_failures,
@@ -253,8 +279,11 @@ def run_scenario(config: ScenarioConfig) -> ScenarioResult:
     if workload is not None:
         workload.stop()
     end_ms = env.now
+    # Utilization over the measurement window [warmup, end] — matching
+    # how response samples are filtered. The windowed accumulator clips
+    # warm-up busy time and guards a zero-length window (reported 0.0).
     utilization = [
-        disk.stats.busy_ms / end_ms if end_ms > 0 else 0.0 for disk in controller.disks
+        disk.stats.busy_window.utilization(end_ms) for disk in controller.disks
     ]
     fault_summary: typing.Optional[typing.Dict[str, typing.Any]] = None
     if controller.fault_log is not None:
@@ -273,6 +302,29 @@ def run_scenario(config: ScenarioConfig) -> ScenarioResult:
             ),
         }
         fault_summary.update(fault_extra)
+    metrics_block: typing.Optional[typing.Dict[str, typing.Any]] = None
+    if metrics is not None:
+        if workload is not None:
+            metrics.counter("requests-completed").increment(workload.completed)
+            metrics.counter("integrity-errors").increment(
+                len(workload.integrity_errors)
+            )
+        metrics.set_disk_rows(
+            [
+                {
+                    "disk": disk.disk_id,
+                    "utilization": utilization[index],
+                    "busy_ms": disk.stats.busy_window.total_ms,
+                    "seek_ms": disk.stats.total_seek_ms,
+                    "rotation_ms": disk.stats.total_rotation_ms,
+                    "transfer_ms": disk.stats.total_transfer_ms,
+                    "queue_wait_ms": disk.stats.total_queue_wait_ms,
+                    "completed": disk.stats.completed,
+                }
+                for index, disk in enumerate(controller.disks)
+            ]
+        )
+        metrics_block = metrics.to_dict(end_ms)
     return ScenarioResult(
         config=config,
         response=recorder.summary(since_ms=measure_since),
@@ -287,4 +339,5 @@ def run_scenario(config: ScenarioConfig) -> ScenarioResult:
             list(workload.integrity_errors) if workload is not None else []
         ),
         fault_summary=fault_summary,
+        metrics=metrics_block,
     )

@@ -78,6 +78,12 @@ class FaultInjector:
         # Escalations discovered by the controller's retry path feed the
         # same failure handling as lifetime-clock failures.
         controller.on_disk_failure = self.inject_disk_failure
+        # Count repairs through the pool's synchronous callback, not an
+        # event listener: a listener process resumes one heap step after
+        # the record lands, so a campaign stopping on that exact tick
+        # would report repairs_completed < len(monitor.repairs).
+        if monitor is not None:
+            monitor.on_repair = self._repair_completed
 
     # ------------------------------------------------------------------
     # Campaign control
@@ -114,8 +120,7 @@ class FaultInjector:
             and self.monitor is not None
             and self.monitor.spares_remaining > 0
         ):
-            done = self.monitor.handle_failure(disk)
-            self.env.process(self._track_repair(done), name=f"track-repair-{disk}")
+            self.monitor.handle_failure(disk)
         else:
             # Either the first failure with no spare on the shelf, or a
             # failure on an already-degraded array: the controller
@@ -124,8 +129,8 @@ class FaultInjector:
         if faults.data_lost and not self.data_loss_event.triggered:
             self.data_loss_event.succeed(self.env.now)
 
-    def _track_repair(self, done):
-        record = yield done
+    def _repair_completed(self, record) -> None:
+        """Synchronous spare-pool callback: one repair fully finished."""
         self.repairs_completed += 1
         if self.log is not None:
             self.log.record(

@@ -1,0 +1,38 @@
+"""Observability for the reproduction: one place for statistics.
+
+The metrics layer sits below every model package (it imports nothing
+from the rest of :mod:`repro`), so the workload recorder, the disks,
+the controller, and the experiment runner can all share the same
+percentile and windowing math:
+
+- :mod:`repro.metrics.stats` — nearest-rank percentiles and sample
+  summaries (the root of the ``int(q*n)`` bias fix);
+- :mod:`repro.metrics.accumulators` — counters, windowed durations,
+  and time-weighted gauges that respect a ``measure_since`` boundary;
+- :mod:`repro.metrics.histogram` — a streaming fixed-bucket latency
+  histogram with nearest-rank quantiles;
+- :mod:`repro.metrics.registry` — the per-run hub serialized into the
+  ``metrics`` block of scenario results and the sweep cache;
+- :mod:`repro.metrics.report` — ``python -m repro report``, rendering
+  result documents as tables (imported lazily by the CLI; it depends
+  on the experiments layer and is deliberately not re-exported here).
+"""
+
+from repro.metrics.stats import DistributionSummary, nearest_rank_index, percentile
+from repro.metrics.accumulators import Counter, TimeWeightedGauge, WindowedDuration
+from repro.metrics.histogram import DEFAULT_LATENCY_BOUNDS_MS, StreamingHistogram
+from repro.metrics.registry import LATENCY_CLASSES, MetricsRegistry, ProgressSeries
+
+__all__ = [
+    "DistributionSummary",
+    "nearest_rank_index",
+    "percentile",
+    "Counter",
+    "TimeWeightedGauge",
+    "WindowedDuration",
+    "DEFAULT_LATENCY_BOUNDS_MS",
+    "StreamingHistogram",
+    "LATENCY_CLASSES",
+    "MetricsRegistry",
+    "ProgressSeries",
+]

@@ -1,0 +1,101 @@
+"""A streaming fixed-bucket histogram with nearest-rank quantiles.
+
+Latency distributions at paper scale hold hundreds of thousands of
+samples; keeping them raw per class per run would dominate the result
+cache. The histogram holds a fixed geometric bucket ladder instead:
+O(1) memory, O(log buckets) per record, and quantiles computed by the
+same nearest-rank rule as the exact path (:mod:`repro.metrics.stats`),
+resolved to the containing bucket's upper edge and clamped to the
+observed extremes.
+"""
+
+from __future__ import annotations
+
+import typing
+from bisect import bisect_left  # bound once: record() is a hot path
+
+from repro.metrics.stats import nearest_rank_index
+
+#: Default bucket upper edges for millisecond latencies: a geometric
+#: ladder from a quarter millisecond to ~33 seconds (doubling), plus
+#: the implicit overflow bucket. Relative quantile error is bounded by
+#: one octave; extremes are exact.
+DEFAULT_LATENCY_BOUNDS_MS: typing.Tuple[float, ...] = tuple(
+    0.25 * 2.0 ** k for k in range(18)
+)
+
+
+class StreamingHistogram:
+    """Counts samples into fixed buckets; tracks exact count/sum/extremes.
+
+    ``bounds`` are ascending bucket *upper* edges (inclusive); samples
+    above the last edge land in an overflow bucket whose reported value
+    is the observed maximum.
+    """
+
+    __slots__ = ("bounds", "counts", "count", "total", "minimum", "maximum")
+
+    def __init__(self, bounds: typing.Sequence[float] = DEFAULT_LATENCY_BOUNDS_MS):
+        self.bounds: typing.Tuple[float, ...] = tuple(bounds)
+        if not self.bounds:
+            raise ValueError("a histogram needs at least one bucket edge")
+        if list(self.bounds) != sorted(set(self.bounds)):
+            raise ValueError("bucket edges must be strictly ascending")
+        self.counts: typing.List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.minimum = 0.0
+        self.maximum = 0.0
+
+    def record(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        if self.count == 0:
+            self.minimum = self.maximum = value
+        else:
+            if value < self.minimum:
+                self.minimum = value
+            elif value > self.maximum:
+                self.maximum = value
+        self.count += 1
+        self.total += value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Nearest-rank quantile, resolved to a bucket upper edge.
+
+        The bucket holding the target rank is found by cumulative
+        count; its upper edge is clamped into ``[minimum, maximum]`` so
+        a coarse ladder never reports a value outside the observed
+        range.
+        """
+        if self.count == 0:
+            return 0.0
+        target = nearest_rank_index(q, self.count) + 1  # 1-based rank
+        cumulative = 0
+        for index, bucket_count in enumerate(self.counts):
+            cumulative += bucket_count
+            if cumulative >= target:
+                edge = (
+                    self.bounds[index]
+                    if index < len(self.bounds)
+                    else self.maximum
+                )
+                return min(max(edge, self.minimum), self.maximum)
+        return self.maximum  # unreachable: cumulative totals self.count
+
+    def to_dict(self) -> dict:
+        """JSON-safe, self-describing summary plus the raw buckets."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.minimum,
+            "max": self.maximum,
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+        }

@@ -1,0 +1,268 @@
+"""``python -m repro report <results>`` — render result documents.
+
+Reads scenario results as structured JSON — sweep-cache entries, bare
+result documents, or directories of either — and renders a per-run
+table: latency p50/p90/p99 by class, per-disk utilization, and
+reconstruction progress, all from the ``metrics`` block the runner
+attaches. Results recorded without metrics (older cache entries,
+``collect_metrics=False`` runs) fall back to the response summaries.
+
+Cached and fresh results serialize identically, so a report rendered
+from a cache directory is byte-identical to one rendered from the live
+sweep — that invariant is golden-tested.
+
+This module depends on the experiments layer for table formatting and
+is therefore imported lazily by the CLI, never by ``repro.metrics``
+itself.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+import typing
+
+from repro.experiments.reporting import format_table
+
+Document = typing.Mapping[str, typing.Any]
+
+
+# ----------------------------------------------------------------------
+# Document loading
+# ----------------------------------------------------------------------
+def _document_from_json(payload: typing.Any) -> typing.Optional[Document]:
+    """Extract a result document from parsed JSON, or None.
+
+    Accepts a sweep-cache entry (``{"cache_format", ..., "result"}``)
+    or a bare result document (anything carrying a ``response`` key).
+    """
+    if not isinstance(payload, dict):
+        return None
+    if "result" in payload and "cache_format" in payload:
+        result = payload["result"]
+        return result if isinstance(result, dict) and "response" in result else None
+    if "response" in payload:
+        return payload
+    return None
+
+
+def load_documents(
+    paths: typing.Sequence[typing.Union[str, pathlib.Path]],
+) -> typing.List[typing.Tuple[str, Document]]:
+    """(label, document) pairs from files and/or directories of JSON."""
+    documents = []
+    for raw in paths:
+        path = pathlib.Path(raw)
+        if path.is_dir():
+            candidates = sorted(path.rglob("*.json"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            try:
+                payload = json.loads(candidate.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                continue
+            document = _document_from_json(payload)
+            if document is not None:
+                documents.append((str(candidate), document))
+    return documents
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def _scale_name(scale: typing.Any) -> str:
+    if isinstance(scale, dict):
+        return str(scale.get("name", "custom"))
+    return str(scale)
+
+
+def _scenario_line(config: typing.Optional[Document]) -> str:
+    if not config:
+        return "Scenario: (no config recorded)"
+    parts = [
+        f"mode={config.get('mode', '?')}",
+        f"G={config.get('stripe_size', '?')}",
+        f"disks={config.get('num_disks', '?')}",
+        f"rate={config.get('user_rate_per_s', '?')}/s",
+        f"reads={config.get('read_fraction', '?')}",
+        f"algorithm={config.get('algorithm', '?')}",
+        f"scale={_scale_name(config.get('scale', '?'))}",
+        f"seed={config.get('seed', '?')}",
+    ]
+    return "Scenario: " + " ".join(parts)
+
+
+def _latency_table(metrics: Document) -> typing.Optional[str]:
+    latency = metrics.get("latency_ms") or {}
+    if not latency:
+        return None
+    rows = []
+    for klass in sorted(latency):
+        entry = latency[klass]
+        rows.append([
+            klass,
+            entry["count"],
+            f"{entry['mean']:.3f}",
+            f"{entry['p50']:.3f}",
+            f"{entry['p90']:.3f}",
+            f"{entry['p99']:.3f}",
+        ])
+    window = f"{metrics['measure_since_ms']:.0f}..{metrics['end_ms']:.0f} ms"
+    return format_table(
+        ["class", "count", "mean ms", "p50 ms", "p90 ms", "p99 ms"],
+        rows,
+        title=f"Latency by class (window {window}):",
+    )
+
+
+def _disk_table(metrics: Document) -> typing.Optional[str]:
+    disks = metrics.get("disks") or []
+    if not disks:
+        return None
+    rows = []
+    for row in disks:
+        rows.append([
+            row.get("disk", "?"),
+            f"{100.0 * row.get('utilization', 0.0):.1f}",
+            f"{row.get('busy_ms', 0.0):.1f}",
+            row.get("completed", 0),
+            f"{row.get('queue_depth_mean', 0.0):.3f}",
+            f"{row.get('queue_depth_max', 0.0):.0f}",
+        ])
+    return format_table(
+        ["disk", "util %", "busy ms", "completed", "queue mean", "queue max"],
+        rows,
+        title="Per-disk utilization (measurement window):",
+    )
+
+
+def _decimate(points: typing.Sequence, limit: int = 12) -> typing.List:
+    """At most ``limit`` evenly spaced points, keeping first and last."""
+    if len(points) <= limit:
+        return list(points)
+    step = (len(points) - 1) / (limit - 1)
+    indices = sorted({round(i * step) for i in range(limit)})
+    return [points[i] for i in indices]
+
+
+def _progress_table(metrics: Document) -> typing.Optional[str]:
+    tables = []
+    for number, series in enumerate(metrics.get("recon_progress") or []):
+        total = series["total_units"]
+        rows = [
+            [f"{at_ms:.1f}", built, f"{built / total:.3f}"]
+            for at_ms, built in _decimate(series["points"])
+        ]
+        tables.append(format_table(
+            ["t ms", "built", "fraction"],
+            rows,
+            title=f"Reconstruction progress #{number + 1} ({total} units):",
+        ))
+    return "\n\n".join(tables) if tables else None
+
+
+def _summary_fallback_table(document: Document) -> str:
+    rows = []
+    for label, key in (
+        ("all", "response"),
+        ("reads", "read_response"),
+        ("writes", "write_response"),
+    ):
+        summary = document.get(key) or {}
+        rows.append([
+            label,
+            summary.get("count", 0),
+            f"{summary.get('mean_ms', 0.0):.3f}",
+            f"{summary.get('p90_ms', 0.0):.3f}",
+            f"{summary.get('p99_ms', 0.0):.3f}",
+        ])
+    return format_table(
+        ["responses", "count", "mean ms", "p90 ms", "p99 ms"],
+        rows,
+        title="Response summary (no metrics block recorded):",
+    )
+
+
+def _fault_line(document: Document) -> typing.Optional[str]:
+    faults = document.get("fault_summary")
+    if not faults:
+        return None
+    repair = faults.get("mean_repair_ms")
+    return (
+        "Faults: "
+        f"data_lost={faults.get('data_lost')} "
+        f"disk_failures={faults.get('disk_failures', 0)} "
+        f"repairs_completed={faults.get('repairs_completed', 0)} "
+        f"mean_repair_ms={'n/a' if repair is None else f'{repair:.1f}'}"
+    )
+
+
+def render_document(document: Document) -> str:
+    """One run's report: scenario line plus the per-run tables."""
+    sections = [_scenario_line(document.get("config"))]
+    metrics = document.get("metrics")
+    if metrics:
+        for table in (
+            _latency_table(metrics),
+            _disk_table(metrics),
+            _progress_table(metrics),
+        ):
+            if table is not None:
+                sections.append(table)
+    else:
+        sections.append(_summary_fallback_table(document))
+    fault_line = _fault_line(document)
+    if fault_line is not None:
+        sections.append(fault_line)
+    return "\n\n".join(sections)
+
+
+def render_result(result) -> str:
+    """Render an in-memory :class:`~repro.experiments.runner.ScenarioResult`."""
+    from repro.sweep.cache import result_to_dict
+
+    return render_document(result_to_dict(result))
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro report",
+        description=(
+            "Render scenario results (sweep-cache entries or result JSON "
+            "documents) as per-run tables: latency by class, per-disk "
+            "utilization, reconstruction progress."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="+",
+        help="result JSON files and/or directories to scan recursively",
+    )
+    return parser
+
+
+def main(argv: typing.Optional[typing.Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    documents = load_documents(args.paths)
+    if not documents:
+        print("repro report: no result documents found", file=sys.stderr)
+        return 1
+    try:
+        for index, (label, document) in enumerate(documents):
+            if index:
+                print()
+            print(f"=== {label} ===")
+            print(render_document(document))
+    except BrokenPipeError:
+        # `repro report results | head` closes the pipe early; point
+        # stdout at devnull so the interpreter's exit flush stays quiet.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+    return 0

@@ -1,0 +1,88 @@
+"""Shared statistics helpers: the single source of percentile math.
+
+Every aggregate the experiments report — response-time percentiles,
+phase summaries, histogram quantiles — goes through the nearest-rank
+definition implemented here, so a bias fixed in this module is fixed
+everywhere at once.
+
+Nearest-rank: the q-quantile of n ordered samples is the sample at
+1-based rank ``ceil(q * n)`` (0-based index ``ceil(q * n) - 1``). The
+previous ad-hoc ``int(q * n)`` indexing rounded the rank *up* by one
+sample — for n = 10 the reported p90 was the maximum, a systematic
+upward bias on exactly the small per-cell sample counts the sweeps
+produce.
+"""
+
+from __future__ import annotations
+
+import math
+import typing
+from dataclasses import dataclass
+
+#: Absolute slack when deciding whether ``q * n`` landed on an exact
+#: rank. Decimal quantiles are not float-representable (0.9 * 10 is
+#: 9.000000000000002 in binary), and without the slack an exact rank
+#: would spill into the next sample — the very off-by-one this module
+#: exists to remove. The slack is far below 1/n for any realistic n.
+_RANK_SLACK = 1e-9
+
+
+def nearest_rank_index(q: float, n: int) -> int:
+    """0-based index of the q-quantile of ``n`` ordered samples.
+
+    Implements ``ceil(q * n) - 1`` (the nearest-rank definition,
+    equivalently the inverted CDF: the smallest rank k with k/n >= q),
+    clamped to the valid index range so q = 0 maps to the minimum and
+    q = 1 to the maximum.
+    """
+    if n < 1:
+        raise ValueError("quantile of an empty sample set is undefined")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    rank = math.ceil(q * n - _RANK_SLACK)
+    return min(max(rank, 1), n) - 1
+
+
+def percentile(ordered: typing.Sequence[float], q: float) -> float:
+    """The nearest-rank q-quantile of an ascending-sorted sequence."""
+    return ordered[nearest_rank_index(q, len(ordered))]
+
+
+@dataclass(frozen=True)
+class DistributionSummary:
+    """Count, moments, extremes, and standard percentiles of a sample set.
+
+    The empty summary is all zeros, mirroring the long-standing
+    ``ResponseSummary.empty()`` convention so wrappers stay drop-in.
+    ``std`` is the population standard deviation (divisor n), matching
+    what the experiments have always reported.
+    """
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    p50: float
+    p90: float
+    p99: float
+
+    @classmethod
+    def of(cls, samples: typing.Iterable[float]) -> "DistributionSummary":
+        ordered = sorted(samples)
+        n = len(ordered)
+        if n == 0:
+            return cls(count=0, mean=0.0, std=0.0, minimum=0.0, maximum=0.0,
+                       p50=0.0, p90=0.0, p99=0.0)
+        mean = sum(ordered) / n
+        variance = sum((s - mean) ** 2 for s in ordered) / n
+        return cls(
+            count=n,
+            mean=mean,
+            std=math.sqrt(variance),
+            minimum=ordered[0],
+            maximum=ordered[-1],
+            p50=percentile(ordered, 0.50),
+            p90=percentile(ordered, 0.90),
+            p99=percentile(ordered, 0.99),
+        )

@@ -31,6 +31,10 @@ class ReconStatus:
         self.complete_event = env.event()
         self.started_at = env.now
         self.completed_at: typing.Optional[float] = None
+        #: Optional :class:`repro.metrics.registry.ProgressSeries`; the
+        #: controller attaches one when a metrics registry is in play,
+        #: turning rebuilt-unit counts into a progress time series.
+        self.progress = None
 
     # ------------------------------------------------------------------
     # Queries
@@ -82,6 +86,8 @@ class ReconStatus:
             return
         self._state[offset] = BUILT
         self.built_count += 1
+        if self.progress is not None:
+            self.progress.record(self.env.now, self.built_count)
         if self.all_built and not self.complete_event.triggered:
             self.completed_at = self.env.now
             self.complete_event.succeed(self.env.now - self.started_at)

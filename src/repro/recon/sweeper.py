@@ -207,6 +207,13 @@ class Reconstructor:
                         write_phase_ms=env.now - write_start,
                     )
                 )
+                if controller.metrics is not None:
+                    controller.metrics.record_latency(
+                        "recon-read", write_start - read_start, env.now
+                    )
+                    controller.metrics.record_latency(
+                        "recon-write", env.now - write_start, env.now
+                    )
             finally:
                 controller.locks.release(stripe)
             if self.cycle_delay_ms > 0:

@@ -57,7 +57,25 @@ class EnvironmentTracer:
         env.step = self._traced_step  # type: ignore[method-assign]
 
     def detach(self) -> None:
-        """Stop tracing and restore the environment's step method."""
+        """Stop tracing and restore the environment's step method.
+
+        Tracers nest (each wraps whatever ``env.step`` it found), so
+        they must detach innermost-first. Restoring blindly out of
+        order would silently re-install a stale ``step`` — reviving an
+        already-detached tracer and orphaning live ones — so detach
+        refuses unless ``env.step`` is still *this* tracer's wrapper.
+
+        Raises
+        ------
+        RuntimeError
+            If another tracer is attached on top of this one, or this
+            tracer was already detached.
+        """
+        if self.env.step != self._traced_step:
+            raise RuntimeError(
+                "cannot detach: env.step is not this tracer's wrapper "
+                "(tracers must detach in reverse attach order, exactly once)"
+            )
         self.env.step = self._original_step  # type: ignore[method-assign]
 
     def _traced_step(self) -> None:

@@ -32,7 +32,10 @@ from repro.workload.recorder import ResponseSummary
 
 #: Bump when the stored result schema changes; invalidates all entries.
 #: v2: fault_summary on results, lost_units on reconstructions.
-CACHE_FORMAT_VERSION = 2
+#: v3: metrics block (latency histograms, windowed per-disk stats,
+#: recon progress) on results; percentiles and utilization computed by
+#: repro.metrics (nearest-rank, measurement-windowed).
+CACHE_FORMAT_VERSION = 3
 
 
 def default_cache_dir() -> pathlib.Path:
@@ -89,6 +92,9 @@ def result_to_dict(result: ScenarioResult) -> dict:
         },
         "integrity_errors": list(result.integrity_errors),
         "fault_summary": result.fault_summary,
+        # Already JSON-safe by construction (MetricsRegistry.to_dict);
+        # carried verbatim so cached and fresh runs report identically.
+        "metrics": result.metrics,
     }
 
 
@@ -126,6 +132,7 @@ def result_from_dict(document: typing.Mapping) -> ScenarioResult:
         reconstruction=reconstruction,
         integrity_errors=list(document["integrity_errors"]),
         fault_summary=document.get("fault_summary"),
+        metrics=document.get("metrics"),
     )
 
 

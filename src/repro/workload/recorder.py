@@ -2,14 +2,20 @@
 
 from __future__ import annotations
 
-import math
 import typing
 from dataclasses import dataclass
+
+from repro.metrics.stats import DistributionSummary
 
 
 @dataclass
 class ResponseSummary:
-    """Aggregate response-time statistics over a measurement window."""
+    """Aggregate response-time statistics over a measurement window.
+
+    A thin wrapper over :class:`repro.metrics.stats.DistributionSummary`
+    — the percentile math (nearest-rank, ``ceil(q*n)-1``) lives there,
+    shared with every other statistic the experiments report.
+    """
 
     count: int
     mean_ms: float
@@ -23,6 +29,19 @@ class ResponseSummary:
     def empty(cls) -> "ResponseSummary":
         return cls(count=0, mean_ms=0.0, std_ms=0.0, min_ms=0.0, max_ms=0.0,
                    p90_ms=0.0, p99_ms=0.0)
+
+    @classmethod
+    def from_samples(cls, samples: typing.Sequence[float]) -> "ResponseSummary":
+        summary = DistributionSummary.of(samples)
+        return cls(
+            count=summary.count,
+            mean_ms=summary.mean,
+            std_ms=summary.std,
+            min_ms=summary.minimum,
+            max_ms=summary.maximum,
+            p90_ms=summary.p90,
+            p99_ms=summary.p99,
+        )
 
 
 class ResponseRecorder:
@@ -67,19 +86,4 @@ class ResponseRecorder:
 
     def summary(self, **filters) -> ResponseSummary:
         """Aggregate statistics over the filtered samples."""
-        samples = self.responses(**filters)
-        if not samples:
-            return ResponseSummary.empty()
-        n = len(samples)
-        mean = sum(samples) / n
-        variance = sum((s - mean) ** 2 for s in samples) / n
-        ordered = sorted(samples)
-        return ResponseSummary(
-            count=n,
-            mean_ms=mean,
-            std_ms=math.sqrt(variance),
-            min_ms=ordered[0],
-            max_ms=ordered[-1],
-            p90_ms=ordered[min(n - 1, int(0.90 * n))],
-            p99_ms=ordered[min(n - 1, int(0.99 * n))],
-        )
+        return ResponseSummary.from_samples(self.responses(**filters))

@@ -108,6 +108,88 @@ class TestDeterminism:
         assert first.requests_completed == second.requests_completed
 
 
+class TestMeasurementWindow:
+    """Utilization must be computed over [warmup, end], not [0, end]."""
+
+    def test_warmup_changes_utilization_but_not_the_simulation(self):
+        no_warmup = ScalePreset(
+            name="micro-w0",
+            cylinders=13,
+            steady_duration_ms=3_000.0,
+            warmup_ms=0.0,
+            note="test-only",
+        )
+        warm = run_scenario(micro_config(mode="fault-free"))
+        cold = run_scenario(micro_config(mode="fault-free", scale=no_warmup))
+        # Warm-up is a measurement boundary, not a simulation phase:
+        # the event streams are identical, so raw busy totals agree...
+        assert warm.requests_completed == cold.requests_completed
+        # ...but the utilizations must differ, because the warm run
+        # divides post-warmup busy time by the 2.5 s window while the
+        # cold run divides the whole-run busy time by 3 s. (The old
+        # code ignored the warmup boundary, making these equal.)
+        assert warm.disk_utilization != cold.disk_utilization
+        assert all(0 <= u < 1 for u in warm.disk_utilization)
+        assert all(0 <= u < 1 for u in cold.disk_utilization)
+
+    def test_zero_length_window_reports_zero_not_crash(self):
+        degenerate = ScalePreset(
+            name="micro-degenerate",
+            cylinders=13,
+            steady_duration_ms=1_000.0,
+            warmup_ms=1_000.0,  # window [1000, 1000] is empty
+            note="test-only",
+        )
+        result = run_scenario(micro_config(mode="fault-free", scale=degenerate))
+        assert result.disk_utilization == [0.0] * 21
+        assert result.metrics["window_ms"] == 0.0
+
+
+class TestMetricsBlock:
+    def test_recon_run_reports_all_latency_classes_and_progress(self):
+        result = run_scenario(
+            micro_config(mode="recon", algorithm=USER_WRITES, recon_workers=4)
+        )
+        metrics = result.metrics
+        assert metrics is not None
+        for klass in ("user-read", "user-write", "recon-read", "recon-write"):
+            assert metrics["latency_ms"][klass]["count"] > 0
+        assert len(metrics["disks"]) == 21
+        for row in metrics["disks"]:
+            assert 0.0 <= row["utilization"] <= 1.0
+            assert "queue_depth_mean" in row
+        (series,) = metrics["recon_progress"]
+        assert series["points"][-1][1] == series["total_units"]
+        assert metrics["counters"]["requests-completed"] > 0
+
+    def test_metrics_match_response_summary_window(self):
+        result = run_scenario(micro_config(mode="fault-free", read_fraction=1.0))
+        # Same warmup filter on both paths: histogram sample count
+        # equals the recorder's post-warmup count.
+        assert result.metrics["latency_ms"]["user-read"]["count"] == (
+            result.response.count
+        )
+
+    def test_collect_metrics_off_is_bit_identical(self):
+        from repro.sweep import result_to_dict
+
+        config = micro_config(mode="fault-free")
+        with_metrics = result_to_dict(run_scenario(config))
+        without = result_to_dict(run_scenario(config, collect_metrics=False))
+        assert without["metrics"] is None
+        assert with_metrics["metrics"] is not None
+        # Observability is passive: stripping the metrics block leaves
+        # the two result documents equal, so cache entries written by
+        # either mode agree on everything the figures consume.
+        with_metrics["metrics"] = None
+        assert with_metrics == without
+
+    def test_collect_metrics_is_not_part_of_the_cache_key(self):
+        key = micro_config(mode="fault-free").to_key()
+        assert "metrics" not in key
+        assert "collect_metrics" not in key
+
+
 class TestConfigKey:
     def test_round_trip_with_named_scale(self):
         config = micro_config(scale="tiny", algorithm=REDIRECT, mode="recon")

@@ -67,6 +67,21 @@ class TestLifetimeClocks:
         assert pool.spares_remaining < 64
         assert pool.spares_remaining <= 64 - len(pool.repairs)
 
+    def test_repairs_completed_matches_records_at_every_step(self):
+        # mean_repair_ms (averaged over pool.repairs) and
+        # injector.repairs_completed must describe the same set of
+        # repairs no matter when the campaign stops. The synchronous
+        # SparePool.on_repair callback keeps them in lockstep; the old
+        # event-listener tracker lagged one heap step behind the record
+        # append, so a mission ending on a completion tick undercounted.
+        array = build_faulty_array(disk_mttf_hours=FAST_MTTF_HOURS)
+        pool = SparePool(array.controller, spares=64, replacement_delay_ms=0.0)
+        injector = FaultInjector(array.controller, monitor=pool).start()
+        while array.env.peek() <= 20_000.0 and not injector.data_lost:
+            array.env.step()
+            assert injector.repairs_completed == len(pool.repairs)
+        assert injector.repairs_completed >= 1
+
     def test_failure_on_dead_disk_is_a_no_op(self):
         array = build_faulty_array()
         injector = FaultInjector(array.controller)

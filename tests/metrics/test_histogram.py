@@ -1,0 +1,93 @@
+"""Unit tests for the streaming fixed-bucket histogram."""
+
+import json
+
+import pytest
+
+from repro.metrics import DEFAULT_LATENCY_BOUNDS_MS, StreamingHistogram
+
+
+class TestBucketPlacement:
+    def test_upper_edges_are_inclusive(self):
+        hist = StreamingHistogram(bounds=[1.0, 2.0, 4.0])
+        hist.record(1.0)  # exactly on an edge -> that bucket, not the next
+        hist.record(1.5)
+        hist.record(4.0)
+        assert hist.counts == [1, 1, 1, 0]
+
+    def test_overflow_bucket(self):
+        hist = StreamingHistogram(bounds=[1.0, 2.0])
+        hist.record(99.0)
+        assert hist.counts == [0, 0, 1]
+
+    def test_rejects_unsorted_or_duplicate_edges(self):
+        with pytest.raises(ValueError):
+            StreamingHistogram(bounds=[2.0, 1.0])
+        with pytest.raises(ValueError):
+            StreamingHistogram(bounds=[1.0, 1.0])
+        with pytest.raises(ValueError):
+            StreamingHistogram(bounds=[])
+
+    def test_exact_aggregates(self):
+        hist = StreamingHistogram(bounds=[10.0])
+        for value in (3.0, 7.0, 30.0):
+            hist.record(value)
+        assert hist.count == 3
+        assert hist.mean == pytest.approx(40.0 / 3)
+        assert hist.minimum == 3.0
+        assert hist.maximum == 30.0
+
+
+class TestQuantiles:
+    def test_empty_is_zero(self):
+        assert StreamingHistogram().quantile(0.99) == 0.0
+
+    def test_quantile_resolves_to_bucket_edge(self):
+        hist = StreamingHistogram(bounds=[1.0, 2.0, 4.0, 8.0])
+        # 9 samples in (1, 2], 1 sample in (4, 8]: p90 rank is 9 -> the
+        # 2.0 bucket; p99 rank is 10 -> the 8.0 bucket (clamped to max).
+        for _ in range(9):
+            hist.record(1.5)
+        hist.record(5.0)
+        assert hist.quantile(0.90) == 2.0
+        assert hist.quantile(0.99) == 5.0  # edge 8.0 clamped to observed max
+
+    def test_edge_clamped_to_observed_minimum(self):
+        hist = StreamingHistogram(bounds=[1.0, 2.0])
+        hist.record(1.8)
+        # Single sample sits in the 2.0 bucket but p50 must not exceed
+        # or undershoot the only observed value.
+        assert hist.quantile(0.50) == 1.8
+
+    def test_overflow_quantile_is_observed_maximum(self):
+        hist = StreamingHistogram(bounds=[1.0])
+        hist.record(100.0)
+        hist.record(200.0)
+        assert hist.quantile(0.99) == 200.0
+
+    def test_matches_nearest_rank_within_one_bucket(self):
+        # A fine ladder around the sample values keeps the bucketed
+        # quantile equal to the exact nearest-rank answer.
+        hist = StreamingHistogram(bounds=[float(k) for k in range(1, 101)])
+        for value in range(1, 101):
+            hist.record(float(value))
+        assert hist.quantile(0.50) == 50.0
+        assert hist.quantile(0.90) == 90.0
+        assert hist.quantile(0.99) == 99.0
+
+
+class TestSerialization:
+    def test_default_ladder_is_geometric(self):
+        assert DEFAULT_LATENCY_BOUNDS_MS[0] == 0.25
+        assert DEFAULT_LATENCY_BOUNDS_MS[1] == 0.5
+        assert len(DEFAULT_LATENCY_BOUNDS_MS) == 18
+
+    def test_to_dict_round_trips_through_json(self):
+        hist = StreamingHistogram()
+        for value in (0.3, 2.0, 2.0, 40.0):
+            hist.record(value)
+        document = hist.to_dict()
+        assert json.loads(json.dumps(document)) == document
+        assert document["count"] == 4
+        assert sum(document["counts"]) == 4
+        assert len(document["counts"]) == len(document["bounds"]) + 1

@@ -1,0 +1,97 @@
+"""Unit tests for the per-run metrics registry and progress series."""
+
+import json
+
+import pytest
+
+from repro.metrics import LATENCY_CLASSES, MetricsRegistry, ProgressSeries
+
+
+class TestProgressSeries:
+    def test_records_first_and_final_units(self):
+        series = ProgressSeries(total_units=1000, max_points=10)
+        for built in range(1, 1001):
+            series.record(float(built), built)
+        assert series.points[0][1] == 1
+        assert series.points[-1][1] == 1000
+
+    def test_decimates_to_roughly_max_points(self):
+        series = ProgressSeries(total_units=10_000, max_points=16)
+        for built in range(1, 10_001):
+            series.record(float(built), built)
+        assert len(series.points) <= 18  # ~max_points plus the endpoints
+
+    def test_small_series_keeps_every_point(self):
+        series = ProgressSeries(total_units=5)
+        for built in range(1, 6):
+            series.record(float(built) * 10, built)
+        assert series.points == [(10.0, 1), (20.0, 2), (30.0, 3), (40.0, 4), (50.0, 5)]
+
+    def test_rejects_degenerate_arguments(self):
+        with pytest.raises(ValueError):
+            ProgressSeries(total_units=0)
+        with pytest.raises(ValueError):
+            ProgressSeries(total_units=10, max_points=1)
+
+    def test_to_dict_uses_json_native_lists(self):
+        series = ProgressSeries(total_units=2)
+        series.record(5.0, 1)
+        series.record(9.0, 2)
+        document = series.to_dict()
+        assert document == {"total_units": 2, "points": [[5.0, 1], [9.0, 2]]}
+        assert json.loads(json.dumps(document)) == document
+
+
+class TestMetricsRegistry:
+    def test_counter_get_or_create(self):
+        registry = MetricsRegistry()
+        registry.counter("foo").increment(3)
+        registry.counter("foo").increment(2)
+        assert registry.counter("foo").value == 5
+
+    def test_latency_discards_warmup_samples(self):
+        registry = MetricsRegistry(measure_since_ms=100.0)
+        registry.record_latency("user-read", 5.0, now_ms=50.0)   # warmup
+        registry.record_latency("user-read", 7.0, now_ms=150.0)
+        document = registry.to_dict(end_ms=200.0)
+        assert document["latency_ms"]["user-read"]["count"] == 1
+        assert document["latency_ms"]["user-read"]["mean"] == 7.0
+
+    def test_queue_gauge_shared_per_slot(self):
+        registry = MetricsRegistry()
+        assert registry.queue_gauge(3) is registry.queue_gauge(3)
+        assert registry.queue_gauge(3) is not registry.queue_gauge(4)
+
+    def test_queue_gauge_inherits_measurement_boundary(self):
+        registry = MetricsRegistry(measure_since_ms=500.0)
+        assert registry.queue_gauge(0).since_ms == 500.0
+
+    def test_to_dict_shape(self):
+        registry = MetricsRegistry(measure_since_ms=100.0)
+        registry.counter("requests-completed").increment(9)
+        for klass in LATENCY_CLASSES:
+            registry.record_latency(klass, 4.0, now_ms=150.0)
+        gauge = registry.queue_gauge(0)
+        gauge.add(1, 100.0)
+        gauge.add(-1, 300.0)
+        series = registry.start_recon_progress(total_units=2)
+        series.record(120.0, 1)
+        series.record(140.0, 2)
+        registry.set_disk_rows([{"disk": 0, "utilization": 0.5}, {"disk": 1}])
+
+        document = registry.to_dict(end_ms=300.0)
+        assert document["measure_since_ms"] == 100.0
+        assert document["window_ms"] == 200.0
+        assert document["counters"] == {"requests-completed": 9}
+        assert sorted(document["latency_ms"]) == sorted(LATENCY_CLASSES)
+        assert document["disks"][0]["queue_depth_mean"] == pytest.approx(1.0)
+        assert document["disks"][0]["queue_depth_max"] == 1
+        assert "queue_depth_mean" not in document["disks"][1]  # no gauge
+        assert document["recon_progress"] == [
+            {"total_units": 2, "points": [[120.0, 1], [140.0, 2]]}
+        ]
+        assert json.loads(json.dumps(document)) == document
+
+    def test_window_never_negative(self):
+        registry = MetricsRegistry(measure_since_ms=500.0)
+        assert registry.to_dict(end_ms=100.0)["window_ms"] == 0.0

@@ -1,0 +1,175 @@
+"""Tests for ``python -m repro report``: golden text, cache equivalence."""
+
+import json
+
+import pytest
+
+from repro.metrics.report import (
+    _decimate,
+    load_documents,
+    main,
+    render_document,
+    render_result,
+)
+
+SYNTHETIC_DOCUMENT = {
+    # The loader identifies result documents by their "response" key.
+    "response": {"count": 300, "mean_ms": 21.5, "p90_ms": 32.0, "p99_ms": 64.0},
+    "config": {
+        "mode": "recon", "stripe_size": 4, "num_disks": 21,
+        "user_rate_per_s": 105.0, "read_fraction": 0.5,
+        "algorithm": "redirect", "scale": {"name": "micro"}, "seed": 7,
+    },
+    "metrics": {
+        "measure_since_ms": 500.0, "end_ms": 3500.0, "window_ms": 3000.0,
+        "counters": {"requests-completed": 300},
+        "latency_ms": {
+            "user-read": {"count": 150, "mean": 21.5, "min": 4.0, "max": 88.0,
+                          "p50": 16.0, "p90": 32.0, "p99": 64.0,
+                          "bounds": [1.0], "counts": [0, 150]},
+            "recon-read": {"count": 40, "mean": 12.25, "min": 2.0, "max": 30.0,
+                           "p50": 8.0, "p90": 16.0, "p99": 30.0,
+                           "bounds": [1.0], "counts": [0, 40]},
+        },
+        "disks": [
+            {"disk": 0, "utilization": 0.5124, "busy_ms": 1537.2,
+             "completed": 180, "queue_depth_mean": 0.4321,
+             "queue_depth_max": 3.0},
+            {"disk": 1, "utilization": 0.25, "busy_ms": 750.0,
+             "completed": 90, "queue_depth_mean": 0.125,
+             "queue_depth_max": 2.0},
+        ],
+        "recon_progress": [
+            {"total_units": 40,
+             "points": [[600.0, 1], [1500.0, 20], [3400.0, 40]]},
+        ],
+    },
+    "fault_summary": {"data_lost": False, "disk_failures": 1,
+                      "repairs_completed": 1, "mean_repair_ms": 2412.5},
+}
+
+GOLDEN = """\
+Scenario: mode=recon G=4 disks=21 rate=105.0/s reads=0.5 algorithm=redirect scale=micro seed=7
+
+Latency by class (window 500..3500 ms):
+class       count  mean ms  p50 ms  p90 ms  p99 ms
+----------  -----  -------  ------  ------  ------
+recon-read  40     12.250   8.000   16.000  30.000
+user-read   150    21.500   16.000  32.000  64.000
+
+Per-disk utilization (measurement window):
+disk  util %  busy ms  completed  queue mean  queue max
+----  ------  -------  ---------  ----------  ---------
+0     51.2    1537.2   180        0.432       3
+1     25.0    750.0    90         0.125       2
+
+Reconstruction progress #1 (40 units):
+t ms    built  fraction
+------  -----  --------
+600.0   1      0.025
+1500.0  20     0.500
+3400.0  40     1.000
+
+Faults: data_lost=False disk_failures=1 repairs_completed=1 mean_repair_ms=2412.5"""
+
+
+def rstripped(text):
+    """Per-line rstrip: table cells are ljust-padded, goldens are not."""
+    return [line.rstrip() for line in text.splitlines()]
+
+
+class TestRenderDocument:
+    def test_golden(self):
+        assert rstripped(render_document(SYNTHETIC_DOCUMENT)) == GOLDEN.splitlines()
+
+    def test_fallback_without_metrics_block(self):
+        document = {
+            "config": None,
+            "response": {"count": 10, "mean_ms": 5.0, "p90_ms": 8.0, "p99_ms": 9.0},
+            "read_response": {"count": 10, "mean_ms": 5.0, "p90_ms": 8.0,
+                              "p99_ms": 9.0},
+            "write_response": {"count": 0, "mean_ms": 0.0, "p90_ms": 0.0,
+                               "p99_ms": 0.0},
+        }
+        text = render_document(document)
+        assert "Response summary (no metrics block recorded):" in text
+        assert "Latency by class" not in text
+
+    def test_decimate_keeps_first_and_last(self):
+        points = [[float(i), i] for i in range(100)]
+        kept = _decimate(points, limit=12)
+        assert len(kept) <= 12
+        assert kept[0] == points[0]
+        assert kept[-1] == points[-1]
+        assert _decimate(points[:5], limit=12) == points[:5]
+
+
+class TestSweepEquivalence:
+    """Fresh and cached runs must render byte-identically."""
+
+    @pytest.fixture(scope="class")
+    def outcomes(self, tmp_path_factory):
+        from repro.experiments import ScenarioConfig
+        from repro.sweep import SweepOptions, run_sweep
+
+        from tests.sweep.conftest import MICRO
+
+        cache_dir = tmp_path_factory.mktemp("report-cache")
+        config = ScenarioConfig(
+            stripe_size=4, user_rate_per_s=105.0, read_fraction=1.0,
+            scale=MICRO, seed=7,
+        )
+        options = SweepOptions(jobs=1, cache=cache_dir, progress=False)
+        fresh = run_sweep([config], options)
+        cached = run_sweep([config], options)
+        return fresh, cached, cache_dir
+
+    def test_cached_run_renders_identically(self, outcomes):
+        fresh, cached, _cache_dir = outcomes
+        assert cached.summary.cache_hits == 1
+        assert render_result(fresh.results[0]) == render_result(cached.results[0])
+
+    def test_cache_entry_file_renders_identically(self, outcomes):
+        fresh, _cached, cache_dir = outcomes
+        documents = load_documents([cache_dir])
+        assert len(documents) == 1
+        _label, document = documents[0]
+        assert render_document(document) == render_result(fresh.results[0])
+
+    def test_report_covers_metrics_sections(self, outcomes):
+        fresh, _cached, _cache_dir = outcomes
+        text = render_result(fresh.results[0])
+        assert "Latency by class" in text
+        assert "user-read" in text
+        assert "Per-disk utilization" in text
+
+
+class TestCli:
+    def test_renders_files_and_directories(self, tmp_path, capsys):
+        path = tmp_path / "doc.json"
+        path.write_text(json.dumps(SYNTHETIC_DOCUMENT), encoding="utf-8")
+        assert main([str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert f"=== {path} ===" in out
+        assert "Latency by class (window 500..3500 ms):" in out
+
+    def test_cache_entry_unwrapped(self, tmp_path, capsys):
+        entry = {"cache_format": 3, "package_version": "x",
+                 "config": {}, "result": dict(SYNTHETIC_DOCUMENT, response={})}
+        path = tmp_path / "entry.json"
+        path.write_text(json.dumps(entry), encoding="utf-8")
+        assert main([str(path)]) == 0
+        assert "Latency by class" in capsys.readouterr().out
+
+    def test_no_documents_is_an_error(self, tmp_path, capsys):
+        (tmp_path / "junk.json").write_text("not json", encoding="utf-8")
+        assert main([str(tmp_path)]) == 1
+        assert "no result documents found" in capsys.readouterr().err
+
+    def test_dispatch_through_repro_cli(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+
+        path = tmp_path / "doc.json"
+        path.write_text(json.dumps(SYNTHETIC_DOCUMENT), encoding="utf-8")
+        assert cli_main(["report", str(path)]) == 0
+        assert "Scenario: mode=recon" in capsys.readouterr().out

@@ -1,0 +1,100 @@
+"""Unit tests for the shared nearest-rank percentile math.
+
+The property test cross-checks the helper against an independent
+exact-arithmetic reference (the inverted CDF over ``fractions``), the
+same definition numpy implements as ``method='inverted_cdf'`` — no
+numpy at runtime, the reference is computed here.
+"""
+
+import json
+import math
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.metrics import DistributionSummary, nearest_rank_index, percentile
+
+
+def reference_nearest_rank(ordered, q):
+    """Exact inverted CDF: the sample at the smallest rank k with k/n >= q.
+
+    Quantiles arrive as binary floats standing for decimal values
+    (0.9 is really 0.9000000000000000222...), so the reference first
+    recovers the intended decimal via ``limit_denominator`` — exactly
+    the round-off the helper's rank slack absorbs.
+    """
+    n = len(ordered)
+    intended_q = Fraction(q).limit_denominator(10**6)
+    for k in range(1, n + 1):
+        if Fraction(k, n) >= intended_q:
+            return ordered[k - 1]
+    return ordered[-1]
+
+
+class TestNearestRankIndex:
+    def test_matches_ceil_formula(self):
+        for n in (1, 2, 3, 7, 10, 100):
+            for q in (0.5, 0.9, 0.95, 0.99):
+                assert nearest_rank_index(q, n) == max(1, math.ceil(q * n - 1e-9)) - 1
+
+    def test_decimal_quantiles_hit_exact_ranks(self):
+        # 0.9 * 10 is 9.000000000000002 in floats; the slack keeps the
+        # rank at 9 (index 8) instead of spilling to 10.
+        assert nearest_rank_index(0.9, 10) == 8
+        assert nearest_rank_index(0.99, 100) == 98
+        assert nearest_rank_index(0.9, 100) == 89
+        assert nearest_rank_index(0.5, 2) == 0
+
+    def test_extremes(self):
+        assert nearest_rank_index(0.0, 5) == 0
+        assert nearest_rank_index(1.0, 5) == 4
+        assert nearest_rank_index(0.5, 1) == 0
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            nearest_rank_index(0.5, 0)
+        with pytest.raises(ValueError):
+            nearest_rank_index(1.5, 10)
+        with pytest.raises(ValueError):
+            nearest_rank_index(-0.1, 10)
+
+    def test_property_200_randomized_sample_sets(self):
+        # 200 randomized sorted sample sets, quantiles drawn from the
+        # two-decimal grid experiments actually use; every answer must
+        # match the exact-arithmetic inverted CDF.
+        rng = random.Random(19920913)
+        quantile_menu = [round(0.01 * k, 2) for k in range(1, 100)]
+        for _ in range(200):
+            n = rng.randint(1, 60)
+            ordered = sorted(
+                float(rng.randint(0, 50)) + rng.choice([0.0, 0.25, 0.5])
+                for _ in range(n)
+            )
+            q = rng.choice(quantile_menu)
+            assert percentile(ordered, q) == reference_nearest_rank(ordered, q), (
+                f"n={n} q={q} ordered={ordered}"
+            )
+
+
+class TestDistributionSummary:
+    def test_empty(self):
+        summary = DistributionSummary.of([])
+        assert summary.count == 0
+        assert summary.mean == summary.std == 0.0
+        assert summary.p50 == summary.p90 == summary.p99 == 0.0
+
+    def test_population_std(self):
+        summary = DistributionSummary.of([10.0, 20.0, 30.0])
+        assert summary.mean == pytest.approx(20.0)
+        assert summary.std == pytest.approx((200 / 3) ** 0.5)
+
+    def test_sorts_its_input(self):
+        summary = DistributionSummary.of([30.0, 10.0, 20.0])
+        assert summary.minimum == 10.0
+        assert summary.maximum == 30.0
+        assert summary.p50 == 20.0
+
+    def test_json_safe(self):
+        summary = DistributionSummary.of([1.0, 2.0])
+        assert json.loads(json.dumps(vars(summary))) == vars(summary)

@@ -96,6 +96,36 @@ class TestTracer:
         with pytest.raises(ValueError):
             EnvironmentTracer(Environment(), capacity=0)
 
+    def test_nested_tracers_detach_in_reverse_order(self):
+        env = Environment()
+        outer = EnvironmentTracer(env)
+        inner = EnvironmentTracer(env)
+        inner.detach()
+        outer.detach()
+        run_sample(env)
+        assert list(outer.entries) == []
+        assert list(inner.entries) == []
+
+    def test_out_of_order_detach_raises_and_keeps_tracing(self):
+        env = Environment()
+        outer = EnvironmentTracer(env)
+        inner = EnvironmentTracer(env)
+        with pytest.raises(RuntimeError, match="reverse attach order"):
+            outer.detach()
+        # The refused detach must not have disturbed the stack: the
+        # inner tracer still observes events, then unwinding works.
+        run_sample(env)
+        assert inner.entries
+        inner.detach()
+        outer.detach()
+
+    def test_double_detach_raises(self):
+        env = Environment()
+        tracer = EnvironmentTracer(env)
+        tracer.detach()
+        with pytest.raises(RuntimeError, match="exactly once"):
+            tracer.detach()
+
     def test_tracing_does_not_change_simulation_results(self):
         def simulate(traced):
             env = Environment()

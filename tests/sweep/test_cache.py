@@ -63,6 +63,30 @@ class TestResultSerialization:
         )
         assert result_from_dict(result_to_dict(result)) == result
 
+    def test_round_trip_with_metrics_block(self):
+        # The metrics block is JSON-native by construction
+        # (MetricsRegistry.to_dict) and is carried verbatim, so cached
+        # and fresh runs report identically.
+        result = fake_result(micro_config())
+        result.metrics = {
+            "measure_since_ms": 300.0,
+            "end_ms": 1500.0,
+            "window_ms": 1200.0,
+            "counters": {"requests-completed": 10},
+            "latency_ms": {
+                "user-read": {"count": 10, "mean": 4.0, "min": 1.0, "max": 8.0,
+                              "p50": 4.0, "p90": 8.0, "p99": 8.0,
+                              "bounds": [2.0, 4.0, 8.0], "counts": [1, 4, 5, 0]},
+            },
+            "disks": [{"disk": 0, "utilization": 0.5, "busy_ms": 600.0,
+                       "completed": 10, "queue_depth_mean": 0.25,
+                       "queue_depth_max": 2.0}],
+            "recon_progress": [{"total_units": 4, "points": [[10.0, 1], [40.0, 4]]}],
+        }
+        assert result_from_dict(result_to_dict(result)) == result
+        document = json.loads(json.dumps(result_to_dict(result)))
+        assert result_from_dict(document) == result
+
     def test_round_trip_is_json_exact(self):
         # JSON's shortest-repr float encoding is lossless, which is
         # what makes cached figure rows byte-identical to fresh ones.

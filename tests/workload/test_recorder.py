@@ -45,13 +45,68 @@ class TestSummary:
         assert summary.max_ms == 30
 
     def test_percentiles(self):
+        # Nearest-rank: for samples 0..99 the p90 is the 90th smallest
+        # (index 89), not the 91st — the old int(q*n) indexing was one
+        # sample high.
         recorder = ResponseRecorder()
         fill(recorder, [(i, float(i), False) for i in range(100)])
         summary = recorder.summary()
-        assert summary.p90_ms == pytest.approx(90.0)
-        assert summary.p99_ms == pytest.approx(99.0)
+        assert summary.p90_ms == 89.0
+        assert summary.p99_ms == 98.0
 
     def test_empty_summary(self):
         summary = ResponseRecorder().summary()
         assert summary.count == 0
         assert summary.mean_ms == 0.0
+
+
+class TestNearestRankRegression:
+    """Hand-computed nearest-rank percentiles (the int(q*n) bias fix).
+
+    Values here are ``ordered[ceil(q*n) - 1]`` computed by hand; the
+    old indexing reported the *maximum* as p90 for n = 10.
+    """
+
+    def summarize(self, values):
+        recorder = ResponseRecorder()
+        fill(recorder, [(i, v, False) for i, v in enumerate(values)])
+        return recorder.summary()
+
+    def test_single_sample(self):
+        summary = self.summarize([42.0])
+        assert summary.p90_ms == 42.0
+        assert summary.p99_ms == 42.0
+
+    def test_ten_samples(self):
+        # 10, 20, ..., 100: rank ceil(0.9*10)=9 -> 90.0 (the old code
+        # reported 100.0, the maximum); rank ceil(0.99*10)=10 -> 100.0.
+        summary = self.summarize([10.0 * k for k in range(1, 11)])
+        assert summary.p90_ms == 90.0
+        assert summary.p99_ms == 100.0
+
+    def test_hundred_samples(self):
+        # 1..100: rank ceil(0.9*100)=90 -> 90.0; rank ceil(99)=99 -> 99.0.
+        summary = self.summarize([float(k) for k in range(1, 101)])
+        assert summary.p90_ms == 90.0
+        assert summary.p99_ms == 99.0
+
+    def test_all_equal_samples(self):
+        summary = self.summarize([7.5] * 13)
+        assert summary.p90_ms == 7.5
+        assert summary.p99_ms == 7.5
+        assert summary.min_ms == summary.max_ms == 7.5
+        assert summary.std_ms == 0.0
+
+    def test_wrapper_matches_shared_summary(self):
+        from repro.metrics import DistributionSummary
+
+        values = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]
+        summary = self.summarize(values)
+        shared = DistributionSummary.of(values)
+        assert summary.count == shared.count
+        assert summary.mean_ms == shared.mean
+        assert summary.std_ms == shared.std
+        assert summary.min_ms == shared.minimum
+        assert summary.max_ms == shared.maximum
+        assert summary.p90_ms == shared.p90
+        assert summary.p99_ms == shared.p99
