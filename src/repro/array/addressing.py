@@ -10,6 +10,7 @@ from __future__ import annotations
 
 
 from dataclasses import dataclass
+from functools import cached_property
 
 from repro.disk.specs import DiskSpec
 from repro.layout.base import ParityLayout, UnitAddress
@@ -17,7 +18,16 @@ from repro.layout.base import ParityLayout, UnitAddress
 
 @dataclass(frozen=True)
 class ArrayAddressing:
-    """Address arithmetic for one array configuration."""
+    """Address arithmetic for one array configuration.
+
+    The capacity figures are ``cached_property`` rather than
+    ``property``: the controller bounds-checks every submitted request
+    against ``num_data_units``, whose plain-property spelling walked a
+    five-deep recompute chain per call. ``cached_property`` writes the
+    instance ``__dict__`` directly, which sidesteps the frozen
+    dataclass's ``__setattr__`` — and is correct here because every
+    input field is itself immutable.
+    """
 
     layout: ParityLayout
     spec: DiskSpec
@@ -42,35 +52,35 @@ class ArrayAddressing:
     # ------------------------------------------------------------------
     # Capacity
     # ------------------------------------------------------------------
-    @property
+    @cached_property
     def sectors_per_unit(self) -> int:
         return self.stripe_unit_bytes // self.spec.bytes_per_sector
 
-    @property
+    @cached_property
     def units_per_disk(self) -> int:
         """Raw stripe-unit slots per disk."""
         return self.spec.total_sectors // self.sectors_per_unit
 
-    @property
+    @cached_property
     def tables_per_disk(self) -> int:
         return self.units_per_disk // self.layout.table_depth
 
-    @property
+    @cached_property
     def mapped_units_per_disk(self) -> int:
         """Unit slots actually mapped to parity stripes (whole tables)."""
         return self.tables_per_disk * self.layout.table_depth
 
-    @property
+    @cached_property
     def num_stripes(self) -> int:
         """Complete parity stripes in the array."""
         return self.tables_per_disk * self.layout.stripes_per_table
 
-    @property
+    @cached_property
     def num_data_units(self) -> int:
         """Addressable logical data units."""
         return self.num_stripes * self.layout.data_units_per_stripe
 
-    @property
+    @cached_property
     def data_capacity_bytes(self) -> int:
         return self.num_data_units * self.stripe_unit_bytes
 

@@ -699,12 +699,15 @@ class ArrayController:
                 on_failed_parity and self._unit_live(parity.offset)
             )
             if data_ok and parity_ok:
-                peers_readable = all(
+                # Only the G=3 small-stripe path cares about peers; the
+                # peer scan is pure layout arithmetic, so deferring it
+                # behind the stripe-size test costs nothing else.
+                peers_readable = self.layout.stripe_size == 3 and all(
                     peer.disk not in lost
                     and (peer.disk != failed or self._unit_live(peer.offset))
                     for peer in self._data_peers(stripe, address)
                 )
-                if self.layout.stripe_size == 3 and peers_readable:
+                if peers_readable:
                     path = yield from self._small_stripe_write(stripe, address, parity, value)
                 else:
                     path = yield from self._read_modify_write(address, parity, value)

@@ -1,0 +1,45 @@
+"""Continuous benchmarking harness: ``python -m repro bench``.
+
+The ROADMAP's north star is a simulator that runs as fast as the
+hardware allows; this package is how that claim stays measured instead
+of asserted. It times the discrete-event kernel in isolation
+(*microbenchmarks*: events dispatched per wall-clock second), the
+standard 21-disk array scenario (*macrobenchmarks*: simulated I/Os per
+second), and the end-to-end sweep/campaign drivers (wall-clock), then
+emits one machine-readable ``BENCH_<date>.json`` document with a full
+environment fingerprint (Python, CPU, commit) so results from
+different machines and commits can be compared honestly.
+
+Layers:
+
+- :mod:`repro.bench.envinfo` — host/interpreter/commit fingerprint;
+- :mod:`repro.bench.micro`   — bare-kernel event-throughput loops;
+- :mod:`repro.bench.macro`   — scenario, sweep, and campaign timings;
+- :mod:`repro.bench.schema`  — the ``repro-bench/1`` document schema
+  and its validator;
+- :mod:`repro.bench.compare` — baseline regression checking (the CI
+  perf gate);
+- :mod:`repro.bench.harness` — orchestration: run suites, assemble and
+  write the document;
+- :mod:`repro.bench.cli`     — the ``repro bench`` argument surface.
+
+Benchmarks draw no random numbers outside fixed-seed scenario configs
+and attach no tracers, so the simulated work is bit-identical run to
+run — only the wall-clock varies.
+"""
+
+from repro.bench.compare import BaselineCheck, check_against_baseline
+from repro.bench.envinfo import environment_fingerprint
+from repro.bench.harness import BenchOptions, run_benchmarks, write_document
+from repro.bench.schema import SCHEMA_ID, validate_document
+
+__all__ = [
+    "BaselineCheck",
+    "BenchOptions",
+    "SCHEMA_ID",
+    "check_against_baseline",
+    "environment_fingerprint",
+    "run_benchmarks",
+    "validate_document",
+    "write_document",
+]

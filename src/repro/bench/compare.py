@@ -1,0 +1,94 @@
+"""Baseline regression checking: the CI perf gate's decision logic.
+
+Compares a freshly measured bench document against a checked-in
+baseline document and fails when any throughput metric regressed by
+more than the tolerance (25% by default — wide enough to absorb shared
+CI-runner noise, tight enough to catch a real hot-path regression).
+
+Escape hatch: when an intentional change moves the floor (slower but
+correct, or a faster machine re-baselines the numbers), regenerate the
+baseline with ``python -m repro bench --scale tiny --write-baseline
+benchmarks/bench-baseline.json`` and commit the result — the PR diff
+then shows the old and new floors side by side for review.
+"""
+
+from __future__ import annotations
+
+import typing
+from dataclasses import dataclass, field
+
+from repro.bench.schema import throughput_metrics, validate_document
+
+DEFAULT_TOLERANCE = 0.25
+
+
+@dataclass
+class BaselineCheck:
+    """Outcome of one baseline comparison."""
+
+    tolerance: float
+    regressions: typing.List[str] = field(default_factory=list)
+    improvements: typing.List[str] = field(default_factory=list)
+    missing: typing.List[str] = field(default_factory=list)
+    lines: typing.List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions and not self.missing
+
+    def summary(self) -> str:
+        verdict = "OK" if self.ok else "REGRESSED"
+        return "\n".join(
+            self.lines
+            + [
+                f"perf gate: {verdict} "
+                f"({len(self.regressions)} regression(s), "
+                f"{len(self.improvements)} improvement(s), "
+                f"tolerance {self.tolerance:.0%})"
+            ]
+        )
+
+
+def check_against_baseline(
+    current: typing.Mapping[str, typing.Any],
+    baseline: typing.Mapping[str, typing.Any],
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> BaselineCheck:
+    """Compare throughput metrics of ``current`` against ``baseline``.
+
+    Both documents are schema-validated first. A metric present in the
+    baseline but absent from the current run counts as a failure (a
+    silently dropped benchmark must not pass the gate); metrics new in
+    the current run are reported but do not fail.
+    """
+    if not 0 < tolerance < 1:
+        raise ValueError(f"tolerance must be in (0, 1), got {tolerance}")
+    validate_document(current)
+    validate_document(baseline)
+    check = BaselineCheck(tolerance=tolerance)
+    current_rates = throughput_metrics(current["results"])
+    baseline_rates = throughput_metrics(baseline["results"])
+    for name in sorted(baseline_rates):
+        base = baseline_rates[name]
+        if name not in current_rates:
+            check.missing.append(name)
+            check.lines.append(f"  MISSING  {name}: in baseline but not measured")
+            continue
+        now = current_rates[name]
+        if base <= 0:
+            check.lines.append(f"  SKIP     {name}: baseline rate is zero")
+            continue
+        ratio = now / base
+        delta = ratio - 1.0
+        label = f"{name}: {now:,.0f}/s vs baseline {base:,.0f}/s ({delta:+.1%})"
+        if ratio < 1.0 - tolerance:
+            check.regressions.append(name)
+            check.lines.append(f"  REGRESS  {label}")
+        elif ratio > 1.0 + tolerance:
+            check.improvements.append(name)
+            check.lines.append(f"  FASTER   {label} — consider re-baselining")
+        else:
+            check.lines.append(f"  ok       {label}")
+    for name in sorted(set(current_rates) - set(baseline_rates)):
+        check.lines.append(f"  NEW      {name}: {current_rates[name]:,.0f}/s (no baseline)")
+    return check

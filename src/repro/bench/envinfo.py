@@ -1,0 +1,63 @@
+"""Environment fingerprinting for benchmark documents.
+
+A throughput number is meaningless without the machine and code
+revision it was measured on, so every bench document embeds this
+fingerprint. All probes are best-effort: a missing ``git`` binary or
+an unreadable ``/proc/cpuinfo`` degrades a field to ``None`` rather
+than failing the run.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import subprocess
+import sys
+import typing
+
+
+def _cpu_model() -> typing.Optional[str]:
+    """Human-readable CPU model name, if the platform exposes one."""
+    try:
+        with open("/proc/cpuinfo", encoding="utf-8") as handle:
+            for line in handle:
+                if line.lower().startswith("model name"):
+                    return line.split(":", 1)[1].strip()
+    except OSError:
+        pass
+    return platform.processor() or None
+
+
+def _git(args: typing.List[str]) -> typing.Optional[str]:
+    try:
+        proc = subprocess.run(
+            ["git", *args],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if proc.returncode != 0:
+        return None
+    return proc.stdout.strip() or None
+
+
+def environment_fingerprint() -> typing.Dict[str, typing.Any]:
+    """The JSON-safe ``environment`` block of a bench document."""
+    commit = _git(["rev-parse", "HEAD"])
+    status = _git(["status", "--porcelain"])
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu": _cpu_model(),
+        "cpu_count": os.cpu_count(),
+        "commit": commit,
+        # None when git itself was unavailable; a bool otherwise.
+        "dirty": (bool(status) if commit is not None else None),
+        "argv": list(sys.argv),
+    }

@@ -1,0 +1,90 @@
+"""The ``repro-bench/1`` document schema and its validator.
+
+Hand-rolled structural validation (the container deliberately carries
+no jsonschema dependency). A *document* is what ``repro bench`` writes
+to ``BENCH_<date>.json`` and what the CI perf gate reads back as its
+baseline, so both producers and consumers validate through this one
+module.
+"""
+
+from __future__ import annotations
+
+import typing
+
+SCHEMA_ID = "repro-bench/1"
+
+#: Fields every result entry must carry; ``wall_s`` is the only one
+#: common to micro and macro entries.
+_REQUIRED_RESULT_FIELDS = ("wall_s",)
+
+_REQUIRED_TOP_LEVEL = ("schema", "generated_at", "environment", "scale", "repeat", "results")
+
+_REQUIRED_ENVIRONMENT = ("python", "implementation", "platform", "cpu_count")
+
+
+class BenchSchemaError(ValueError):
+    """A bench document failed structural validation."""
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise BenchSchemaError(message)
+
+
+def validate_document(document: typing.Mapping[str, typing.Any]) -> None:
+    """Raise :class:`BenchSchemaError` unless ``document`` is valid.
+
+    Checks structure and types, not values: a document from a slower
+    machine is valid; a document missing its fingerprint is not.
+    """
+    _require(isinstance(document, typing.Mapping), "document must be an object")
+    for key in _REQUIRED_TOP_LEVEL:
+        _require(key in document, f"missing top-level field {key!r}")
+    _require(
+        document["schema"] == SCHEMA_ID,
+        f"schema must be {SCHEMA_ID!r}, got {document['schema']!r}",
+    )
+    _require(
+        isinstance(document["generated_at"], str) and document["generated_at"],
+        "generated_at must be a non-empty string",
+    )
+    environment = document["environment"]
+    _require(isinstance(environment, typing.Mapping), "environment must be an object")
+    for key in _REQUIRED_ENVIRONMENT:
+        _require(key in environment, f"missing environment field {key!r}")
+    _require(isinstance(document["scale"], str), "scale must be a string")
+    _require(
+        isinstance(document["repeat"], int) and document["repeat"] >= 1,
+        "repeat must be a positive integer",
+    )
+    results = document["results"]
+    _require(isinstance(results, typing.Mapping), "results must be an object")
+    _require(len(results) > 0, "results must not be empty")
+    for name, entry in results.items():
+        _require(isinstance(name, str) and name, "result names must be strings")
+        _require(isinstance(entry, typing.Mapping), f"result {name!r} must be an object")
+        for field in _REQUIRED_RESULT_FIELDS:
+            _require(field in entry, f"result {name!r} missing field {field!r}")
+        for field, value in entry.items():
+            _require(
+                isinstance(value, (int, float)) and not isinstance(value, bool),
+                f"result {name!r} field {field!r} must be a number, got {value!r}",
+            )
+        _require(entry["wall_s"] >= 0, f"result {name!r} has negative wall_s")
+
+
+def throughput_metrics(
+    results: typing.Mapping[str, typing.Mapping[str, float]],
+) -> typing.Dict[str, float]:
+    """The higher-is-better rates a baseline check compares.
+
+    Any ``*_per_s`` field qualifies; wall-clock-only entries contribute
+    nothing (their variance is dominated by machine load, and the
+    throughput entries already cover the same code).
+    """
+    rates: typing.Dict[str, float] = {}
+    for name, entry in results.items():
+        for field, value in entry.items():
+            if field.endswith("_per_s"):
+                rates[f"{name}:{field}"] = float(value)
+    return rates

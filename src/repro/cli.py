@@ -162,7 +162,9 @@ def build_parser() -> argparse.ArgumentParser:
             "& lock-discipline static analysis (see 'repro lint --help'); "
             "'repro report' renders stored scenario results (sweep-cache "
             "entries or result JSON) as per-run metric tables (see "
-            "'repro report --help')."
+            "'repro report --help'); 'repro bench' runs the continuous "
+            "benchmarking harness and emits BENCH_<date>.json (see "
+            "'repro bench --help')."
         ),
     )
     parser.add_argument("--version", action="version", version=f"repro {__version__}")
@@ -230,6 +232,11 @@ def main(argv: typing.Optional[typing.Sequence[str]] = None) -> int:
         from repro.metrics.report import main as report_main
 
         return report_main(argv[1:])
+    if argv and argv[0] == "bench":
+        # And for the continuous benchmarking harness.
+        from repro.bench.cli import main as bench_main
+
+        return bench_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         for name, (description, _fn) in sorted(EXPERIMENTS.items()):

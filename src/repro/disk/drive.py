@@ -33,26 +33,63 @@ KIND_USER = "user"
 KIND_RECON = "recon"
 
 
-@dataclass
 class DiskRequest:
     """One physical disk access.
 
     ``done`` fires with the completion time when the transfer finishes.
+
+    A plain ``__slots__`` class rather than a dataclass: hundreds of
+    thousands are allocated per scenario, and the per-instance dict is
+    measurable. (``@dataclass(slots=True)`` needs Python 3.10; the CI
+    matrix starts at 3.9.)
     """
 
-    start_sector: int
-    sector_count: int
-    is_write: bool
-    kind: str = KIND_USER
-    done: object = None  # Event, attached at submit time
-    submit_ms: float = 0.0
-    start_service_ms: float = 0.0
-    complete_ms: float = 0.0
-    cylinder: int = 0  # cached for the scheduler
-    #: Error outcome: None on success, else ``"media"`` / ``"timeout"``
-    #: (see :mod:`repro.faults.state`). Only ever set when the disk
-    #: carries a fault state.
-    error: typing.Optional[str] = None
+    __slots__ = (
+        "start_sector",
+        "sector_count",
+        "is_write",
+        "kind",
+        "done",
+        "submit_ms",
+        "start_service_ms",
+        "complete_ms",
+        "cylinder",
+        "error",
+    )
+
+    def __init__(
+        self,
+        start_sector: int,
+        sector_count: int,
+        is_write: bool,
+        kind: str = KIND_USER,
+        done: object = None,
+        submit_ms: float = 0.0,
+        start_service_ms: float = 0.0,
+        complete_ms: float = 0.0,
+        cylinder: int = 0,
+        error: typing.Optional[str] = None,
+    ):
+        self.start_sector = start_sector
+        self.sector_count = sector_count
+        self.is_write = is_write
+        self.kind = kind
+        self.done = done  # Event, attached at submit time
+        self.submit_ms = submit_ms
+        self.start_service_ms = start_service_ms
+        self.complete_ms = complete_ms
+        self.cylinder = cylinder  # cached for the scheduler
+        #: Error outcome: None on success, else ``"media"`` / ``"timeout"``
+        #: (see :mod:`repro.faults.state`). Only ever set when the disk
+        #: carries a fault state.
+        self.error = error
+
+    def __repr__(self) -> str:
+        op = "write" if self.is_write else "read"
+        return (
+            f"<DiskRequest {op} [{self.start_sector}, "
+            f"{self.start_sector + self.sector_count}) kind={self.kind}>"
+        )
 
     @property
     def queue_wait_ms(self) -> float:
@@ -90,10 +127,11 @@ class DiskStats:
                transfer_ms: float) -> None:
         self.completed += 1
         self.completed_by_kind[request.kind] = self.completed_by_kind.get(request.kind, 0) + 1
-        self.busy_ms += request.service_ms
+        service_ms = request.complete_ms - request.start_service_ms
+        self.busy_ms += service_ms
         self.busy_window.add(request.start_service_ms, request.complete_ms)
-        self.total_service_ms += request.service_ms
-        self.total_queue_wait_ms += request.queue_wait_ms
+        self.total_service_ms += service_ms
+        self.total_queue_wait_ms += request.start_service_ms - request.submit_ms
         self.total_seek_ms += seek_ms
         self.total_rotation_ms += rotation_ms
         self.total_transfer_ms += transfer_ms
@@ -119,7 +157,14 @@ class Disk:
         self.spec = spec
         self.disk_id = disk_id
         self.geometry = DiskGeometry(spec)
-        self.seek_model = SeekModel(spec)
+        self.seek_model = SeekModel.for_spec(spec)
+        # DiskSpec derives these on every property read; the service-time
+        # loop reads them per track run, so snapshot them once. The spec
+        # is frozen, so the snapshot cannot go stale.
+        self._sector_time_ms = spec.sector_time_ms
+        self._sectors_per_track = spec.sectors_per_track
+        self._head_switch_ms = spec.head_switch_ms
+        self._cylinder_of = self.geometry.cylinder_of  # bound once for submit()
         self.scheduler = scheduler if scheduler is not None else make_scheduler(
             policy, spec.cylinders
         )
@@ -153,9 +198,10 @@ class Disk:
         """Queue a request; returns the request's completion event."""
         if request.sector_count < 1:
             raise ValueError("requests must transfer at least one sector")
-        request.done = self.env.event()
-        request.submit_ms = self.env.now
-        request.cylinder = self.geometry.cylinder_of(request.start_sector)
+        env = self.env
+        request.done = env.event()
+        request.submit_ms = env.now
+        request.cylinder = self._cylinder_of(request.start_sector)
         self.scheduler.push(request)
         if self.queue_gauge is not None:
             self.queue_gauge.add(1, request.submit_ms)
@@ -182,26 +228,33 @@ class Disk:
     # Server process
     # ------------------------------------------------------------------
     def _run(self):
+        # env / scheduler / stats never change over the drive's life;
+        # the loop runs once per serviced request, so bind them once.
+        env = self.env
+        scheduler = self.scheduler
+        stats = self.stats
+        service_time = self._service_time
+        timeout = env.timeout
         while True:
-            while not self.scheduler:
-                self._idle_wakeup = self.env.event()
+            while not scheduler:
+                self._idle_wakeup = env.event()
                 yield self._idle_wakeup
             self._idle_wakeup = None
-            request = self.scheduler.pop(self.head_cylinder, self.direction)
-            request.start_service_ms = self.env.now
+            request = scheduler.pop(self.head_cylinder, self.direction)
+            request.start_service_ms = env.now
             if self.queue_gauge is not None:
                 self.queue_gauge.add(-1, request.start_service_ms)
-            service_ms, seek_ms, rotation_ms, transfer_ms = self._service_time(request)
-            yield self.env.timeout(service_ms)
+            service_ms, seek_ms, rotation_ms, transfer_ms = service_time(request)
+            yield timeout(service_ms)
             if self.fault_state is not None:
                 error, penalty_ms = self.fault_state.outcome_for(
                     request.start_sector, request.sector_count, request.is_write
                 )
                 if penalty_ms > 0:
-                    yield self.env.timeout(penalty_ms)
+                    yield env.timeout(penalty_ms)
                 request.error = error
-            request.complete_ms = self.env.now
-            self.stats.record(request, seek_ms, rotation_ms, transfer_ms)
+            request.complete_ms = env.now
+            stats.record(request, seek_ms, rotation_ms, transfer_ms)
             request.done.succeed(request)
 
     # ------------------------------------------------------------------
@@ -209,11 +262,13 @@ class Disk:
     # ------------------------------------------------------------------
     def _rotational_position(self, at_ms: float) -> float:
         """Platter angle at an absolute time, in (fractional) sector slots."""
-        return (at_ms / self.spec.sector_time_ms) % self.spec.sectors_per_track
+        return (at_ms / self._sector_time_ms) % self._sectors_per_track
 
     def _service_time(self, request: DiskRequest) -> typing.Tuple[float, float, float, float]:
         """Compute service time; updates head cylinder and direction."""
-        spec = self.spec
+        sector_time_ms = self._sector_time_ms
+        sectors_per_track = self._sectors_per_track
+        seek_time = self.seek_model.seek_time
         clock = self.env.now
         seek_ms = rotation_ms = transfer_ms = 0.0
         current_cylinder = self.head_cylinder
@@ -234,26 +289,26 @@ class Disk:
                 self._buffered_track = (runs[-1].cylinder, runs[-1].track)
         for index, run in enumerate(runs):
             if run.cylinder != current_cylinder:
-                this_seek = self.seek_model.seek_time(abs(run.cylinder - current_cylinder))
+                this_seek = seek_time(abs(run.cylinder - current_cylinder))
                 self.direction = 1 if run.cylinder > current_cylinder else -1
                 current_cylinder = run.cylinder
                 seek_ms += this_seek
                 clock += this_seek
             elif index > 0:
                 # Same cylinder, next head: pay the switch settle time.
-                switch = spec.head_switch_ms
+                switch = self._head_switch_ms
                 seek_ms += switch
                 clock += switch
-            position = self._rotational_position(clock)
-            slots_to_wait = (run.rotational_start - position) % spec.sectors_per_track
+            position = (clock / sector_time_ms) % sectors_per_track
+            slots_to_wait = (run.rotational_start - position) % sectors_per_track
             # Float round-off can turn an exact hit (wait 0) into a wait
             # of one full revolution minus epsilon; snap it back to zero.
-            if slots_to_wait > spec.sectors_per_track - 1e-6:
+            if slots_to_wait > sectors_per_track - 1e-6:
                 slots_to_wait = 0.0
-            wait = slots_to_wait * spec.sector_time_ms
+            wait = slots_to_wait * sector_time_ms
             rotation_ms += wait
             clock += wait
-            transfer = run.count * spec.sector_time_ms
+            transfer = run.count * sector_time_ms
             transfer_ms += transfer
             clock += transfer
         self.head_cylinder = current_cylinder

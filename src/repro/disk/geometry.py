@@ -32,46 +32,76 @@ class SectorRange:
 
 
 class DiskGeometry:
-    """Address arithmetic for one disk spec."""
+    """Address arithmetic for one disk spec.
+
+    Stripe-unit-aligned workloads revisit the same few thousand
+    ``(start_sector, count)`` transfer shapes constantly, so
+    :meth:`split_by_track` memoizes its (immutable) decompositions; the
+    spec-derived divisors are likewise snapshotted once because
+    :class:`~repro.disk.specs.DiskSpec` recomputes them on every
+    property read. Both are safe: the spec is frozen.
+    """
 
     def __init__(self, spec: DiskSpec):
         self.spec = spec
+        self._sectors_per_cylinder = spec.sectors_per_cylinder
+        self._sectors_per_track = spec.sectors_per_track
+        self._tracks_per_cylinder = spec.tracks_per_cylinder
+        self._track_skew_sectors = spec.track_skew_sectors
+        self._total_sectors = spec.total_sectors
+        self._split_cache: typing.Dict[
+            typing.Tuple[int, int], typing.Tuple[SectorRange, ...]
+        ] = {}
 
     def locate(self, sector: int) -> typing.Tuple[int, int, int]:
         """``(cylinder, track, sector_in_track)`` of a logical sector."""
-        if not 0 <= sector < self.spec.total_sectors:
+        if not 0 <= sector < self._total_sectors:
             raise ValueError(
-                f"sector {sector} outside disk of {self.spec.total_sectors} sectors"
+                f"sector {sector} outside disk of {self._total_sectors} sectors"
             )
-        cylinder, rest = divmod(sector, self.spec.sectors_per_cylinder)
-        track, within = divmod(rest, self.spec.sectors_per_track)
+        cylinder, rest = divmod(sector, self._sectors_per_cylinder)
+        track, within = divmod(rest, self._sectors_per_track)
         return cylinder, track, within
 
     def cylinder_of(self, sector: int) -> int:
         """Cylinder containing a logical sector."""
-        return self.locate(sector)[0]
+        if not 0 <= sector < self._total_sectors:
+            raise ValueError(
+                f"sector {sector} outside disk of {self._total_sectors} sectors"
+            )
+        return sector // self._sectors_per_cylinder
 
     def rotational_position(self, cylinder: int, track: int, sector_in_track: int) -> int:
         """Angular slot of a sector, applying cumulative track skew."""
-        global_track = cylinder * self.spec.tracks_per_cylinder + track
-        skew = (global_track * self.spec.track_skew_sectors) % self.spec.sectors_per_track
-        return (sector_in_track + skew) % self.spec.sectors_per_track
+        global_track = cylinder * self._tracks_per_cylinder + track
+        skew = (global_track * self._track_skew_sectors) % self._sectors_per_track
+        return (sector_in_track + skew) % self._sectors_per_track
 
-    def split_by_track(self, start_sector: int, count: int) -> typing.List[SectorRange]:
-        """Decompose a transfer into per-track contiguous runs, in order."""
+    def split_by_track(
+        self, start_sector: int, count: int
+    ) -> typing.Sequence[SectorRange]:
+        """Decompose a transfer into per-track contiguous runs, in order.
+
+        The result is cached and shared between calls — treat it as
+        immutable (it is a tuple of frozen dataclasses).
+        """
+        cached = self._split_cache.get((start_sector, count))
+        if cached is not None:
+            return cached
         if count < 1:
             raise ValueError(f"transfer needs at least one sector, got {count}")
-        if start_sector + count > self.spec.total_sectors:
+        if start_sector + count > self._total_sectors:
             raise ValueError(
                 f"transfer [{start_sector}, {start_sector + count}) exceeds disk "
-                f"of {self.spec.total_sectors} sectors"
+                f"of {self._total_sectors} sectors"
             )
+        sectors_per_track = self._sectors_per_track
         runs = []
         sector = start_sector
         remaining = count
         while remaining > 0:
             cylinder, track, within = self.locate(sector)
-            on_this_track = min(remaining, self.spec.sectors_per_track - within)
+            on_this_track = min(remaining, sectors_per_track - within)
             runs.append(
                 SectorRange(
                     cylinder=cylinder,
@@ -82,4 +112,6 @@ class DiskGeometry:
             )
             sector += on_this_track
             remaining -= on_this_track
-        return runs
+        result = tuple(runs)
+        self._split_cache[(start_sector, count)] = result
+        return result

@@ -19,6 +19,7 @@ monotonic curve hitting all three published numbers exactly.
 
 from __future__ import annotations
 
+import functools
 import math
 
 import numpy as np
@@ -27,7 +28,15 @@ from repro.disk.specs import DiskSpec
 
 
 class SeekModel:
-    """Seek time (ms) as a function of cylinder distance."""
+    """Seek time (ms) as a function of cylinder distance.
+
+    The curve is evaluated once per possible distance at construction
+    into a lookup table — ``seek_time`` on the service-time hot path is
+    then a list index instead of a ``sqrt``. Models are immutable, so
+    :meth:`for_spec` shares one instance per spec across all disks of an
+    array (the curve fit solves a small linear system; doing it 21 times
+    per scenario is pure waste).
+    """
 
     def __init__(self, spec: DiskSpec):
         self.spec = spec
@@ -36,6 +45,7 @@ class SeekModel:
         if max_distance == 1:
             # Two-cylinder degenerate disk: min == the only seek.
             self._coefficients = (spec.seek_min_ms, 0.0, 0.0)
+            self._table = [0.0, spec.seek_min_ms]
             return
         distances = np.arange(1, n, dtype=float)
         weights = 2.0 * (n - distances)
@@ -52,6 +62,19 @@ class SeekModel:
         targets = np.array([spec.seek_min_ms, spec.seek_max_ms, spec.seek_avg_ms])
         a, b, c = np.linalg.solve(matrix, targets)
         self._coefficients = (float(a), float(b), float(c))
+        # math.sqrt per element (not np.sqrt over the arange) so table
+        # entries are bit-identical to what the formula previously
+        # returned per call.
+        self._table = [0.0] + [
+            float(a) + float(b) * math.sqrt(d) + float(c) * d
+            for d in range(1, n)
+        ]
+
+    @classmethod
+    @functools.lru_cache(maxsize=None)
+    def for_spec(cls, spec: DiskSpec) -> "SeekModel":
+        """The shared (immutable) model for a spec."""
+        return cls(spec)
 
     @property
     def coefficients(self) -> tuple:
@@ -62,10 +85,7 @@ class SeekModel:
         """Seek time in ms for a move of ``distance`` cylinders."""
         if distance < 0:
             raise ValueError(f"negative seek distance {distance}")
-        if distance == 0:
-            return 0.0
-        a, b, c = self._coefficients
-        return a + b * math.sqrt(distance) + c * distance
+        return self._table[distance]
 
     def average_over_random_seeks(self) -> float:
         """Mean of ``seek_time`` under the random-seek distance law.

@@ -90,6 +90,17 @@ class ParityLayout:
         self.data_mapping = data_mapping
         self._table = [list(stripe) for stripe in table]
         self._check_and_index_table()
+        #: Memo for :meth:`stripe_unit`: (stripe, pos) -> UnitAddress.
+        #: The striping driver resolves the same few thousand stripe
+        #: units over and over; addresses are immutable, so sharing is
+        #: safe, and the key space is bounded by the mapped capacity.
+        self._unit_cache: typing.Dict[typing.Tuple[int, int], UnitAddress] = {}
+        #: Memo for :meth:`logical_to_physical`: logical unit -> slot.
+        #: One dict probe replaces a divmod plus the stripe_unit hop on
+        #: the striping driver's single hottest translation.
+        self._l2p_cache: typing.Dict[int, UnitAddress] = {}
+        self._stripes_per_table = len(self._table)
+        self._data_units_per_stripe = stripe_size - 1
         if data_mapping == "row-major":
             self._build_row_major_order()
 
@@ -138,12 +149,12 @@ class ParityLayout:
     @property
     def stripes_per_table(self) -> int:
         """Stripes in one full table."""
-        return len(self._table)
+        return self._stripes_per_table
 
     @property
     def data_units_per_stripe(self) -> int:
         """``G - 1``."""
-        return self.stripe_size - 1
+        return self._data_units_per_stripe
 
     def declustering_ratio(self) -> float:
         """``alpha = (G-1)/(C-1)`` — 1.0 for RAID 5."""
@@ -161,12 +172,17 @@ class ParityLayout:
 
         ``role`` is ``0..G-2`` for data or :data:`PARITY_ROLE`.
         """
-        iteration, s = divmod(stripe, self.stripes_per_table)
         pos = self.stripe_size - 1 if role == PARITY_ROLE else role
+        cached = self._unit_cache.get((stripe, pos))
+        if cached is not None:
+            return cached
+        iteration, s = divmod(stripe, self._stripes_per_table)
         if not 0 <= pos < self.stripe_size:
             raise LayoutError(f"role {role} invalid for stripe size {self.stripe_size}")
         base = self._table[s][pos]
-        return UnitAddress(base.disk, base.offset + iteration * self.table_depth)
+        address = UnitAddress(base.disk, base.offset + iteration * self.table_depth)
+        self._unit_cache[(stripe, pos)] = address
+        return address
 
     def parity_unit(self, stripe: int) -> UnitAddress:
         """Physical slot of stripe ``stripe``'s parity unit."""
@@ -174,8 +190,8 @@ class ParityLayout:
 
     def data_unit(self, stripe: int, j: int) -> UnitAddress:
         """Physical slot of stripe ``stripe``'s ``j``-th data unit."""
-        if not 0 <= j < self.data_units_per_stripe:
-            raise LayoutError(f"data index {j} outside 0..{self.data_units_per_stripe - 1}")
+        if not 0 <= j < self._data_units_per_stripe:
+            raise LayoutError(f"data index {j} outside 0..{self._data_units_per_stripe - 1}")
         return self.stripe_unit(stripe, j)
 
     def stripe_units(self, stripe: int) -> typing.List[UnitAddress]:
@@ -225,14 +241,20 @@ class ParityLayout:
 
     def logical_to_physical(self, logical_unit: int) -> UnitAddress:
         """Physical slot of logical data unit ``logical_unit``."""
+        cached = self._l2p_cache.get(logical_unit)
+        if cached is not None:
+            return cached
         if logical_unit < 0:
             raise LayoutError(f"negative logical unit {logical_unit}")
         if self.data_mapping == "stripe":
-            stripe, j = divmod(logical_unit, self.data_units_per_stripe)
-            return self.data_unit(stripe, j)
-        iteration, within = divmod(logical_unit, self.data_units_per_table)
-        base = self._row_major_order[within]
-        return UnitAddress(base.disk, base.offset + iteration * self.table_depth)
+            stripe, j = divmod(logical_unit, self._data_units_per_stripe)
+            address = self.data_unit(stripe, j)
+        else:
+            iteration, within = divmod(logical_unit, self.data_units_per_table)
+            base = self._row_major_order[within]
+            address = UnitAddress(base.disk, base.offset + iteration * self.table_depth)
+        self._l2p_cache[logical_unit] = address
+        return address
 
     def physical_to_logical(self, disk: int, offset: int) -> typing.Optional[int]:
         """Logical data unit at ``(disk, offset)``, or None for parity."""
@@ -248,7 +270,7 @@ class ParityLayout:
     def stripe_of_logical(self, logical_unit: int) -> int:
         """The parity stripe containing logical data unit ``logical_unit``."""
         if self.data_mapping == "stripe":
-            return logical_unit // self.data_units_per_stripe
+            return logical_unit // self._data_units_per_stripe
         address = self.logical_to_physical(logical_unit)
         return self.stripe_of(address.disk, address.offset)[0]
 

@@ -1,11 +1,38 @@
-"""The simulation environment: clock, event heap, and run loop."""
+"""The simulation environment: clock, event schedule, and run loop.
+
+The schedule has two lanes ordered by one global ``(time, seq)`` key:
+
+- a **heap** for events scheduled into the future (positive delays), and
+- an **immediate deque** for events scheduled *at the current time* —
+  ``succeed``/``fail``, zero-delay timeouts, and process kickoffs, which
+  together are the majority of all schedules in an array simulation.
+
+Immediate entries are appended in ``seq`` order at the then-current
+time, and time never moves backwards, so the deque is always sorted and
+its head is its minimum; dispatch takes whichever lane holds the
+smaller ``(time, seq)`` key. That makes the common zero-delay schedule
+an O(1) append and its dispatch an O(1) popleft — instead of two
+O(log n) sift passes through the heap — while dispatch order stays
+exactly what a single heap would produce. Bit-identical ordering is
+pinned by ``tests/integration/test_golden_trace.py``.
+
+Hot-path notes: :meth:`Environment.step` is the most executed function
+in the project, so it reads event state through the ``_state``/
+``_exception`` slots directly. The class itself deliberately has **no**
+``__slots__`` — the tracing subsystem
+(:class:`~repro.sim.tracing.EnvironmentTracer`) instruments an
+environment by assigning a wrapper over the ``step`` instance
+attribute, and :meth:`run` falls back to a ``self.step()`` loop when it
+detects one.
+"""
 
 from __future__ import annotations
 
-import heapq
 import typing
+from collections import deque
+from heapq import heappop, heappush
 
-from repro.sim.events import AllOf, AnyOf, Event, SimulationError, Timeout
+from repro.sim.events import PROCESSED, AllOf, AnyOf, Event, SimulationError, Timeout
 from repro.sim.process import GeneratorType, Process
 
 
@@ -20,7 +47,14 @@ class Environment:
     def __init__(self, initial_time: float = 0.0):
         self._now = initial_time
         self._heap: list = []
+        #: Events scheduled at the current instant, in FIFO (= seq) order.
+        self._imm: typing.Deque[tuple] = deque()
+        #: Pre-bound ``self._imm.append`` — one attribute lookup instead
+        #: of two on every zero-delay schedule (``close()`` clears the
+        #: deque in place, so the binding never goes stale).
+        self._imm_append = self._imm.append
         self._seq = 0  # tie-breaker keeps FIFO order among same-time events
+        self._closed = False
 
     @property
     def now(self) -> float:
@@ -54,24 +88,70 @@ class Environment:
     # Scheduling and the run loop
     # ------------------------------------------------------------------
     def schedule(self, event: Event, delay: float = 0.0) -> None:
-        """Queue a triggered event for callback dispatch after ``delay``."""
-        if delay < 0:
-            raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        heapq.heappush(self._heap, (self._now + delay, self._seq, event))
+        """Queue a triggered event for callback dispatch after ``delay``.
+
+        Zero-delay schedules take the immediate lane (see the module
+        docstring); both lanes share the ``(time, seq)`` key space, so
+        the split never reorders dispatch.
+        """
+        if self._closed:
+            raise SimulationError("cannot schedule on a closed environment")
+        if delay:
+            if delay < 0:
+                raise SimulationError(f"cannot schedule into the past (delay={delay})")
+            heappush(self._heap, (self._now + delay, self._seq, event))
+        else:
+            self._imm_append((self._now, self._seq, event))
         self._seq += 1
+
+    def close(self) -> None:
+        """Shut the environment down: drop pending events, refuse new ones.
+
+        After ``close()`` any attempt to schedule — including the
+        :class:`~repro.sim.events.Timeout` fast path — raises
+        :class:`SimulationError`. Used when a scenario ends mid-flight
+        (e.g. a mission deadline) and stray completions must not fire.
+        """
+        self._closed = True
+        self._heap.clear()
+        self._imm.clear()
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has been called."""
+        return self._closed
+
+    def _peek_entry(self) -> typing.Optional[tuple]:
+        """The next ``(when, seq, event)`` to dispatch, without popping."""
+        imm = self._imm
+        heap = self._heap
+        if imm:
+            if heap and heap[0] < imm[0]:
+                return heap[0]
+            return imm[0]
+        return heap[0] if heap else None
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
-        return self._heap[0][0] if self._heap else float("inf")
+        entry = self._peek_entry()
+        return entry[0] if entry is not None else float("inf")
 
     def step(self) -> None:
         """Advance to the next event and run its callbacks."""
-        if not self._heap:
+        imm = self._imm
+        heap = self._heap
+        if imm:
+            if heap and heap[0] < imm[0]:
+                when, _seq, event = heappop(heap)
+            else:
+                when, _seq, event = imm.popleft()
+        elif heap:
+            when, _seq, event = heappop(heap)
+        else:
             raise SimulationError("step() on an empty schedule")
-        when, _seq, event = heapq.heappop(self._heap)
         self._now = when
         event._run_callbacks()
-        if not event.ok and not event.defused:
+        if event._exception is not None and not event.defused:
             raise event._exception
 
     def run(self, until: typing.Union[None, float, Event] = None) -> object:
@@ -83,22 +163,128 @@ class Environment:
             ``None`` runs until no events remain. A number runs until the
             clock reaches that time. An :class:`Event` runs until that
             event has fired, returning its value.
+
+        When nothing has instrumented ``step`` (no tracer attached), the
+        loops below inline the pop-and-dispatch body of :meth:`step`
+        rather than calling it — one method call per event is the
+        dominant fixed cost of the kernel. The inlined body must stay
+        semantically identical to ``step()``; instrumentation attached
+        *mid-run* (no current caller does this) only takes effect on the
+        next ``run()`` call.
         """
+        if "step" in self.__dict__:
+            return self._run_instrumented(until)
+        heap = self._heap
+        imm = self._imm
+        pop = heappop
+        popleft = imm.popleft
+        processed = PROCESSED
         if until is None:
-            while self._heap:
+            while True:
+                # Immediate entries carry when == self._now (they drain
+                # before time can advance — see the module docstring),
+                # so the popleft branches skip the clock write.
+                if imm:
+                    if heap and heap[0] < imm[0]:
+                        when, _seq, event = pop(heap)
+                        self._now = when
+                    else:
+                        event = popleft()[2]
+                elif heap:
+                    when, _seq, event = pop(heap)
+                    self._now = when
+                else:
+                    break
+                event._state = processed
+                callbacks = event.callbacks
+                if callbacks:
+                    event.callbacks = None
+                    if len(callbacks) == 1:  # one waiter is the common case
+                        callbacks[0](event)
+                    else:
+                        for callback in callbacks:
+                            callback(event)
+                if event._exception is not None and not event.defused:
+                    raise event._exception
+            return None
+        if isinstance(until, Event):
+            stop_on = until
+            while stop_on._state != processed:
+                if imm:
+                    if heap and heap[0] < imm[0]:
+                        when, _seq, event = pop(heap)
+                        self._now = when
+                    else:
+                        event = popleft()[2]
+                elif heap:
+                    when, _seq, event = pop(heap)
+                    self._now = when
+                else:
+                    raise SimulationError("schedule drained before `until` event fired")
+                event._state = processed
+                callbacks = event.callbacks
+                if callbacks:
+                    event.callbacks = None
+                    if len(callbacks) == 1:  # one waiter is the common case
+                        callbacks[0](event)
+                    else:
+                        for callback in callbacks:
+                            callback(event)
+                if event._exception is not None and not event.defused:
+                    raise event._exception
+            return stop_on.value
+        deadline = float(until)
+        if deadline < self._now:
+            raise SimulationError(f"run(until={deadline}) is in the past (now={self._now})")
+        while True:
+            if imm:
+                # Immediate entries were appended at times <= now <=
+                # deadline, so this lane can never overshoot; and when
+                # the heap head wins the comparison it is smaller still.
+                if heap and heap[0] < imm[0]:
+                    when, _seq, event = pop(heap)
+                    self._now = when
+                else:
+                    event = popleft()[2]
+            elif heap:
+                if heap[0][0] > deadline:
+                    break
+                when, _seq, event = pop(heap)
+                self._now = when
+            else:
+                break
+            event._state = processed
+            callbacks = event.callbacks
+            if callbacks:
+                event.callbacks = None
+                for callback in callbacks:
+                    callback(event)
+            if event._exception is not None and not event.defused:
+                raise event._exception
+        self._now = deadline
+        return None
+
+    def _run_instrumented(self, until: typing.Union[None, float, Event]) -> object:
+        """The :meth:`run` loops, dispatching through ``self.step()`` so
+        that an attached tracer observes every event."""
+        if until is None:
+            while self._heap or self._imm:
                 self.step()
             return None
         if isinstance(until, Event):
             stop_on = until
-            while not stop_on.processed:
-                if not self._heap:
+            while stop_on._state != PROCESSED:
+                if not self._heap and not self._imm:
                     raise SimulationError("schedule drained before `until` event fired")
                 self.step()
             return stop_on.value
         deadline = float(until)
         if deadline < self._now:
             raise SimulationError(f"run(until={deadline}) is in the past (now={self._now})")
-        while self._heap and self.peek() <= deadline:
+        heap = self._heap
+        # The immediate lane never holds entries beyond `now`, hence
+        # never beyond the deadline (see the inlined loop above).
+        while self._imm or (heap and heap[0][0] <= deadline):
             self.step()
         self._now = deadline
         return None

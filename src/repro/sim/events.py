@@ -5,11 +5,35 @@ An :class:`Event` is a one-shot occurrence: it starts *pending*, is
 exception (``fail``), and then has its callbacks run by the environment.
 Processes suspend by yielding events; the environment resumes them from
 the event's callback list.
+
+Hot-path notes
+--------------
+This module is the innermost loop of every simulation: a 21-disk
+scenario dispatches tens of thousands of events per simulated second,
+and the Monte Carlo reliability campaign multiplies that by mission
+hours. The implementation therefore trades a little elegance for
+throughput, under one inviolable constraint — **bit-identical event
+ordering** (pinned by ``tests/integration/test_golden_trace.py``):
+
+- every class carries ``__slots__`` (no per-event ``__dict__``);
+- state checks read ``_state`` directly instead of going through the
+  ``triggered``/``processed`` properties (kept for the public API);
+- :class:`Timeout` skips pending-state bookkeeping entirely: it is
+  born triggered and enters the schedule directly;
+- ``succeed``/``fail`` append to the environment's immediate lane
+  (``env._imm`` — see :mod:`repro.sim.environment`) instead of paying
+  a heap push, using the same ``(time, seq)`` key;
+- a dispatched event's ``callbacks`` list is released (set to ``None``)
+  rather than replaced, saving one allocation per event. Appending a
+  callback to an already-dispatched event is a bug, and now raises
+  ``AttributeError`` instead of being silently dropped — check
+  ``processed`` first, as :class:`Condition` and ``Process._resume`` do.
 """
 
 from __future__ import annotations
 
 import typing
+from heapq import heappush
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.environment import Environment
@@ -46,9 +70,14 @@ class Event:
         The environment that will dispatch this event's callbacks.
     """
 
+    __slots__ = ("env", "callbacks", "_state", "_value", "_exception", "defused")
+
     def __init__(self, env: "Environment"):
         self.env = env
-        self.callbacks: list = []
+        #: Callbacks run at dispatch; ``None`` once dispatched (the
+        #: environment releases the list instead of allocating a fresh
+        #: one). Check ``processed`` before appending.
+        self.callbacks: typing.Optional[list] = []
         self._state = PENDING
         self._value: object = None
         self._exception: typing.Optional[BaseException] = None
@@ -69,7 +98,7 @@ class Event:
     @property
     def ok(self) -> bool:
         """True if the event succeeded (only meaningful once triggered)."""
-        return self.triggered and self._exception is None
+        return self._state >= TRIGGERED and self._exception is None
 
     @property
     def value(self) -> object:
@@ -80,7 +109,7 @@ class Event:
         SimulationError
             If the event has not been triggered yet.
         """
-        if not self.triggered:
+        if self._state == PENDING:
             raise SimulationError("event value read before trigger")
         if self._exception is not None:
             raise self._exception
@@ -88,30 +117,45 @@ class Event:
 
     def succeed(self, value: object = None) -> "Event":
         """Trigger the event successfully, delivering ``value`` to waiters."""
-        if self.triggered:
+        if self._state != PENDING:
             raise SimulationError(f"{self!r} already triggered")
+        env = self.env
+        if env._closed:
+            raise SimulationError("cannot schedule on a closed environment")
         self._state = TRIGGERED
         self._value = value
-        self.env.schedule(self)
+        # Inline of env.schedule(self) with delay 0 — the only case here.
+        env._imm_append((env._now, env._seq, self))
+        env._seq += 1
         return self
 
     def fail(self, exception: BaseException) -> "Event":
         """Trigger the event with an exception, delivered to waiters."""
         if not isinstance(exception, BaseException):
             raise SimulationError(f"fail() needs an exception, got {exception!r}")
-        if self.triggered:
+        if self._state != PENDING:
             raise SimulationError(f"{self!r} already triggered")
+        env = self.env
+        if env._closed:
+            raise SimulationError("cannot schedule on a closed environment")
         self._state = TRIGGERED
         self._exception = exception
-        self.env.schedule(self)
+        env._imm_append((env._now, env._seq, self))
+        env._seq += 1
         return self
 
     def _run_callbacks(self) -> None:
-        """Invoked by the environment when the event comes off the heap."""
+        """Invoked by the environment when the event comes off the heap.
+
+        ``Environment.run`` inlines this body in its uninstrumented
+        dispatch loops — keep the two in sync.
+        """
         self._state = PROCESSED
-        callbacks, self.callbacks = self.callbacks, []
-        for callback in callbacks:
-            callback(self)
+        callbacks = self.callbacks
+        if callbacks:
+            self.callbacks = None
+            for callback in callbacks:
+                callback(self)
 
     def __repr__(self) -> str:
         state = {PENDING: "pending", TRIGGERED: "triggered", PROCESSED: "processed"}
@@ -119,16 +163,41 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires after a fixed simulated delay."""
+    """An event that fires after a fixed simulated delay.
+
+    Timeouts are the most common event by far (every disk service slice
+    and every arrival delay is one), so construction is the fast path:
+    the event is born ``TRIGGERED`` — skipping ``succeed()``'s
+    pending-state bookkeeping — and enters the schedule directly (heap
+    for positive delays, immediate lane for zero) with the same
+    ``(time, seq)`` key :meth:`Environment.schedule` would have
+    assigned, preserving dispatch order exactly.
+    """
+
+    __slots__ = ("delay",)
 
     def __init__(self, env: "Environment", delay: float, value: object = None):
         if delay < 0:
             raise SimulationError(f"negative timeout delay {delay!r}")
-        super().__init__(env)
-        self.delay = delay
+        if env._closed:
+            # The direct heap push below bypasses Environment.schedule,
+            # so the closed-environment guard must be replicated here:
+            # a Timeout must never mark itself TRIGGERED and then fail
+            # to enter the schedule (it could then be succeed()ed a
+            # second time with no record of the first).
+            raise SimulationError("cannot schedule a Timeout on a closed environment")
+        self.env = env
+        self.callbacks = []
         self._state = TRIGGERED
         self._value = value
-        env.schedule(self, delay=delay)
+        self._exception = None
+        self.defused = False
+        self.delay = delay
+        if delay:
+            heappush(env._heap, (env._now + delay, env._seq, self))
+        else:
+            env._imm_append((env._now, env._seq, self))
+        env._seq += 1
 
     def __repr__(self) -> str:
         return f"<Timeout delay={self.delay}>"
@@ -142,33 +211,41 @@ class Condition(Event):
     child fails the whole condition immediately.
     """
 
+    __slots__ = ("events", "_fired_count", "_target")
+
     def __init__(self, env: "Environment", events: typing.Sequence[Event]):
         super().__init__(env)
         self.events = list(events)
-        for event in self.events:
-            if event.env is not env:
-                raise SimulationError("condition mixes events from different environments")
         self._fired_count = 0
+        self._target = len(self.events)
         if not self.events:
             self.succeed(self._collect())
             return
         for event in self.events:
-            if event.processed:
-                self._on_child(event)
+            if event.env is not env:
+                raise SimulationError("condition mixes events from different environments")
+        on_child = self._on_child
+        for event in self.events:
+            if event._state == PROCESSED:
+                on_child(event)
             else:
-                event.callbacks.append(self._on_child)
+                event.callbacks.append(on_child)
 
     def _satisfied(self) -> bool:
         raise NotImplementedError
 
     def _collect(self) -> dict:
         """Values of all successfully fired children, keyed by event."""
-        return {e: e._value for e in self.events if e.processed and e.ok}
+        return {
+            e: e._value
+            for e in self.events
+            if e._state == PROCESSED and e._exception is None
+        }
 
     def _on_child(self, event: Event) -> None:
-        if self.triggered:
+        if self._state != PENDING:
             return
-        if not event.ok:
+        if event._exception is not None:
             event.defused = True
             self.fail(event._exception)
             return
@@ -180,12 +257,42 @@ class Condition(Event):
 class AllOf(Condition):
     """Fires when every child event has fired (a join / barrier)."""
 
+    __slots__ = ()
+
     def _satisfied(self) -> bool:
-        return self._fired_count == len(self.events)
+        return self._fired_count == self._target
+
+    def _on_child(self, event: Event) -> None:
+        # Specialized copy of Condition._on_child with the predicate
+        # inlined: one method call per child firing adds up when every
+        # striped write joins G events. Semantics must stay identical.
+        if self._state != PENDING:
+            return
+        if event._exception is not None:
+            event.defused = True
+            self.fail(event._exception)
+            return
+        self._fired_count += 1
+        if self._fired_count == self._target:
+            self.succeed(self._collect())
 
 
 class AnyOf(Condition):
     """Fires as soon as any single child event fires."""
 
+    __slots__ = ()
+
     def _satisfied(self) -> bool:
         return self._fired_count >= 1
+
+    def _on_child(self, event: Event) -> None:
+        # Specialized like AllOf._on_child: the first successful child
+        # always satisfies, so no predicate call at all.
+        if self._state != PENDING:
+            return
+        if event._exception is not None:
+            event.defused = True
+            self.fail(event._exception)
+            return
+        self._fired_count += 1
+        self.succeed(self._collect())

@@ -79,9 +79,9 @@ class EnvironmentTracer:
         self.env.step = self._original_step  # type: ignore[method-assign]
 
     def _traced_step(self) -> None:
-        heap = self.env._heap
-        if heap:
-            _when, _seq, event = heap[0]
+        entry = self.env._peek_entry()
+        if entry is not None:
+            _when, _seq, event = entry
             if isinstance(event, Process):
                 kind, name = "process", event.name
             elif isinstance(event, Timeout):

@@ -78,10 +78,15 @@ class SyntheticWorkload(WorkloadBase):
     def _generate(self, duration_ms, max_requests):
         env = self.controller.env
         start = env.now
+        # Hoisted loop invariants: the arrival rate never changes, and
+        # expovariate's argument must be the identical float every draw
+        # for the stream to stay reproducible.
+        rate_per_ms = 1.0 / self.config.mean_interarrival_ms
+        draw_interarrival = self._arrival_rng.expovariate
         while not self._stopped:
             if max_requests is not None and self.submitted >= max_requests:
                 break
-            delay = self._arrival_rng.expovariate(1.0 / self.config.mean_interarrival_ms)
+            delay = draw_interarrival(rate_per_ms)
             yield env.timeout(delay)
             if duration_ms is not None and env.now - start >= duration_ms:
                 break

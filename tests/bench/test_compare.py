@@ -1,0 +1,74 @@
+"""The CI perf gate's regression decision logic."""
+
+import pytest
+
+from repro.bench.compare import check_against_baseline
+from tests.bench.test_schema import minimal_document
+
+
+def document_with_rate(rate: float):
+    document = minimal_document()
+    document["results"] = {
+        "kernel.timeout_churn": {"wall_s": 0.5, "events_per_s": rate},
+    }
+    return document
+
+
+class TestCheckAgainstBaseline:
+    def test_equal_rates_pass(self):
+        check = check_against_baseline(document_with_rate(1000.0), document_with_rate(1000.0))
+        assert check.ok
+        assert not check.regressions and not check.improvements
+
+    def test_small_drop_within_tolerance_passes(self):
+        check = check_against_baseline(document_with_rate(800.0), document_with_rate(1000.0))
+        assert check.ok  # -20% is inside the default 25% tolerance
+
+    def test_large_drop_fails(self):
+        check = check_against_baseline(document_with_rate(700.0), document_with_rate(1000.0))
+        assert not check.ok
+        assert check.regressions == ["kernel.timeout_churn:events_per_s"]
+        assert "REGRESSED" in check.summary()
+
+    def test_boundary_is_inclusive_of_tolerance(self):
+        # Exactly -25% is not *more than* the tolerance: still passing.
+        check = check_against_baseline(document_with_rate(750.0), document_with_rate(1000.0))
+        assert check.ok
+
+    def test_improvement_is_flagged_not_failed(self):
+        check = check_against_baseline(document_with_rate(2000.0), document_with_rate(1000.0))
+        assert check.ok
+        assert check.improvements == ["kernel.timeout_churn:events_per_s"]
+        assert "re-baselining" in check.summary()
+
+    def test_metric_missing_from_current_run_fails(self):
+        current = document_with_rate(1000.0)
+        current["results"] = {"kernel.timeout_churn": {"wall_s": 0.5}}
+        check = check_against_baseline(current, document_with_rate(1000.0))
+        assert not check.ok
+        assert check.missing == ["kernel.timeout_churn:events_per_s"]
+
+    def test_new_metric_in_current_run_does_not_fail(self):
+        current = document_with_rate(1000.0)
+        current["results"]["macro.fault_free"] = {"wall_s": 1.0, "ios_per_s": 5.0}
+        check = check_against_baseline(current, document_with_rate(1000.0))
+        assert check.ok
+        assert any("NEW" in line for line in check.lines)
+
+    def test_custom_tolerance(self):
+        current, baseline = document_with_rate(890.0), document_with_rate(1000.0)
+        assert check_against_baseline(current, baseline, tolerance=0.2).ok
+        assert not check_against_baseline(current, baseline, tolerance=0.1).ok
+
+    @pytest.mark.parametrize("tolerance", [0.0, 1.0, -0.5, 2.0])
+    def test_tolerance_out_of_range_rejected(self, tolerance):
+        with pytest.raises(ValueError):
+            check_against_baseline(
+                document_with_rate(1.0), document_with_rate(1.0), tolerance=tolerance
+            )
+
+    def test_invalid_documents_rejected(self):
+        broken = document_with_rate(1.0)
+        del broken["environment"]
+        with pytest.raises(ValueError):
+            check_against_baseline(broken, document_with_rate(1.0))

@@ -1,0 +1,109 @@
+"""Structural validation of repro-bench/1 documents."""
+
+import pytest
+
+from repro.bench.schema import (
+    SCHEMA_ID,
+    BenchSchemaError,
+    throughput_metrics,
+    validate_document,
+)
+
+
+def minimal_document():
+    return {
+        "schema": SCHEMA_ID,
+        "generated_at": "2026-01-01T00:00:00+00:00",
+        "environment": {
+            "python": "3.12.0",
+            "implementation": "CPython",
+            "platform": "linux",
+            "cpu_count": 8,
+        },
+        "scale": "tiny",
+        "repeat": 3,
+        "results": {
+            "kernel.timeout_churn": {
+                "events": 1000.0,
+                "wall_s": 0.5,
+                "events_per_s": 2000.0,
+            },
+            "macro.sweep": {"points": 4.0, "wall_s": 1.5, "points_per_s": 2.7},
+        },
+    }
+
+
+class TestValidateDocument:
+    def test_minimal_document_is_valid(self):
+        validate_document(minimal_document())
+
+    def test_extra_top_level_fields_are_allowed(self):
+        document = minimal_document()
+        document["baseline_comparison"] = {"note": "speedups vs pre-opt"}
+        validate_document(document)
+
+    @pytest.mark.parametrize(
+        "missing", ["schema", "generated_at", "environment", "scale", "repeat", "results"]
+    )
+    def test_missing_top_level_field_rejected(self, missing):
+        document = minimal_document()
+        del document[missing]
+        with pytest.raises(BenchSchemaError):
+            validate_document(document)
+
+    def test_wrong_schema_id_rejected(self):
+        document = minimal_document()
+        document["schema"] = "repro-bench/0"
+        with pytest.raises(BenchSchemaError):
+            validate_document(document)
+
+    @pytest.mark.parametrize(
+        "missing", ["python", "implementation", "platform", "cpu_count"]
+    )
+    def test_missing_environment_field_rejected(self, missing):
+        document = minimal_document()
+        del document["environment"][missing]
+        with pytest.raises(BenchSchemaError):
+            validate_document(document)
+
+    def test_empty_results_rejected(self):
+        document = minimal_document()
+        document["results"] = {}
+        with pytest.raises(BenchSchemaError):
+            validate_document(document)
+
+    def test_result_without_wall_s_rejected(self):
+        document = minimal_document()
+        document["results"]["kernel.timeout_churn"] = {"events_per_s": 1.0}
+        with pytest.raises(BenchSchemaError):
+            validate_document(document)
+
+    def test_non_numeric_result_field_rejected(self):
+        document = minimal_document()
+        document["results"]["macro.sweep"]["points"] = "four"
+        with pytest.raises(BenchSchemaError):
+            validate_document(document)
+
+    def test_boolean_masquerading_as_number_rejected(self):
+        document = minimal_document()
+        document["results"]["macro.sweep"]["points"] = True
+        with pytest.raises(BenchSchemaError):
+            validate_document(document)
+
+    def test_negative_wall_clock_rejected(self):
+        document = minimal_document()
+        document["results"]["macro.sweep"]["wall_s"] = -0.1
+        with pytest.raises(BenchSchemaError):
+            validate_document(document)
+
+
+class TestThroughputMetrics:
+    def test_extracts_only_rate_fields(self):
+        rates = throughput_metrics(minimal_document()["results"])
+        assert rates == {
+            "kernel.timeout_churn:events_per_s": 2000.0,
+            "macro.sweep:points_per_s": 2.7,
+        }
+
+    def test_wall_clock_only_entries_contribute_nothing(self):
+        assert throughput_metrics({"macro.campaign": {"wall_s": 3.0}}) == {}

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import Environment, Interrupt, Store
+from repro.sim import Environment, Interrupt, SimulationError, Store
 
 
 class TestConditionEdges:
@@ -168,3 +168,143 @@ class TestSchedulingDiscipline:
         env.event().fail(ValueError("nobody listening"))
         with pytest.raises(ValueError):
             env.run()
+
+
+class TestAnyOfFailureDefusing:
+    def test_failing_child_is_defused_and_fails_the_condition(self):
+        env = Environment()
+        doomed = env.event()
+
+        def bomber(env):
+            yield env.timeout(1.0)
+            doomed.fail(RuntimeError("child blew up"))
+
+        outcome = []
+
+        def waiter(env):
+            try:
+                yield env.any_of([doomed, env.timeout(5.0)])
+            except RuntimeError as error:
+                outcome.append((env.now, str(error)))
+
+        env.process(bomber(env))
+        env.process(waiter(env))
+        env.run()
+        assert outcome == [(1.0, "child blew up")]
+        # The losing child was defused when the condition consumed its
+        # failure, so the kernel did not re-raise it at dispatch.
+        assert doomed.defused
+
+    def test_all_of_failing_child_defuses_too(self):
+        env = Environment()
+        doomed = env.event()
+        caught = []
+
+        def waiter(env):
+            try:
+                yield env.all_of([env.timeout(1.0), doomed])
+            except KeyError:
+                caught.append(env.now)
+
+        env.process(waiter(env))
+        doomed.fail(KeyError("lost"))
+        env.run()
+        assert caught == [0.0]
+        assert doomed.defused
+
+
+class TestAllOfZeroEvents:
+    def test_fires_immediately_at_current_sim_time(self):
+        env = Environment()
+        seen = []
+
+        def body(env):
+            yield env.timeout(3.5)
+            result = yield env.all_of([])
+            seen.append((env.now, result))
+
+        env.process(body(env))
+        env.run()
+        # The empty join fires on the same tick it was created, with an
+        # empty value dict — no time may pass.
+        assert seen == [(3.5, {})]
+
+    def test_empty_all_of_is_already_triggered(self):
+        env = Environment()
+        join = env.all_of([])
+        assert join.triggered and not join.processed
+        env.run()
+        assert join.processed and join.value == {}
+
+
+class TestSameInstantTimeoutFIFO:
+    @pytest.mark.parametrize("delay", [0.0, 1.0])
+    def test_fifo_across_100_seeded_shuffles(self, delay):
+        # Same-instant timeouts must dispatch in creation order no
+        # matter what order the creating code enumerates them in —
+        # delay 0.0 exercises the immediate lane, 1.0 the heap.
+        import random
+
+        for seed in range(100):
+            env = Environment()
+            tags = list(range(20))
+            random.Random(seed).shuffle(tags)
+            order = []
+            for tag in tags:
+                t = env.timeout(delay)
+                t.callbacks.append(lambda e, tag=tag: order.append(tag))
+            env.run()
+            assert order == tags, f"seed {seed} broke FIFO order"
+
+
+class TestClosedEnvironment:
+    def test_timeout_on_closed_env_raises(self):
+        env = Environment()
+        env.close()
+        # Both the heap path (positive delay) and the immediate lane
+        # (zero delay) bypass Environment.schedule, so each replicates
+        # the closed guard; this is the double-schedule regression
+        # fix's contract.
+        with pytest.raises(SimulationError):
+            env.timeout(1.0)
+        with pytest.raises(SimulationError):
+            env.timeout(0.0)
+
+    def test_succeed_fail_schedule_process_on_closed_env_raise(self):
+        env = Environment()
+        pending = env.event()
+        env.close()
+        with pytest.raises(SimulationError):
+            pending.succeed()
+        with pytest.raises(SimulationError):
+            env.event().fail(RuntimeError("late"))
+        with pytest.raises(SimulationError):
+            env.schedule(env.event())
+
+        def body(env):
+            yield env.timeout(1.0)
+
+        with pytest.raises(SimulationError):
+            env.process(body(env))
+
+    def test_close_drops_pending_events(self):
+        env = Environment()
+        fired = []
+        t = env.timeout(5.0)
+        t.callbacks.append(lambda e: fired.append(e))
+        env.run(until=2.0)
+        env.close()
+        env.run()  # schedule is empty; nothing fires
+        assert fired == []
+        assert env.closed
+        assert env.peek() == float("inf")
+
+    def test_timeout_is_born_triggered_so_succeed_is_double_schedule(self):
+        # A live Timeout enters the schedule in __init__; a second
+        # trigger would enqueue it twice. succeed() must refuse.
+        env = Environment()
+        t = env.timeout(1.0)
+        with pytest.raises(SimulationError):
+            t.succeed()
+        env.run()
+        assert t.processed
