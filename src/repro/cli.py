@@ -164,7 +164,9 @@ def build_parser() -> argparse.ArgumentParser:
             "entries or result JSON) as per-run metric tables (see "
             "'repro report --help'); 'repro bench' runs the continuous "
             "benchmarking harness and emits BENCH_<date>.json (see "
-            "'repro bench --help')."
+            "'repro bench --help'); 'repro serve' runs the simulation "
+            "job service and 'repro job' is its client (see 'repro "
+            "serve --help' / 'repro job --help')."
         ),
     )
     parser.add_argument("--version", action="version", version=f"repro {__version__}")
@@ -237,6 +239,16 @@ def main(argv: typing.Optional[typing.Sequence[str]] = None) -> int:
         from repro.bench.cli import main as bench_main
 
         return bench_main(argv[1:])
+    if argv and argv[0] == "serve":
+        # The simulation job service (async HTTP API).
+        from repro.service.server import main as serve_main
+
+        return serve_main(argv[1:])
+    if argv and argv[0] == "job":
+        # Client for the job service.
+        from repro.service.client import main as job_main
+
+        return job_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         for name, (description, _fn) in sorted(EXPERIMENTS.items()):
@@ -244,19 +256,30 @@ def main(argv: typing.Optional[typing.Sequence[str]] = None) -> int:
         return 0
     options = sweep_options_from_args(args)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    for name in names:
-        _description, runner = EXPERIMENTS[name]
-        rows, text = runner(args.scale, options)
-        print(text)
-        print()
-        if args.json:
-            import pathlib
+    from repro.sweep import SweepError
 
-            from repro.experiments.persistence import save_rows
+    try:
+        for name in names:
+            _description, runner = EXPERIMENTS[name]
+            rows, text = runner(args.scale, options)
+            print(text)
+            print()
+            if args.json:
+                import pathlib
 
-            path = pathlib.Path(args.json) / f"{name}-{args.scale}.json"
-            save_rows(path, experiment=name, scale=args.scale, rows=rows)
-            print(f"[rows saved to {path}]\n")
+                from repro.experiments.persistence import save_rows
+
+                path = pathlib.Path(args.json) / f"{name}-{args.scale}.json"
+                save_rows(path, experiment=name, scale=args.scale, rows=rows)
+                print(f"[rows saved to {path}]\n")
+    except SweepError as error:
+        # Runtime failures exit 1 with a one-line message; usage errors
+        # exit 2 (argparse and the subcommand mains share the convention).
+        print(f"repro {args.experiment}: {error}", file=sys.stderr)
+        return 1
+    except OSError as error:
+        print(f"repro {args.experiment}: {error}", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -67,19 +67,25 @@ def campaign_profile(seed: int) -> FaultProfile:
     )
 
 
-def run(
+def campaign_spec(
     scale: str = "tiny",
     stripe_sizes: typing.Sequence[int] = CAMPAIGN_STRIPE_SIZES,
     seed: int = 1992,
     trials: typing.Optional[int] = None,
     mission_hours: float = MISSION_HOURS,
-    options: typing.Optional[SweepOptions] = None,
-) -> typing.List[dict]:
-    """Run the campaign grid; one row per stripe size."""
+) -> SweepSpec:
+    """The campaign's sweep grid: ``trials`` missions per stripe size.
+
+    Enumeration is row-major with stripe size slowest, so the trials of
+    one stripe size are contiguous — the ordering contract
+    :func:`rows_from_summaries` aggregates by. This is the same grid
+    for the CLI run and the job service's trial-granular execution, so
+    both address identical cache entries.
+    """
     trials = trials if trials is not None else TRIALS.get(scale, 3)
     profiles = [campaign_profile(seed + trial) for trial in range(trials)]
-    spec = SweepSpec(
-        axes=[("stripe_size", stripe_sizes), ("fault_profile", profiles)],
+    return SweepSpec(
+        axes=[("stripe_size", tuple(stripe_sizes)), ("fault_profile", profiles)],
         base=dict(
             user_rate_per_s=0.0,  # pure reliability estimation
             read_fraction=0.5,
@@ -92,18 +98,39 @@ def run(
             mission_ms=mission_hours * MS_PER_HOUR,
         ),
     )
-    outcome = run_sweep(spec, options)
+
+
+def trial_summary(result) -> dict:
+    """The JSON-safe per-trial facts campaign aggregation needs.
+
+    Persisted verbatim in service checkpoints, so a resumed campaign
+    aggregates finished trials from the checkpoint alone — no re-run,
+    no cache read — and cannot drift from an uninterrupted run.
+    """
+    return {
+        "g": result.config.stripe_size,
+        "alpha": result.config.alpha,
+        "num_disks": result.config.num_disks,
+        "data_lost": bool(result.fault_summary["data_lost"]),
+        "simulated_ms": result.simulated_ms,
+        "mean_repair_ms": result.fault_summary["mean_repair_ms"],
+    }
+
+
+def rows_from_summaries(
+    summaries: typing.Sequence[dict],
+    trials: int,
+    mission_hours: float = MISSION_HOURS,
+) -> typing.List[dict]:
+    """Aggregate per-trial summaries (in grid order) into campaign rows."""
     rows = []
     # Row-major enumeration: trials of one stripe size are contiguous.
-    for start in range(0, len(outcome.results), trials):
-        group = outcome.results[start : start + trials]
-        config = group[0].config
-        losses = sum(1 for r in group if r.fault_summary["data_lost"])
-        observed_hours = sum(r.simulated_ms for r in group) / MS_PER_HOUR
+    for start in range(0, len(summaries), trials):
+        group = summaries[start : start + trials]
+        losses = sum(1 for s in group if s["data_lost"])
+        observed_hours = sum(s["simulated_ms"] for s in group) / MS_PER_HOUR
         repair_samples = [
-            r.fault_summary["mean_repair_ms"]
-            for r in group
-            if r.fault_summary["mean_repair_ms"] is not None
+            s["mean_repair_ms"] for s in group if s["mean_repair_ms"] is not None
         ]
         mean_repair_ms = (
             sum(repair_samples) / len(repair_samples) if repair_samples else None
@@ -113,7 +140,7 @@ def run(
         analytic_loss_p = None
         if mean_repair_ms is not None:
             inputs = ReliabilityInputs(
-                num_disks=config.num_disks,
+                num_disks=group[0]["num_disks"],
                 disk_mttf_hours=DISK_MTTF_HOURS,
                 repair_hours=mean_repair_ms / MS_PER_HOUR,
             )
@@ -121,8 +148,8 @@ def run(
             analytic_loss_p = data_loss_probability(inputs, mission_hours)
         rows.append(
             {
-                "g": config.stripe_size,
-                "alpha": round(config.alpha, 3),
+                "g": group[0]["g"],
+                "alpha": round(group[0]["alpha"], 3),
                 "trials": trials,
                 "losses": losses,
                 "loss_fraction": round(losses / trials, 3),
@@ -153,6 +180,28 @@ def run(
             }
         )
     return rows
+
+
+def run(
+    scale: str = "tiny",
+    stripe_sizes: typing.Sequence[int] = CAMPAIGN_STRIPE_SIZES,
+    seed: int = 1992,
+    trials: typing.Optional[int] = None,
+    mission_hours: float = MISSION_HOURS,
+    options: typing.Optional[SweepOptions] = None,
+) -> typing.List[dict]:
+    """Run the campaign grid; one row per stripe size."""
+    trials = trials if trials is not None else TRIALS.get(scale, 3)
+    spec = campaign_spec(
+        scale,
+        stripe_sizes=stripe_sizes,
+        seed=seed,
+        trials=trials,
+        mission_hours=mission_hours,
+    )
+    outcome = run_sweep(spec, options)
+    summaries = [trial_summary(result) for result in outcome.results]
+    return rows_from_summaries(summaries, trials, mission_hours)
 
 
 def format_rows(rows: typing.Sequence[dict]) -> str:

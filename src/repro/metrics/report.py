@@ -201,6 +201,51 @@ def _fault_line(document: Document) -> typing.Optional[str]:
     )
 
 
+def document_report(document: Document) -> dict:
+    """Machine-readable counterpart of :func:`render_document`.
+
+    Same sources, same selection, no string formatting: the scenario
+    config, the per-class latency entries, per-disk rows (with the
+    queue-depth summary the table shows), reconstruction progress
+    series (undecimated — JSON consumers get every recorded point),
+    the response-summary fallback, and the fault line's fields. This is
+    the single path behind both ``repro report --json`` and the job
+    service's result endpoint, so CLI and API reports cannot drift.
+    """
+    config = document.get("config")
+    report: typing.Dict[str, typing.Any] = {
+        "scenario": dict(config) if config else None,
+    }
+    metrics = document.get("metrics")
+    if metrics:
+        report["window"] = {
+            "measure_since_ms": metrics.get("measure_since_ms"),
+            "end_ms": metrics.get("end_ms"),
+            "window_ms": metrics.get("window_ms"),
+        }
+        latency = metrics.get("latency_ms") or {}
+        report["latency_ms"] = {
+            klass: dict(latency[klass]) for klass in sorted(latency)
+        }
+        report["counters"] = dict(metrics.get("counters") or {})
+        report["disks"] = [dict(row) for row in metrics.get("disks") or []]
+        report["recon_progress"] = [
+            dict(series) for series in metrics.get("recon_progress") or []
+        ]
+    else:
+        report["response_summary"] = {
+            label: dict(document.get(key) or {})
+            for label, key in (
+                ("all", "response"),
+                ("reads", "read_response"),
+                ("writes", "write_response"),
+            )
+        }
+    faults = document.get("fault_summary")
+    report["faults"] = dict(faults) if faults else None
+    return report
+
+
 def render_document(document: Document) -> str:
     """One run's report: scenario line plus the per-run tables."""
     sections = [_scenario_line(document.get("config"))]
@@ -245,16 +290,42 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="+",
         help="result JSON files and/or directories to scan recursively",
     )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help=(
+            "emit the reports as one machine-readable JSON document "
+            "(the same data the tables render, via the same path the "
+            "job service's result endpoint uses)"
+        ),
+    )
     return parser
 
 
 def main(argv: typing.Optional[typing.Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    missing = [raw for raw in args.paths if not pathlib.Path(raw).exists()]
+    if missing:
+        # A path that does not exist is a usage error (exit 2), distinct
+        # from an existing tree that merely holds no result documents.
+        for raw in missing:
+            print(f"repro report: no such file or directory: {raw}", file=sys.stderr)
+        return 2
     documents = load_documents(args.paths)
     if not documents:
         print("repro report: no result documents found", file=sys.stderr)
         return 1
     try:
+        if args.json:
+            payload = {
+                "format": "repro-report/1",
+                "reports": [
+                    {"source": label, "report": document_report(document)}
+                    for label, document in documents
+                ],
+            }
+            print(json.dumps(payload, indent=2, sort_keys=True))
+            return 0
         for index, (label, document) in enumerate(documents):
             if index:
                 print()

@@ -1,0 +1,114 @@
+"""Trial-granular campaign checkpoints.
+
+A Monte Carlo campaign is a list of independent trials; the only state
+worth persisting mid-job is *which trials finished and what each one
+measured*. The checkpoint stores exactly that — per-trial cursor plus
+the :func:`~repro.experiments.campaign.trial_summary` facts the final
+aggregation needs — so a service killed mid-campaign resumes without
+rerunning finished trials, and the resumed aggregation is computed
+from the same summaries an uninterrupted run would have produced.
+
+Every record is an atomic whole-file rewrite (:mod:`repro.atomicio`):
+cheap at campaign scale (one small JSON document per trial boundary)
+and torn-write-proof by construction. A checkpoint whose identity
+(total trial count, spec fingerprint) does not match the job is
+discarded rather than trusted.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import typing
+
+from repro.atomicio import atomic_write_json, read_json
+
+CHECKPOINT_FORMAT_VERSION = 1
+
+
+class CampaignCheckpoint:
+    """Completed-trial cursor + summaries for one campaign job."""
+
+    def __init__(
+        self,
+        path: typing.Union[str, pathlib.Path],
+        job_id: str,
+        total_trials: int,
+    ):
+        self.path = pathlib.Path(path)
+        self.job_id = job_id
+        self.total_trials = total_trials
+        #: trial index -> {"index", "config", "summary"}
+        self.completed: typing.Dict[int, dict] = {}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(
+        cls,
+        path: typing.Union[str, pathlib.Path],
+        job_id: str,
+        total_trials: int,
+    ) -> "CampaignCheckpoint":
+        """Load a checkpoint, or start fresh if absent/mismatched."""
+        checkpoint = cls(path, job_id, total_trials)
+        document = read_json(path)
+        if (
+            isinstance(document, dict)
+            and document.get("format") == CHECKPOINT_FORMAT_VERSION
+            and document.get("job_id") == job_id
+            and document.get("total_trials") == total_trials
+            and isinstance(document.get("completed"), list)
+        ):
+            for entry in document["completed"]:
+                if (
+                    isinstance(entry, dict)
+                    and isinstance(entry.get("index"), int)
+                    and 0 <= entry["index"] < total_trials
+                    and isinstance(entry.get("summary"), dict)
+                ):
+                    checkpoint.completed[entry["index"]] = entry
+        return checkpoint
+
+    # ------------------------------------------------------------------
+    @property
+    def done_indices(self) -> typing.Set[int]:
+        return set(self.completed)
+
+    @property
+    def complete(self) -> bool:
+        return len(self.completed) >= self.total_trials
+
+    def record(self, index: int, config_key: dict, summary: dict) -> None:
+        """Persist one finished trial; atomic, idempotent."""
+        self.completed[index] = {
+            "index": index,
+            "config": config_key,
+            "summary": summary,
+        }
+        self.save()
+
+    def save(self) -> None:
+        atomic_write_json(
+            self.path,
+            {
+                "format": CHECKPOINT_FORMAT_VERSION,
+                "job_id": self.job_id,
+                "total_trials": self.total_trials,
+                "completed": [
+                    self.completed[index] for index in sorted(self.completed)
+                ],
+            },
+        )
+
+    def summaries_in_order(self) -> typing.List[dict]:
+        """Per-trial summaries for aggregation; requires completeness."""
+        missing = [
+            index for index in range(self.total_trials) if index not in self.completed
+        ]
+        if missing:
+            raise ValueError(
+                f"campaign checkpoint incomplete: trials {missing[:5]}"
+                f"{'...' if len(missing) > 5 else ''} missing"
+            )
+        return [
+            self.completed[index]["summary"] for index in range(self.total_trials)
+        ]

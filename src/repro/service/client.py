@@ -1,0 +1,282 @@
+"""``python -m repro job ...`` — stdlib client for the job service.
+
+Subcommands mirror the HTTP API one-to-one::
+
+    repro job submit spec.json        POST /jobs        (use '-' for stdin)
+    repro job list                    GET  /jobs
+    repro job status <id>             GET  /jobs/<id>
+    repro job watch <id>              GET  /jobs/<id>/events  (NDJSON)
+    repro job result <id>             GET  /jobs/<id>/result
+    repro job cancel <id>             POST /jobs/<id>/cancel
+
+Exit codes follow the repro-wide convention: 0 success, 1 runtime
+failure (connection refused, server error, job failed), 2 usage error
+(bad arguments, unreadable spec file, spec rejected by validation).
+Errors go to stderr as one-line messages, never tracebacks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import typing
+import urllib.error
+import urllib.request
+
+DEFAULT_SERVER = "http://127.0.0.1:8765"
+
+#: repro-wide exit codes (see repro.cli): usage errors are 2, runtime
+#: failures are 1.
+EXIT_OK = 0
+EXIT_RUNTIME = 1
+EXIT_USAGE = 2
+
+
+class ClientError(Exception):
+    """A request failed; carries the exit code to use."""
+
+    def __init__(self, message: str, exit_code: int = EXIT_RUNTIME):
+        super().__init__(message)
+        self.exit_code = exit_code
+
+
+class ServiceClient:
+    """Minimal JSON-over-HTTP client (urllib, no dependencies)."""
+
+    def __init__(self, base_url: str = DEFAULT_SERVER, timeout: float = 60.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: typing.Optional[dict] = None,
+    ) -> urllib.request.Request:
+        body = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        return urllib.request.Request(
+            self.base_url + path, data=body, headers=headers, method=method
+        )
+
+    def call(
+        self,
+        method: str,
+        path: str,
+        payload: typing.Optional[dict] = None,
+    ) -> dict:
+        """One request, parsed JSON response; :class:`ClientError` on failure."""
+        request = self._request(method, path, payload)
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            message = _error_message(error)
+            # A rejected spec (400) is a usage error; everything else
+            # the server reports is a runtime failure.
+            code = EXIT_USAGE if error.code == 400 else EXIT_RUNTIME
+            raise ClientError(
+                f"{method} {path}: HTTP {error.code}: {message}", code
+            ) from error
+        except urllib.error.URLError as error:
+            raise ClientError(
+                f"cannot reach {self.base_url}: {error.reason}"
+            ) from error
+        except (ValueError, OSError) as error:
+            raise ClientError(f"{method} {path}: {error}") from error
+
+    def events(self, job_id: str) -> typing.Iterator[dict]:
+        """Follow a job's NDJSON event stream until it closes."""
+        request = self._request("GET", f"/jobs/{job_id}/events")
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                for line in response:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        yield json.loads(line.decode("utf-8"))
+                    except ValueError:
+                        continue  # torn final line on disconnect
+        except urllib.error.HTTPError as error:
+            raise ClientError(
+                f"GET /jobs/{job_id}/events: HTTP {error.code}: "
+                f"{_error_message(error)}"
+            ) from error
+        except urllib.error.URLError as error:
+            raise ClientError(
+                f"cannot reach {self.base_url}: {error.reason}"
+            ) from error
+
+
+def _error_message(error: urllib.error.HTTPError) -> str:
+    try:
+        document = json.loads(error.read().decode("utf-8"))
+        return str(document.get("error", document))
+    except (ValueError, OSError):
+        return error.reason or "unknown error"
+
+
+def _print_json(document: typing.Any) -> None:
+    print(json.dumps(document, indent=2, sort_keys=True))
+
+
+def _load_spec(path: str) -> dict:
+    try:
+        if path == "-":
+            text = sys.stdin.read()
+        else:
+            with open(path, "r", encoding="utf-8") as handle:
+                text = handle.read()
+    except OSError as error:
+        raise ClientError(f"cannot read spec {path!r}: {error}", EXIT_USAGE)
+    try:
+        document = json.loads(text)
+    except ValueError as error:
+        raise ClientError(f"spec {path!r} is not valid JSON: {error}", EXIT_USAGE)
+    if not isinstance(document, dict):
+        raise ClientError(f"spec {path!r} must be a JSON object", EXIT_USAGE)
+    return document
+
+
+def _watch(client: ServiceClient, job_id: str) -> int:
+    """Stream events to stdout; exit by the job's terminal state."""
+    final = None
+    for event in client.events(job_id):
+        print(json.dumps(event, sort_keys=True), flush=True)
+        if event.get("event") == "state":
+            final = event.get("state")
+    if final == "done":
+        return EXIT_OK
+    if final is None:
+        raise ClientError("event stream ended without a terminal state")
+    raise ClientError(f"job {job_id} ended {final}")
+
+
+def cmd_submit(client: ServiceClient, args: argparse.Namespace) -> int:
+    spec = _load_spec(args.spec)
+    job = client.call("POST", "/jobs", spec)
+    if not args.watch:
+        _print_json(job)
+        return EXIT_OK
+    print(
+        f"job {job.get('id')} {job.get('state')}"
+        f"{' (existing)' if not job.get('created') else ''}",
+        file=sys.stderr,
+    )
+    if job.get("state") in ("done", "failed", "cancelled"):
+        _print_json(job)
+        return EXIT_OK if job.get("state") == "done" else EXIT_RUNTIME
+    return _watch(client, job["id"])
+
+
+def cmd_list(client: ServiceClient, args: argparse.Namespace) -> int:
+    document = client.call("GET", "/jobs")
+    jobs = document.get("jobs", [])
+    if args.json:
+        _print_json(document)
+        return EXIT_OK
+    if not jobs:
+        print("no jobs")
+        return EXIT_OK
+    print(f"{'id':16s}  {'kind':8s}  {'state':9s}  progress")
+    for job in jobs:
+        progress = job.get("progress") or {}
+        completed = progress.get("completed", 0)
+        total = progress.get("total", "?")
+        print(
+            f"{job.get('id', ''):16s}  {job.get('kind', ''):8s}  "
+            f"{job.get('state', ''):9s}  {completed}/{total}"
+        )
+    return EXIT_OK
+
+
+def cmd_status(client: ServiceClient, args: argparse.Namespace) -> int:
+    _print_json(client.call("GET", f"/jobs/{args.job_id}"))
+    return EXIT_OK
+
+
+def cmd_watch(client: ServiceClient, args: argparse.Namespace) -> int:
+    return _watch(client, args.job_id)
+
+
+def cmd_result(client: ServiceClient, args: argparse.Namespace) -> int:
+    _print_json(client.call("GET", f"/jobs/{args.job_id}/result"))
+    return EXIT_OK
+
+
+def cmd_cancel(client: ServiceClient, args: argparse.Namespace) -> int:
+    _print_json(client.call("POST", f"/jobs/{args.job_id}/cancel"))
+    return EXIT_OK
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro job",
+        description="Client for the repro simulation job service ('repro serve').",
+    )
+    parser.add_argument(
+        "--server",
+        default=DEFAULT_SERVER,
+        metavar="URL",
+        help=f"service base URL (default: {DEFAULT_SERVER})",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=60.0,
+        metavar="S",
+        help="per-request timeout in seconds (default: 60)",
+    )
+    commands = parser.add_subparsers(dest="command", metavar="COMMAND")
+    commands.required = True
+
+    submit = commands.add_parser("submit", help="submit a spec file ('-' = stdin)")
+    submit.add_argument("spec", help="path to a JSON job spec, or '-' for stdin")
+    submit.add_argument(
+        "--watch",
+        action="store_true",
+        help="stream progress events until the job finishes",
+    )
+    submit.set_defaults(fn=cmd_submit)
+
+    listing = commands.add_parser("list", help="list all jobs")
+    listing.add_argument("--json", action="store_true", help="raw JSON output")
+    listing.set_defaults(fn=cmd_list)
+
+    status = commands.add_parser("status", help="show one job")
+    status.add_argument("job_id")
+    status.set_defaults(fn=cmd_status)
+
+    watch = commands.add_parser("watch", help="stream a job's progress events")
+    watch.add_argument("job_id")
+    watch.set_defaults(fn=cmd_watch)
+
+    result = commands.add_parser("result", help="fetch a finished job's result")
+    result.add_argument("job_id")
+    result.set_defaults(fn=cmd_result)
+
+    cancel = commands.add_parser("cancel", help="cancel a queued or running job")
+    cancel.add_argument("job_id")
+    cancel.set_defaults(fn=cmd_cancel)
+    return parser
+
+
+def main(argv: typing.Optional[typing.Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    client = ServiceClient(args.server, timeout=args.timeout)
+    try:
+        return args.fn(client, args)
+    except ClientError as error:
+        print(f"repro job: {error}", file=sys.stderr)
+        return error.exit_code
+    except KeyboardInterrupt:
+        return EXIT_RUNTIME
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via repro.cli
+    sys.exit(main())

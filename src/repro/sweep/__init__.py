@@ -27,13 +27,21 @@ from repro.sweep.cache import (
     result_to_dict,
 )
 from repro.sweep.grid import SweepPoint, SweepSpec, point_seed
-from repro.sweep.pool import SweepError, SweepOptions, SweepOutcome, run_sweep
-from repro.sweep.progress import ProgressReporter, SweepSummary
+from repro.sweep.pool import (
+    SweepCancelled,
+    SweepError,
+    SweepOptions,
+    SweepOutcome,
+    run_sweep,
+)
+from repro.sweep.progress import ProgressReporter, SweepEvent, SweepSummary
 
 __all__ = [
     "ProgressReporter",
     "ResultCache",
+    "SweepCancelled",
     "SweepError",
+    "SweepEvent",
     "SweepOptions",
     "SweepOutcome",
     "SweepPoint",

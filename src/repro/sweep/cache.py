@@ -21,11 +21,11 @@ import hashlib
 import json
 import os
 import pathlib
-import tempfile
 import typing
 import warnings
 
 from repro._version import __version__
+from repro.atomicio import atomic_write_json
 from repro.experiments.runner import ScenarioConfig, ScenarioResult
 from repro.recon.sweeper import CycleRecord, ReconstructionResult
 from repro.workload.recorder import ResponseSummary
@@ -196,33 +196,17 @@ class ResultCache:
             )
 
     def _write_entry(self, config: ScenarioConfig, result: dict) -> None:
-        path = self.path_for(config)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        document = {
-            "cache_format": CACHE_FORMAT_VERSION,
-            "package_version": self.version,
-            "config": config.to_key(),
-            "result": result,
-        }
-        handle = tempfile.NamedTemporaryFile(
-            mode="w",
-            encoding="utf-8",
-            dir=path.parent,
-            prefix=path.name + ".",
-            suffix=".tmp",
-            delete=False,
+        # Atomic write-to-temp + os.replace (repro.atomicio): service
+        # shards sharing one cache directory never observe torn JSON.
+        atomic_write_json(
+            self.path_for(config),
+            {
+                "cache_format": CACHE_FORMAT_VERSION,
+                "package_version": self.version,
+                "config": config.to_key(),
+                "result": result,
+            },
         )
-        try:
-            with handle:
-                json.dump(document, handle, sort_keys=True)
-                handle.write("\n")
-            os.replace(handle.name, path)
-        except BaseException:
-            try:
-                os.unlink(handle.name)
-            except OSError:
-                pass
-            raise
 
     def put(self, config: ScenarioConfig, result: ScenarioResult) -> None:
         self.put_dict(config, result_to_dict(result))

@@ -34,11 +34,21 @@ from repro.array.faults import DataLossError
 from repro.experiments.runner import ScenarioConfig, ScenarioResult, run_scenario
 from repro.sweep.cache import ResultCache, result_from_dict, result_to_dict
 from repro.sweep.grid import SweepPoint, SweepSpec
-from repro.sweep.progress import ProgressReporter, SweepSummary
+from repro.sweep.progress import ProgressReporter, SweepEvent, SweepSummary
 
 
 class SweepError(RuntimeError):
     """A sweep point still failed after its retry budget was spent."""
+
+
+class SweepCancelled(RuntimeError):
+    """The sweep's cancel token was set before every point completed.
+
+    Raised by :func:`run_sweep` when ``SweepOptions.cancel`` fires.
+    Points that already completed were cached (when a cache is
+    configured) and reported through ``on_event``; in-flight pool
+    workers are discarded without waiting for them.
+    """
 
 
 class PointTimeout(Exception):
@@ -76,6 +86,16 @@ class SweepOptions:
     default) a point that exhausts its budget raises
     :class:`SweepError`; otherwise its result slot is left None and the
     summary's failure count records it.
+
+    ``on_event`` and ``cancel`` are the embeddable-engine surface: an
+    ``on_event`` callable receives a
+    :class:`~repro.sweep.progress.SweepEvent` for every cache hit,
+    completed point (with its serialized result), failure, retry, and
+    note, in the order they happen; ``cancel`` is any object with an
+    ``is_set()`` method (e.g. ``threading.Event``) — once set,
+    :func:`run_sweep` stops at the next point boundary and raises
+    :class:`SweepCancelled`. A long-running single point is not
+    preempted; cancellation granularity is one point.
     """
 
     jobs: int = 1
@@ -85,6 +105,8 @@ class SweepOptions:
     strict: bool = True
     progress: bool = False
     stream: typing.Optional[typing.TextIO] = None
+    on_event: typing.Optional[typing.Callable[[SweepEvent], None]] = None
+    cancel: typing.Optional[typing.Any] = None
 
     def resolve_cache(self) -> typing.Optional[ResultCache]:
         if self.cache is None or isinstance(self.cache, ResultCache):
@@ -131,12 +153,34 @@ def run_sweep(
     results: typing.List[typing.Optional[ScenarioResult]] = [None] * len(points)
     failures: typing.List[typing.Tuple[SweepPoint, BaseException]] = []
 
+    def emit(
+        kind: str,
+        point: typing.Optional[SweepPoint] = None,
+        result: typing.Optional[dict] = None,
+        message: typing.Optional[str] = None,
+    ) -> None:
+        if options.on_event is None:
+            return
+        summary = reporter.summary
+        options.on_event(
+            SweepEvent(
+                kind=kind,
+                index=None if point is None else point.index,
+                config_key=None if point is None else point.config.to_key(),
+                result=result,
+                message=message,
+                completed=summary.completed + summary.failures,
+                total=len(points),
+            )
+        )
+
     to_run: typing.List[SweepPoint] = []
     for point in points:
         cached = cache.get_dict(point.config) if cache is not None else None
         if cached is not None:
             results[point.index] = result_from_dict(cached)
             reporter.cache_hit()
+            emit("cache-hit", point, result=cached)
         else:
             to_run.append(point)
 
@@ -145,16 +189,18 @@ def run_sweep(
         if cache is not None:
             cache.put_dict(point.config, result)
         reporter.executed()
+        emit("executed", point, result=result)
 
     def on_fail(point: SweepPoint, error: BaseException) -> None:
         failures.append((point, error))
         reporter.failed()
+        emit("failed", point, message=repr(error))
 
     if to_run:
         if options.jobs > 1:
-            _pool_run(to_run, options, execute, reporter, on_done, on_fail)
+            _pool_run(to_run, options, execute, reporter, emit, on_done, on_fail)
         else:
-            _serial_run(to_run, options, execute, reporter, on_done, on_fail)
+            _serial_run(to_run, options, execute, reporter, emit, on_done, on_fail)
 
     summary = reporter.finish()
     if failures and options.strict:
@@ -172,14 +218,21 @@ def run_sweep(
     return SweepOutcome(results=results, summary=summary)
 
 
-def _serial_run(points, options, execute, reporter, on_done, on_fail) -> None:
+def _cancelled(options: SweepOptions) -> bool:
+    return options.cancel is not None and options.cancel.is_set()
+
+
+def _serial_run(points, options, execute, reporter, emit, on_done, on_fail) -> None:
     """In-process execution. Timeouts cannot preempt here; they are ignored."""
     for point in points:
+        if _cancelled(options):
+            raise SweepCancelled("sweep cancelled between points")
         key = point.config.to_key()
         error: typing.Optional[BaseException] = None
         for attempt in range(1 + options.retries):
             if attempt:
                 reporter.retried()
+                emit("retried", point)
             try:
                 result = execute(key)
             except DataLossError as exc:
@@ -198,12 +251,13 @@ def _serial_run(points, options, execute, reporter, on_done, on_fail) -> None:
             on_fail(point, error)
 
 
-def _pool_run(points, options, execute, reporter, on_done, on_fail) -> None:
+def _pool_run(points, options, execute, reporter, emit, on_done, on_fail) -> None:
     try:
         pool = concurrent.futures.ProcessPoolExecutor(max_workers=options.jobs)
     except (ImportError, NotImplementedError, OSError) as exc:
         reporter.note(f"process pool unavailable ({exc!r}); running serially")
-        _serial_run(points, options, execute, reporter, on_done, on_fail)
+        emit("note", message="process pool unavailable; running serially")
+        _serial_run(points, options, execute, reporter, emit, on_done, on_fail)
         return
 
     # (point, attempts_remaining) queue; outstanding maps a future to
@@ -217,6 +271,7 @@ def _pool_run(points, options, execute, reporter, on_done, on_fail) -> None:
     def charge(point: SweepPoint, budget: int, error: BaseException) -> None:
         if budget > 0:
             reporter.retried()
+            emit("retried", point)
             pending.append((point, budget - 1))
         else:
             on_fail(point, error)
@@ -227,6 +282,10 @@ def _pool_run(points, options, execute, reporter, on_done, on_fail) -> None:
 
     try:
         while pending or outstanding:
+            if _cancelled(options):
+                raise SweepCancelled(
+                    "sweep cancelled; discarding in-flight points"
+                )
             while pending and len(outstanding) < options.jobs:
                 point, budget = pending.popleft()
                 future = pool.submit(execute, point.config.to_key())
@@ -241,6 +300,10 @@ def _pool_run(points, options, execute, reporter, on_done, on_fail) -> None:
                 # simlint: disable=DET001 (wall-clock bounds worker runtime, never feeds results)
                 max(0.0, min(deadlines) - time.monotonic()) if deadlines else None
             )
+            if options.cancel is not None:
+                # Wake up periodically so a cancellation set while every
+                # worker is busy is noticed within a bounded delay.
+                wait_s = 0.25 if wait_s is None else min(wait_s, 0.25)
             done, _not_done = concurrent.futures.wait(
                 set(outstanding),
                 timeout=wait_s,
@@ -268,6 +331,7 @@ def _pool_run(points, options, execute, reporter, on_done, on_fail) -> None:
                     # The pool died; everything still in flight is doomed.
                     # Requeue survivors without charging their budgets.
                     reporter.note("worker pool broke; restarting it")
+                    emit("note", message="worker pool broke; restarting it")
                     for point, budget, _deadline in outstanding.values():
                         pending.appendleft((point, budget))
                     outstanding.clear()
@@ -288,6 +352,10 @@ def _pool_run(points, options, execute, reporter, on_done, on_fail) -> None:
             reporter.note(
                 f"{len(expired)} point(s) exceeded the {options.timeout_s:.1f}s "
                 "timeout; restarting the worker pool"
+            )
+            emit(
+                "note",
+                message=f"{len(expired)} point(s) timed out; pool restarted",
             )
             for future, (point, budget, _deadline) in outstanding.items():
                 if future in expired:

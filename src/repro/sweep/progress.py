@@ -14,7 +14,32 @@ from __future__ import annotations
 import sys
 import time
 import typing
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class SweepEvent:
+    """One observable step of a running sweep.
+
+    Emitted through ``SweepOptions.on_event`` so an embedding caller (a
+    progress bar, the job service's streaming endpoint) can follow a
+    sweep without polling. ``kind`` is one of ``"cache-hit"``,
+    ``"executed"``, ``"failed"``, ``"retried"``, or ``"note"``.
+
+    For completed points (``cache-hit``/``executed``) ``result`` holds
+    the serialized result document — the same dict the cache stores —
+    so a consumer can checkpoint or summarize each point as it lands
+    without waiting for the whole sweep. ``completed``/``total`` give
+    running progress including failures.
+    """
+
+    kind: str
+    index: typing.Optional[int] = None
+    config_key: typing.Optional[dict] = None
+    result: typing.Optional[dict] = field(default=None, repr=False)
+    message: typing.Optional[str] = None
+    completed: int = 0
+    total: int = 0
 
 
 @dataclass

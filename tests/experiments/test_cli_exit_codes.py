@@ -1,0 +1,84 @@
+"""Exit-code convention across every ``repro`` subcommand.
+
+One convention, asserted in one place: 0 success, 1 runtime failure,
+2 usage error — always with a one-line stderr message, never a
+traceback. Argparse rejections (which raise SystemExit) and explicit
+returns are normalized through the same helper so new subcommands
+cannot quietly drift.
+"""
+
+import pytest
+
+from repro import cli
+from repro.sweep import SweepError
+
+
+def run_cli(argv):
+    """repro's main(), with argparse SystemExit folded into the code."""
+    try:
+        return cli.main(argv)
+    except SystemExit as exit_:  # argparse error path
+        return exit_.code
+
+
+BAD_USAGE_CASES = [
+    pytest.param(["no-such-experiment"], id="unknown-experiment"),
+    pytest.param(["fig6-1", "--scale", "galactic"], id="bad-scale"),
+    pytest.param(["fig6-1", "--jobs", "0"], id="non-positive-jobs"),
+    pytest.param(["report"], id="report-no-paths"),
+    pytest.param(
+        ["report", "/no/such/path/anywhere.json"], id="report-missing-path"
+    ),
+    pytest.param(["bench", "--scale", "galactic"], id="bench-bad-scale"),
+    pytest.param(["serve", "--port", "99999"], id="serve-bad-port"),
+    pytest.param(["serve", "--workers", "0"], id="serve-bad-workers"),
+    pytest.param(["serve", "--max-jobs", "0"], id="serve-bad-max-jobs"),
+    pytest.param(["job"], id="job-no-command"),
+    pytest.param(
+        ["job", "submit", "/no/such/spec.json"], id="job-missing-spec-file"
+    ),
+    pytest.param(["lint", "--baseline", "/no/such/baseline"], id="lint-missing-baseline"),
+]
+
+
+@pytest.mark.parametrize("argv", BAD_USAGE_CASES)
+def test_bad_arguments_exit_2_with_stderr_message(argv, capsys):
+    assert run_cli(argv) == 2
+    captured = capsys.readouterr()
+    assert captured.err.strip(), f"expected a stderr message for {argv}"
+    assert "Traceback" not in captured.err
+
+
+def test_job_submit_rejects_non_json_spec(tmp_path, capsys):
+    spec = tmp_path / "spec.json"
+    spec.write_text("{not json", encoding="utf-8")
+    assert run_cli(["job", "submit", str(spec)]) == 2
+    assert "not valid JSON" in capsys.readouterr().err
+
+
+def test_job_unreachable_server_exits_1(tmp_path, capsys):
+    # Port 1 is reserved and never bound in the test environment.
+    code = run_cli(
+        ["job", "--server", "http://127.0.0.1:1", "--timeout", "5",
+         "status", "abc123"]
+    )
+    assert code == 1
+    assert "cannot reach" in capsys.readouterr().err
+
+
+def test_sweep_error_exits_1_with_message(monkeypatch, capsys):
+    def exploding_runner(scale, options):
+        raise SweepError("injected: point #0 failed after 2 retries")
+
+    monkeypatch.setitem(
+        cli.EXPERIMENTS, "fig6-1", ("patched", exploding_runner)
+    )
+    assert run_cli(["fig6-1"]) == 1
+    captured = capsys.readouterr()
+    assert "repro fig6-1: injected" in captured.err
+    assert "Traceback" not in captured.err
+
+
+def test_report_empty_tree_exits_1(tmp_path, capsys):
+    assert run_cli(["report", str(tmp_path)]) == 1
+    assert "no result documents found" in capsys.readouterr().err

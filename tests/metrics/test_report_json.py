@@ -1,0 +1,72 @@
+"""Tests for ``repro report --json`` and :func:`document_report`.
+
+The JSON report is the machine-readable twin of the rendered tables
+and the exact payload the job service's result endpoint embeds — these
+tests pin the shared shape so CLI and API cannot drift.
+"""
+
+import json
+
+from repro.metrics.report import document_report, main
+
+from tests.metrics.test_report import SYNTHETIC_DOCUMENT
+
+
+class TestDocumentReport:
+    def test_full_document(self):
+        report = document_report(SYNTHETIC_DOCUMENT)
+        assert report["scenario"] == SYNTHETIC_DOCUMENT["config"]
+        assert report["window"] == {
+            "measure_since_ms": 500.0,
+            "end_ms": 3500.0,
+            "window_ms": 3000.0,
+        }
+        assert sorted(report["latency_ms"]) == ["recon-read", "user-read"]
+        assert report["latency_ms"]["user-read"]["p99"] == 64.0
+        assert report["counters"] == {"requests-completed": 300}
+        assert [row["disk"] for row in report["disks"]] == [0, 1]
+        # Progress series are NOT decimated in the JSON form.
+        assert report["recon_progress"][0]["points"] == [
+            [600.0, 1], [1500.0, 20], [3400.0, 40],
+        ]
+        assert report["faults"]["mean_repair_ms"] == 2412.5
+
+    def test_fallback_without_metrics_block(self):
+        document = {
+            "config": None,
+            "response": {"count": 10, "mean_ms": 5.0},
+            "read_response": {"count": 10, "mean_ms": 5.0},
+            "write_response": {"count": 0, "mean_ms": 0.0},
+        }
+        report = document_report(document)
+        assert report["scenario"] is None
+        assert "latency_ms" not in report
+        assert report["response_summary"]["reads"] == {"count": 10, "mean_ms": 5.0}
+        assert report["faults"] is None
+
+    def test_is_json_safe(self):
+        json.dumps(document_report(SYNTHETIC_DOCUMENT))
+
+
+class TestCliJson:
+    def test_json_flag_emits_one_document(self, tmp_path, capsys):
+        path = tmp_path / "run.json"
+        path.write_text(json.dumps(SYNTHETIC_DOCUMENT), encoding="utf-8")
+        assert main([str(path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["format"] == "repro-report/1"
+        assert len(payload["reports"]) == 1
+        entry = payload["reports"][0]
+        assert entry["source"] == str(path)
+        assert entry["report"] == document_report(SYNTHETIC_DOCUMENT)
+
+    def test_missing_path_is_a_usage_error(self, tmp_path, capsys):
+        missing = tmp_path / "nope.json"
+        assert main([str(missing), "--json"]) == 2
+        err = capsys.readouterr().err
+        assert "no such file or directory" in err
+        assert str(missing) in err
+
+    def test_empty_tree_is_a_runtime_error(self, tmp_path, capsys):
+        assert main([str(tmp_path), "--json"]) == 1
+        assert "no result documents found" in capsys.readouterr().err

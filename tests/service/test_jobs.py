@@ -1,0 +1,129 @@
+"""Tests for the persistent job store and campaign checkpoints."""
+
+import json
+
+import pytest
+
+from repro.service.checkpoint import CampaignCheckpoint
+from repro.service.jobs import (
+    DONE,
+    QUEUED,
+    RUNNING,
+    Job,
+    JobStore,
+)
+
+
+def make_job(job_id="abc123", seq=1, **overrides):
+    fields = dict(
+        id=job_id,
+        kind="scenario",
+        spec={"kind": "scenario", "configs": [{"stripe_size": 4}]},
+        seq=seq,
+    )
+    fields.update(overrides)
+    return Job(**fields)
+
+
+class TestJobStore:
+    def test_save_load_round_trip(self, tmp_path):
+        store = JobStore(tmp_path)
+        job = make_job(state=RUNNING, progress={"total": 3, "completed": 1})
+        store.save(job)
+        loaded = store.load(job.id)
+        assert loaded == job
+
+    def test_load_missing_returns_none(self, tmp_path):
+        assert JobStore(tmp_path).load("nope") is None
+
+    def test_load_rejects_unknown_format(self, tmp_path):
+        store = JobStore(tmp_path)
+        store.jobs_dir.mkdir(parents=True)
+        store.job_path("old").write_text(
+            json.dumps({"format": 999, "id": "old"}), encoding="utf-8"
+        )
+        assert store.load("old") is None
+
+    def test_load_tolerates_corrupt_record(self, tmp_path):
+        store = JobStore(tmp_path)
+        store.jobs_dir.mkdir(parents=True)
+        store.job_path("bad").write_text('{"truncated', encoding="utf-8")
+        assert store.load("bad") is None
+        assert store.list() == []
+
+    def test_list_orders_by_sequence_and_skips_sidecars(self, tmp_path):
+        store = JobStore(tmp_path)
+        second = make_job("bbb", seq=2)
+        first = make_job("aaa", seq=1)
+        store.save(second)
+        store.save(first)
+        store.save_result("bbb", {"kind": "scenario"})
+        CampaignCheckpoint(store.checkpoint_path("bbb"), "bbb", 1).save()
+        assert [job.id for job in store.list()] == ["aaa", "bbb"]
+
+    def test_next_seq_monotonic(self, tmp_path):
+        store = JobStore(tmp_path)
+        assert store.next_seq() == 1
+        store.save(make_job("aaa", seq=store.next_seq()))
+        assert store.next_seq() == 2
+
+    def test_results_round_trip(self, tmp_path):
+        store = JobStore(tmp_path)
+        assert store.load_result("abc") is None
+        store.save_result("abc", {"kind": "scenario", "points": []})
+        assert store.load_result("abc") == {"kind": "scenario", "points": []}
+
+    def test_recover_requeues_interrupted_jobs(self, tmp_path):
+        store = JobStore(tmp_path)
+        store.save(make_job("running1", seq=2, state=RUNNING))
+        store.save(make_job("queued1", seq=1, state=QUEUED))
+        store.save(make_job("done1", seq=3, state=DONE))
+        runnable = store.recover()
+        assert [job.id for job in runnable] == ["queued1", "running1"]
+        recovered = store.load("running1")
+        assert recovered.state == QUEUED
+        assert recovered.resumes == 1  # persisted, so restarts accumulate
+        assert store.load("done1").state == DONE
+
+
+class TestCampaignCheckpoint:
+    def test_record_and_reload(self, tmp_path):
+        path = tmp_path / "job.checkpoint.json"
+        checkpoint = CampaignCheckpoint(path, "job1", total_trials=3)
+        checkpoint.record(1, {"stripe_size": 4}, {"data_lost": False})
+        checkpoint.record(0, {"stripe_size": 4}, {"data_lost": True})
+        reloaded = CampaignCheckpoint.load(path, "job1", total_trials=3)
+        assert reloaded.done_indices == {0, 1}
+        assert not reloaded.complete
+        assert reloaded.completed[0]["summary"] == {"data_lost": True}
+
+    def test_mismatched_identity_starts_fresh(self, tmp_path):
+        path = tmp_path / "job.checkpoint.json"
+        CampaignCheckpoint(path, "job1", 2).record(0, {}, {"data_lost": False})
+        assert CampaignCheckpoint.load(path, "other", 2).completed == {}
+        assert CampaignCheckpoint.load(path, "job1", 3).completed == {}
+        assert CampaignCheckpoint.load(path, "job1", 2).done_indices == {0}
+
+    def test_out_of_range_entries_are_dropped(self, tmp_path):
+        path = tmp_path / "job.checkpoint.json"
+        checkpoint = CampaignCheckpoint(path, "job1", 5)
+        checkpoint.record(4, {}, {"data_lost": False})
+        assert CampaignCheckpoint.load(path, "job1", 3).completed == {}
+
+    def test_summaries_in_order_requires_completeness(self, tmp_path):
+        path = tmp_path / "job.checkpoint.json"
+        checkpoint = CampaignCheckpoint(path, "job1", 2)
+        checkpoint.record(1, {}, {"data_lost": False})
+        with pytest.raises(ValueError, match="trials \\[0\\]"):
+            checkpoint.summaries_in_order()
+        checkpoint.record(0, {}, {"data_lost": True})
+        assert checkpoint.summaries_in_order() == [
+            {"data_lost": True}, {"data_lost": False},
+        ]
+
+    def test_record_is_idempotent(self, tmp_path):
+        path = tmp_path / "job.checkpoint.json"
+        checkpoint = CampaignCheckpoint(path, "job1", 1)
+        checkpoint.record(0, {}, {"data_lost": False})
+        checkpoint.record(0, {}, {"data_lost": False})
+        assert CampaignCheckpoint.load(path, "job1", 1).done_indices == {0}

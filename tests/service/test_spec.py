@@ -1,0 +1,162 @@
+"""Tests for job-spec validation, normalization, and content addressing."""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.campaign import campaign_spec
+from repro.experiments.runner import ScenarioConfig
+from repro.service.spec import (
+    MAX_POINTS,
+    SpecError,
+    parse_spec,
+    spec_from_normalized,
+)
+
+from tests.service.conftest import micro_scenario_spec, micro_sweep_spec
+from tests.sweep.conftest import MICRO, micro_spec_base
+
+
+class TestScenario:
+    def test_round_trips_one_config(self):
+        raw = micro_scenario_spec()
+        spec = parse_spec(raw)
+        assert spec.kind == "scenario"
+        assert len(spec.configs) == 1
+        assert spec.configs[0].to_key() == raw["config"]
+        assert spec.campaign is None
+
+    def test_normalized_document_rebuilds(self):
+        spec = parse_spec(micro_scenario_spec())
+        rebuilt = spec_from_normalized(spec.document)
+        assert rebuilt.kind == spec.kind
+        assert rebuilt.configs == spec.configs
+        assert rebuilt.job_id() == spec.job_id()
+
+
+class TestSweep:
+    def test_row_major_enumeration(self):
+        base = micro_spec_base()
+        base["scale"] = dataclasses.asdict(MICRO)
+        raw = {
+            "kind": "sweep",
+            "axes": [["stripe_size", [4, 5]], ["seed", [1, 2]]],
+            "base": {k: v for k, v in base.items() if k != "seed"},
+        }
+        spec = parse_spec(raw)
+        assert [(c.stripe_size, c.seed) for c in spec.configs] == [
+            (4, 1), (4, 2), (5, 1), (5, 2),
+        ]
+
+    def test_identical_work_is_one_job_id(self):
+        # Base-field dict ordering must not change the content address.
+        a = micro_sweep_spec()
+        b = dict(a, base=dict(reversed(list(a["base"].items()))))
+        assert parse_spec(a).job_id() == parse_spec(b).job_id()
+
+    def test_different_work_is_a_different_job_id(self):
+        assert (
+            parse_spec(micro_sweep_spec((4, 5))).job_id()
+            != parse_spec(micro_sweep_spec((4, 6))).job_id()
+        )
+
+    def test_point_limit(self):
+        raw = micro_sweep_spec()
+        raw["base"].pop("seed")
+        raw["axes"] = [["seed", list(range(MAX_POINTS + 1))]]
+        with pytest.raises(SpecError, match="limit"):
+            parse_spec(raw)
+
+
+class TestCampaign:
+    def test_grid_matches_the_cli_campaign(self):
+        raw = {
+            "kind": "campaign",
+            "scale": "tiny",
+            "stripe_sizes": [4, 6],
+            "trials": 2,
+            "seed": 11,
+            "mission_hours": 3.0,
+        }
+        spec = parse_spec(raw)
+        grid = campaign_spec(
+            "tiny", stripe_sizes=[4, 6], seed=11, trials=2, mission_hours=3.0
+        )
+        assert spec.configs == grid.configs()
+        assert spec.campaign == {
+            "trials": 2,
+            "mission_hours": 3.0,
+            "stripe_sizes": [4, 6],
+            "seed": 11,
+        }
+
+    def test_defaults_come_from_the_scale(self):
+        spec = parse_spec({"kind": "campaign", "scale": "tiny"})
+        assert spec.campaign["trials"] == 3  # TRIALS["tiny"]
+        assert len(spec.configs) == 4 * 3  # stripe sizes x trials
+
+    def test_normalized_document_rebuilds(self):
+        spec = parse_spec({"kind": "campaign", "scale": "tiny", "trials": 1})
+        rebuilt = spec_from_normalized(spec.document)
+        assert rebuilt.campaign == spec.campaign
+        assert rebuilt.configs == spec.configs
+
+
+MALFORMED = [
+    pytest.param("not a dict", "JSON object", id="non-object"),
+    pytest.param({}, "kind", id="no-kind"),
+    pytest.param({"kind": "bogus"}, "kind", id="unknown-kind"),
+    pytest.param({"kind": "scenario"}, "scenario config", id="scenario-no-config"),
+    pytest.param(
+        {"kind": "scenario", "config": {"stripe_size": 4, "bogus_field": 1}},
+        "invalid scenario config",
+        id="scenario-bad-field",
+    ),
+    pytest.param({"kind": "sweep"}, "axes", id="sweep-no-axes"),
+    pytest.param({"kind": "sweep", "axes": [["g"]]}, "pair", id="sweep-bad-axis"),
+    pytest.param(
+        {"kind": "sweep", "axes": [["stripe_size", []]]},
+        "non-empty",
+        id="sweep-empty-values",
+    ),
+    pytest.param(
+        {"kind": "sweep", "axes": [["stripe_size", [4]], ["stripe_size", [5]]]},
+        "twice",
+        id="sweep-duplicate-axis",
+    ),
+    pytest.param(
+        {
+            "kind": "sweep",
+            "axes": [["stripe_size", [4]]],
+            "base": {"stripe_size": 5},
+        },
+        "both an axis and a base field",
+        id="sweep-axis-base-overlap",
+    ),
+    pytest.param({"kind": "campaign", "scale": "galactic"}, "scale", id="campaign-bad-scale"),
+    pytest.param(
+        {"kind": "campaign", "stripe_sizes": []}, "stripe_sizes", id="campaign-empty-sizes"
+    ),
+    pytest.param(
+        {"kind": "campaign", "trials": 0}, "trials", id="campaign-zero-trials"
+    ),
+    pytest.param(
+        {"kind": "campaign", "seed": "yes"}, "seed", id="campaign-bad-seed"
+    ),
+    pytest.param(
+        {"kind": "campaign", "mission_hours": -1}, "mission_hours",
+        id="campaign-bad-mission",
+    ),
+]
+
+
+@pytest.mark.parametrize("raw, needle", MALFORMED)
+def test_malformed_specs_raise_spec_error(raw, needle):
+    with pytest.raises(SpecError, match=needle):
+        parse_spec(raw)
+
+
+def test_spec_error_messages_are_human_readable():
+    with pytest.raises(SpecError) as info:
+        parse_spec({"kind": "scenario", "config": {"stripe_size": "four"}})
+    assert "scenario config" in str(info.value)

@@ -1,0 +1,128 @@
+"""Regression tests: cache writes are atomic under concurrent readers.
+
+Service shards and parallel CLI sweeps share one cache directory; a
+reader racing a writer must see either a miss or a complete entry,
+never torn JSON. The interleaved writer/reader test hammers one entry
+from a writer thread while a reader thread polls it; the atomicio unit
+tests pin down the temp-file + ``os.replace`` mechanics the cache (and
+the whole service substrate) relies on.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.atomicio import atomic_write_json, read_json
+from repro.experiments.runner import ScenarioConfig
+from repro.sweep import ResultCache, result_to_dict
+
+from tests.sweep.conftest import fake_result, micro_spec_base
+
+
+def micro_config(stripe_size=4):
+    return ScenarioConfig(**micro_spec_base(stripe_size=stripe_size))
+
+
+class TestAtomicWriteJson:
+    def test_writes_parseable_json_and_creates_parents(self, tmp_path):
+        path = tmp_path / "a" / "b" / "doc.json"
+        atomic_write_json(path, {"x": 1})
+        assert json.loads(path.read_text(encoding="utf-8")) == {"x": 1}
+
+    def test_replaces_existing_file(self, tmp_path):
+        path = tmp_path / "doc.json"
+        atomic_write_json(path, {"version": 1})
+        atomic_write_json(path, {"version": 2})
+        assert read_json(path) == {"version": 2}
+
+    def test_leaves_no_temp_files_behind(self, tmp_path):
+        path = tmp_path / "doc.json"
+        atomic_write_json(path, {"x": 1})
+        assert [p.name for p in tmp_path.iterdir()] == ["doc.json"]
+
+    def test_failed_write_keeps_the_old_document(self, tmp_path):
+        path = tmp_path / "doc.json"
+        atomic_write_json(path, {"x": 1})
+        with pytest.raises(TypeError):
+            atomic_write_json(path, {"x": object()})  # not JSON-safe
+        assert read_json(path) == {"x": 1}
+        assert [p.name for p in tmp_path.iterdir()] == ["doc.json"]
+
+    def test_read_json_returns_none_on_missing_or_corrupt(self, tmp_path):
+        assert read_json(tmp_path / "absent.json") is None
+        broken = tmp_path / "broken.json"
+        broken.write_text('{"truncated": ', encoding="utf-8")
+        assert read_json(broken) is None
+
+
+class TestInterleavedWriterReader:
+    def test_reader_never_sees_a_torn_entry(self, tmp_path):
+        """Writer rewrites one entry in a loop; reader polls it.
+
+        Every read must be a miss (before the first write lands) or a
+        complete, internally-consistent document. A non-atomic writer
+        (truncate + write in place) fails this test immediately.
+        """
+        config = micro_config()
+        writer_cache = ResultCache(tmp_path)
+        reader_cache = ResultCache(tmp_path)
+        document = result_to_dict(fake_result(config))
+        stop = threading.Event()
+        torn = []
+
+        def writer():
+            while not stop.is_set():
+                writer_cache.put_dict(config, document)
+
+        def reader():
+            while not stop.is_set():
+                seen = reader_cache.get_dict(config)
+                if seen is not None and seen != document:
+                    torn.append(seen)
+                    return
+
+        threads = [threading.Thread(target=writer), threading.Thread(target=reader)]
+        for thread in threads:
+            thread.start()
+        # get_dict maps torn JSON to a miss internally; read the raw
+        # file too so a torn write cannot hide behind that tolerance.
+        path = writer_cache.path_for(config)
+        for _ in range(500):
+            try:
+                text = path.read_text(encoding="utf-8")
+            except OSError:
+                continue
+            try:
+                json.loads(text)
+            except ValueError:
+                torn.append(text)
+                break
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert not torn
+        assert reader_cache.get_dict(config) == document
+
+    def test_concurrent_writers_to_distinct_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        configs = [micro_config(stripe_size=g) for g in (4, 5, 6, 7)]
+        documents = {
+            config.stripe_size: result_to_dict(fake_result(config))
+            for config in configs
+        }
+
+        def write_many(config):
+            for _ in range(50):
+                cache.put_dict(config, documents[config.stripe_size])
+
+        threads = [
+            threading.Thread(target=write_many, args=(config,))
+            for config in configs
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        for config in configs:
+            assert cache.get_dict(config) == documents[config.stripe_size]
