@@ -14,6 +14,18 @@ disk access the paper's driver would issue:
 - ``reconstruct-write`` (user-writes algorithms: data sent to the
   replacement, parity rebuilt from surviving peers)
 - ``data-only-write`` (parity lost and not yet rebuilt)
+
+Dual-syndrome (P+Q) layouts add their own labels:
+
+- ``double-degraded-read`` (two stripe units dead; GF(2^64) decode)
+- ``pq-rmw-write`` (6-access healthy update: pre-read and rewrite
+  data, P, and Q)
+- ``pq-degraded-write`` / ``pq-fold-write`` / ``pq-reconstruct-write``
+  (a check or the target is dead: decode survivors, rewrite what
+  lives)
+
+Single-syndrome arrays run the exact historical code paths — the dual
+dispatch is a single branch on ``layout.num_syndromes``.
 """
 
 from __future__ import annotations
@@ -21,6 +33,7 @@ from __future__ import annotations
 import typing
 from dataclasses import dataclass, field
 
+from repro.array import syndromes as gf
 from repro.array.addressing import ArrayAddressing
 from repro.array.datastore import DataStore
 from repro.array.faults import ArrayFaults
@@ -42,7 +55,7 @@ from repro.faults.log import (
 from repro.faults.profile import FaultProfile
 from repro.faults.retry import RetryPolicy
 from repro.faults.state import ERROR_TIMEOUT, DiskFaultState
-from repro.layout.base import UnitAddress
+from repro.layout.base import PARITY_ROLE, UnitAddress
 from repro.metrics.registry import MetricsRegistry
 from repro.recon.algorithms import BASELINE, ReconAlgorithm
 from repro.recon.status import ReconStatus
@@ -112,12 +125,19 @@ class ArrayController:
         ]
         for disk in self.disks:
             self._instrument_disk(disk)
-        self.faults = ArrayFaults(self.layout.num_disks)
+        self.faults = ArrayFaults(
+            self.layout.num_disks, tolerance=self.layout.num_syndromes
+        )
         self.locks = StripeLockTable(env)
         self.datastore: typing.Optional[DataStore] = (
             DataStore(addressing) if with_datastore else None
         )
+        #: The earliest active failure's rebuild state (historical
+        #: single-failure API); per-disk states live in
+        #: :attr:`recon_statuses` so dual-syndrome arrays can run two
+        #: rebuilds at once.
         self.recon_status: typing.Optional[ReconStatus] = None
+        self.recon_statuses: typing.Dict[int, ReconStatus] = {}
         self.stats = ControllerStats()
         # Fault injection is strictly opt-in: with no profile, every
         # access takes the exact legacy path (no extra RNG draws, no
@@ -180,7 +200,7 @@ class ArrayController:
         doubly-exposed stripes take the accounted ``data-loss`` path
         instead of crashing the simulation.
         """
-        if not self.faults.fault_free and self._fault_enabled:
+        if not self.faults.can_absorb and self._fault_enabled:
             event = self.faults.fail(disk, allow_data_loss=True)
             event.at_ms = self.env.now
             if self.datastore is not None:
@@ -205,39 +225,59 @@ class ArrayController:
             self.fault_log.record(DISK_FAILURE, self.env.now, disk=disk)
         if self.datastore is not None:
             self.datastore.poison_disk(disk)
-        self.recon_status = None
+        self.recon_statuses.pop(disk, None)
+        self._sync_recon_status()
 
-    def install_replacement(self) -> ReconStatus:
-        """Install a blank replacement in the failed slot.
+    def _sync_recon_status(self) -> None:
+        """Point the historical ``recon_status`` at the earliest failure."""
+        primary = self.faults.failed_disk
+        self.recon_status = (
+            self.recon_statuses.get(primary) if primary is not None else None
+        )
 
-        Returns the :class:`ReconStatus` a reconstructor will drive.
+    def install_replacement(self, disk: typing.Optional[int] = None) -> ReconStatus:
+        """Install a blank replacement in a failed slot.
+
+        ``disk`` defaults to the earliest active failure (the historical
+        single-failure contract). Returns the :class:`ReconStatus` a
+        reconstructor will drive; dual-syndrome arrays may have one per
+        concurrently-failed disk in :attr:`recon_statuses`.
         """
-        self.faults.install_replacement()
-        failed = self.faults.failed_disk
-        self.disks[failed] = self._disk_factory(
-            self.env, self.spec, disk_id=failed, policy=self.policy
+        if disk is None:
+            disk = self.faults.failed_disk
+        self.faults.install_replacement(disk)
+        self.disks[disk] = self._disk_factory(
+            self.env, self.spec, disk_id=disk, policy=self.policy
         )
         if self._fault_enabled:
             # A replacement is a new spindle: fresh latent/error state,
             # drawing from the same per-slot RNG stream.
-            self._attach_fault_state(self.disks[failed])
+            self._attach_fault_state(self.disks[disk])
         if self.datastore is not None:
-            self.datastore.clear_disk(failed)
-        self._instrument_disk(self.disks[failed])
-        self.recon_status = ReconStatus(
+            self.datastore.clear_disk(disk)
+        self._instrument_disk(self.disks[disk])
+        status = ReconStatus(
             self.env, total_units=self.addressing.mapped_units_per_disk
         )
         if self.metrics is not None:
-            self.recon_status.progress = self.metrics.start_recon_progress(
-                self.recon_status.total_units
-            )
-        return self.recon_status
+            status.progress = self.metrics.start_recon_progress(status.total_units)
+        self.recon_statuses[disk] = status
+        self._sync_recon_status()
+        return status
 
-    def finish_repair(self) -> None:
-        """Return to fault-free operation once every unit is rebuilt."""
-        if self.recon_status is None or not self.recon_status.all_built:
+    def finish_repair(self, disk: typing.Optional[int] = None) -> None:
+        """Return a rebuilt slot to fault-free operation."""
+        if disk is None:
+            disk = self.faults.failed_disk
+        status = self.recon_statuses.get(disk) if disk is not None else None
+        if status is None or not status.all_built:
             raise RuntimeError("finish_repair before reconstruction completed")
-        self.faults.repair_complete()
+        self.faults.repair_complete(disk)
+        self.recon_statuses.pop(disk)
+        # Historical contract: after the last repair the finished status
+        # stays readable; while another rebuild is active, track it.
+        if self.faults.failed_disk is not None:
+            self._sync_recon_status()
 
     # ------------------------------------------------------------------
     # Submission
@@ -337,33 +377,38 @@ class ArrayController:
         """True if no unit of the stripe lives on a failed, unbuilt slot."""
         if self.faults.fault_free:
             return True
-        failed = self.faults.failed_disk
+        failed = self.faults.failed_disks
         lost = self.faults.lost_disks
         for address in self.layout.stripe_units(stripe):
             if address.disk in lost:
                 return False
-            if address.disk == failed and not self._unit_built(address.offset):
+            if address.disk in failed and not self._unit_built_on(
+                address.disk, address.offset
+            ):
                 return False
         return True
 
     def _stripe_data_lost(self, stripe: int) -> bool:
-        """True if two or more of the stripe's units are unreadable.
+        """True if more units are unreadable than the layout has syndromes.
 
-        One unreadable unit is the tolerated fault (XOR recovers it);
-        two mean this stripe's data is gone. Only possible once a
-        multi-failure has populated ``faults.lost_disks``.
+        Up to ``num_syndromes`` unreadable units are the tolerated
+        faults (the checks recover them); one more means this stripe's
+        data is gone. Only possible once a multi-failure has populated
+        ``faults.lost_disks``.
         """
         lost = self.faults.lost_disks
         if not lost:
             return False
-        failed = self.faults.failed_disk
+        failed = self.faults.failed_disks
         unreadable = 0
         for address in self.layout.stripe_units(stripe):
             if address.disk in lost:
                 unreadable += 1
-            elif address.disk == failed and not self._unit_built(address.offset):
+            elif address.disk in failed and not self._unit_built_on(
+                address.disk, address.offset
+            ):
                 unreadable += 1
-        return unreadable >= 2
+        return unreadable > self.layout.num_syndromes
 
     def _record_data_loss_access(self, request: UserRequest, logical: int,
                                  stripe: int) -> None:
@@ -394,6 +439,29 @@ class ArrayController:
             return True
         return self.recon_status.all_built
 
+    def _unit_built_on(self, disk: int, offset: int) -> bool:
+        """Per-disk :meth:`_unit_built` for multi-failure layouts."""
+        status = self.recon_statuses.get(disk)
+        return status is not None and status.is_built(offset)
+
+    def _unit_live_on(self, disk: int, offset: int) -> bool:
+        """Per-disk :meth:`_unit_live` for multi-failure layouts."""
+        status = self.recon_statuses.get(disk)
+        if status is None or not status.is_built(offset):
+            return False
+        if not self.algorithm.isolate_replacement:
+            return True
+        return status.all_built
+
+    def _address_dead(self, address: UnitAddress) -> bool:
+        """True if this unit cannot currently be read or written."""
+        faults = self.faults
+        if address.disk in faults.lost_disks:
+            return True
+        if address.disk in faults.failed_disks:
+            return not self._unit_live_on(address.disk, address.offset)
+        return False
+
 
     # ------------------------------------------------------------------
     # Disk access helpers
@@ -409,10 +477,11 @@ class ArrayController:
         because parity arithmetic uses values sampled before the
         failure.
         """
-        failed = self.faults.failed_disk
-        if (
-            address.disk == failed and not self.faults.replacement_installed
-        ) or address.disk in self.faults.lost_disks:
+        faults = self.faults
+        if address.disk in faults.lost_disks or (
+            address.disk in faults.failed_disks
+            and not faults.replacement_installed_on(address.disk)
+        ):
             self.stats.straddled_accesses += 1
         sector = self.addressing.unit_to_sector(address)
         if self._fault_enabled:
@@ -485,7 +554,7 @@ class ArrayController:
         if state.hard_errors < self.fault_profile.escalation_threshold:
             return
         faults = self.faults
-        if disk_id == faults.failed_disk or disk_id in faults.lost_disks:
+        if disk_id in faults.failed_disks or disk_id in faults.lost_disks:
             return  # already dead; nothing further to escalate
         self.fault_log.record(
             ESCALATION,
@@ -530,6 +599,9 @@ class ArrayController:
     # Read paths
     # ------------------------------------------------------------------
     def _read_unit(self, request: UserRequest, unit_index: int):
+        if self.layout.num_syndromes == 2:
+            yield from self._read_unit_dual(request, unit_index)
+            return
         logical = request.logical_unit + unit_index
         address = self.addressing.logical_unit_address(logical)
         failed = self.faults.failed_disk
@@ -618,11 +690,14 @@ class ArrayController:
             if not handoff:
                 self.locks.release(stripe)
 
-    def _piggyback_write(self, stripe: int, address: UnitAddress, value: int):
+    def _piggyback_write(self, stripe: int, address: UnitAddress, value: int,
+                         status: typing.Optional[ReconStatus] = None):
+        if status is None:
+            status = self.recon_status
         try:
             yield self._disk_access(address, is_write=True)
             self._ds_write(address, value)
-            self.recon_status.mark_built(address.offset)
+            status.mark_built(address.offset)
         finally:
             self.locks.release(stripe)
 
@@ -636,6 +711,9 @@ class ArrayController:
         latent extent). If a peer is dead or unreadable too, the stripe
         is doubly exposed and the read is accounted as data loss.
         """
+        if self.layout.num_syndromes == 2:
+            yield from self._repair_read_dual(request, unit_index, logical, target)
+            return
         stripe = self.layout.stripe_of_logical(logical)
         yield self.locks.acquire(stripe)
         try:
@@ -676,6 +754,9 @@ class ArrayController:
     # Write paths
     # ------------------------------------------------------------------
     def _write_unit(self, request: UserRequest, logical: int, value: int):
+        if self.layout.num_syndromes == 2:
+            yield from self._write_unit_dual(request, logical, value)
+            return
         address = self.addressing.logical_unit_address(logical)
         stripe = self.layout.stripe_of_logical(logical)
         parity = self.layout.parity_unit(stripe)
@@ -851,8 +932,311 @@ class ArrayController:
             parity = self.layout.parity_unit(stripe)
             accesses.append(self._disk_access(parity, is_write=True))
             self._ds_write(parity, self._xor(values))
+            if self.layout.num_syndromes == 2:
+                q_addr = self.layout.q_unit(stripe)
+                accesses.append(self._disk_access(q_addr, is_write=True))
+                self._ds_write(q_addr, gf.q_of(values))
             yield self.env.all_of(accesses)
         finally:
             self.locks.release(stripe)
         request.paths.append("large-write")
         self.stats.record_path("large-write")
+
+    # ------------------------------------------------------------------
+    # Dual-syndrome (P+Q) paths
+    # ------------------------------------------------------------------
+    def _dual_stripe_decode(self, stripe: int,
+                            treat_dead: typing.Tuple[UnitAddress, ...] = (),
+                            kind: str = KIND_USER,
+                            repair_errored: bool = False):
+        """Read every readable unit of a dual stripe and decode its data.
+
+        Generator run under the stripe lock. Units on dead slots — plus
+        any in ``treat_dead`` (e.g. a unit that just returned a media
+        error) — become erasures; units whose read errors mid-decode
+        join them. Returns ``(data_values, erasures, ok)`` where ``ok``
+        is False once more than two units are unreadable.
+
+        With ``repair_errored`` (the reconstruction sweep), units that
+        errored on read — latent sectors, not dead slots — are
+        rewritten in place from the decode before returning: a stale
+        latent sector would otherwise be re-hit by every subsequent
+        sweep, each hit counting toward the disk's escalation
+        threshold until a healthy disk is declared failed mid-repair.
+
+        Data values are sampled from the datastore *before* the disk
+        accesses are issued, mirroring the single-syndrome paths: a
+        failure landing mid-decode cannot leak poison into the
+        arithmetic.
+        """
+        layout = self.layout
+        data_addrs = [
+            layout.data_unit(stripe, j)
+            for j in range(layout.data_units_per_stripe)
+        ]
+        p_addr = layout.parity_unit(stripe)
+        q_addr = layout.q_unit(stripe)
+        all_addrs = data_addrs + [p_addr, q_addr]
+        dead = set(treat_dead)
+        readable = [
+            a for a in all_addrs if a not in dead and not self._address_dead(a)
+        ]
+        values = {a: self._ds_read(a) for a in readable}
+        events = [
+            self._disk_access(a, is_write=False, kind=kind) for a in readable
+        ]
+        if events:
+            yield self.env.all_of(events)
+        errored: typing.List[UnitAddress] = []
+        if self._fault_enabled:
+            for a, event in zip(readable, events):
+                if event.value.error is not None:
+                    dead.add(a)
+                    errored.append(a)
+
+        def value_of(a: UnitAddress) -> typing.Optional[int]:
+            if a in dead or a not in values:
+                return None
+            return values[a]
+
+        data = [value_of(a) for a in data_addrs]
+        p = value_of(p_addr)
+        q = value_of(q_addr)
+        erasures = sum(v is None for v in data) + (p is None) + (q is None)
+        try:
+            decoded = gf.recover_stripe_data(data, p, q)
+        except ValueError:
+            return [], erasures, False
+        if repair_errored and errored:
+            # Rewriting remaps the latent sector; skip any slot a
+            # mid-decode failure just killed.
+            targets = [a for a in errored if not self._address_dead(a)]
+            if targets:
+                yield self.env.all_of(
+                    [self._disk_access(a, is_write=True, kind=kind)
+                     for a in targets]
+                )
+                for a in targets:
+                    self._ds_write(a, self._dual_unit_value(decoded, a))
+                    if self.fault_log is not None:
+                        self.fault_log.record(
+                            FOREGROUND_REPAIR, self.env.now,
+                            disk=a.disk, offset=a.offset,
+                            detail="rebuilt by recon sweep decode",
+                        )
+        return decoded, erasures, True
+
+    def _dual_unit_value(self, decoded: typing.List[int], address: UnitAddress) -> int:
+        """The decoded content of ``address`` (data, P, or Q role)."""
+        role = self.layout.stripe_of(address.disk, address.offset)[1]
+        if role >= 0:
+            return decoded[role]
+        if role == PARITY_ROLE:
+            return gf.p_of(decoded)
+        return gf.q_of(decoded)
+
+    def _read_unit_dual(self, request: UserRequest, unit_index: int):
+        """Read one unit of a P+Q stripe, decoding through up to two
+        dead slots."""
+        logical = request.logical_unit + unit_index
+        address = self.addressing.logical_unit_address(logical)
+        stripe = self.layout.stripe_of_logical(logical)
+        faults = self.faults
+        if faults.lost_disks and self._stripe_data_lost(stripe):
+            self._record_data_loss_access(request, logical, stripe)
+            return
+        if address.disk not in faults.failed_disks and address.disk not in faults.lost_disks:
+            outcome = yield self._disk_access(address, is_write=False)
+            if self._fault_enabled and outcome.error is not None:
+                yield from self._repair_read(request, unit_index, logical, address)
+                return
+            request.read_values[unit_index] = self._ds_read(address)
+            request.paths.append("read")
+            self.stats.record_path("read")
+            return
+        if (
+            address.disk in faults.failed_disks
+            and self.algorithm.redirect_reads
+            and self._unit_built_on(address.disk, address.offset)
+        ):
+            yield self._disk_access(address, is_write=False)
+            request.read_values[unit_index] = self._ds_read(address)
+            request.paths.append("redirected-read")
+            self.stats.record_path("redirected-read")
+            return
+        # Degraded read: decode the target from the surviving units.
+        handoff = False
+        yield self.locks.acquire(stripe)
+        try:
+            decoded, erasures, ok = yield from self._dual_stripe_decode(stripe)
+            if not ok:
+                self._record_data_loss_access(request, logical, stripe)
+                return
+            value = self._dual_unit_value(decoded, address)
+            request.read_values[unit_index] = value
+            path = "double-degraded-read" if erasures >= 2 else "on-the-fly-read"
+            request.paths.append(path)
+            self.stats.record_path(path)
+            status = self.recon_statuses.get(address.disk)
+            if (
+                self.algorithm.piggyback
+                and status is not None
+                and not status.is_built(address.offset)
+                and not status.is_claimed(address.offset)
+            ):
+                # Lock ownership transfers to the piggyback process,
+                # exactly as on the single-syndrome path.
+                self.stats.piggyback_writes += 1
+                self.env.process(
+                    self._piggyback_write(stripe, address, value, status),
+                    name="piggyback",
+                )
+                handoff = True
+        finally:
+            if not handoff:
+                self.locks.release(stripe)
+
+    def _repair_read_dual(self, request: UserRequest, unit_index: int,
+                          logical: int, target: UnitAddress):
+        """Foreground repair on a P+Q stripe: decode the latent unit
+        from the surviving units and write it back in place."""
+        stripe = self.layout.stripe_of_logical(logical)
+        yield self.locks.acquire(stripe)
+        try:
+            decoded, _erasures, ok = yield from self._dual_stripe_decode(
+                stripe, treat_dead=(target,)
+            )
+            if not ok:
+                self._record_data_loss_access(request, logical, stripe)
+                return
+            value = self._dual_unit_value(decoded, target)
+            yield self._disk_access(target, is_write=True)
+            self._ds_write(target, value)
+        finally:
+            self.locks.release(stripe)
+        request.read_values[unit_index] = value
+        request.paths.append("repaired-read")
+        self.stats.record_path("repaired-read")
+        self.fault_log.record(
+            FOREGROUND_REPAIR,
+            self.env.now,
+            disk=target.disk,
+            offset=target.offset,
+            detail=f"logical unit {logical}",
+        )
+
+    def _write_unit_dual(self, request: UserRequest, logical: int, value: int):
+        """Update one unit of a P+Q stripe plus both its checks."""
+        address = self.addressing.logical_unit_address(logical)
+        stripe = self.layout.stripe_of_logical(logical)
+        if self.faults.lost_disks and self._stripe_data_lost(stripe):
+            self._record_data_loss_access(request, logical, stripe)
+            return
+        p_addr = self.layout.parity_unit(stripe)
+        q_addr = self.layout.q_unit(stripe)
+        path = None
+        yield self.locks.acquire(stripe)
+        try:
+            target_dead = self._address_dead(address)
+            p_dead = self._address_dead(p_addr)
+            q_dead = self._address_dead(q_addr)
+            if not (target_dead or p_dead or q_dead):
+                path = yield from self._pq_read_modify_write(
+                    address, p_addr, q_addr, value
+                )
+            else:
+                decoded, _erasures, ok = yield from self._dual_stripe_decode(stripe)
+                if not ok:
+                    self._record_data_loss_access(request, logical, stripe)
+                else:
+                    path = yield from self._pq_apply_degraded_write(
+                        address, p_addr, q_addr, decoded, value,
+                        target_dead, p_dead, q_dead,
+                    )
+        finally:
+            self.locks.release(stripe)
+        if path is not None:
+            request.paths.append(path)
+            self.stats.record_path(path)
+
+    def _pq_read_modify_write(self, address: UnitAddress, p_addr: UnitAddress,
+                              q_addr: UnitAddress, value: int):
+        """The 6-access P+Q update: pre-read then rewrite data, P, Q."""
+        role = self.layout.stripe_of(address.disk, address.offset)[1]
+        old_data = self._ds_read(address)
+        old_p = self._ds_read(p_addr)
+        old_q = self._ds_read(q_addr)
+        yield self.env.all_of(
+            [
+                self._disk_access(address, is_write=False),
+                self._disk_access(p_addr, is_write=False),
+                self._disk_access(q_addr, is_write=False),
+            ]
+        )
+        new_p = old_p ^ old_data ^ value
+        new_q = gf.q_update(old_q, role, old_data, value)
+        yield self.env.all_of(
+            [
+                self._disk_access(address, is_write=True),
+                self._disk_access(p_addr, is_write=True),
+                self._disk_access(q_addr, is_write=True),
+            ]
+        )
+        self._ds_write(address, value)
+        self._ds_write(p_addr, new_p)
+        self._ds_write(q_addr, new_q)
+        return "pq-rmw-write"
+
+    def _pq_apply_degraded_write(self, address: UnitAddress, p_addr: UnitAddress,
+                                 q_addr: UnitAddress, decoded: typing.List[int],
+                                 value: int, target_dead: bool, p_dead: bool,
+                                 q_dead: bool):
+        """Finish a degraded P+Q write from the decoded stripe image.
+
+        Live units (target or checks) are rewritten with fresh contents;
+        dead ones are folded into the survivors — their rebuilt image
+        goes stale, so any rebuild in progress has the unit dirtied
+        *before* the writes land, exactly like the single-syndrome fold.
+        """
+        role = self.layout.stripe_of(address.disk, address.offset)[1]
+        new_data = list(decoded)
+        new_data[role] = value
+        new_p = gf.p_of(new_data)
+        new_q = gf.q_of(new_data)
+        writes: typing.List[typing.Tuple[UnitAddress, int]] = []
+        built_target = False
+        if not target_dead:
+            writes.append((address, value))
+            path = "pq-degraded-write"
+        else:
+            status = self.recon_statuses.get(address.disk)
+            if (
+                address.disk in self.faults.failed_disks
+                and self.faults.replacement_installed_on(address.disk)
+                and self.algorithm.writes_to_replacement
+            ):
+                writes.append((address, value))
+                built_target = True
+                path = "pq-reconstruct-write"
+            else:
+                if status is not None:
+                    status.mark_dirty(address.offset)
+                path = "pq-fold-write"
+        for check_addr, check_value, check_dead in (
+            (p_addr, new_p, p_dead),
+            (q_addr, new_q, q_dead),
+        ):
+            if not check_dead:
+                writes.append((check_addr, check_value))
+            else:
+                status = self.recon_statuses.get(check_addr.disk)
+                if status is not None:
+                    status.mark_dirty(check_addr.offset)
+        yield self.env.all_of(
+            [self._disk_access(a, is_write=True) for a, _v in writes]
+        )
+        for write_addr, write_value in writes:
+            self._ds_write(write_addr, write_value)
+        if built_target:
+            self.recon_statuses[address.disk].mark_built(address.offset)
+        return path

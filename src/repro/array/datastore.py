@@ -1,10 +1,12 @@
 """In-memory unit contents for end-to-end data-integrity checking.
 
 Each stripe unit carries a 64-bit word; parity units hold the XOR of
-their stripe's data words. The simulator's timing never depends on this
-store — it exists so tests can verify that the layout, the striping
-driver's parity arithmetic, and the reconstruction engine together
-recover a failed disk bit-exactly. Large performance runs disable it.
+their stripe's data words, and (in dual-syndrome layouts) Q units hold
+the GF(2^64) syndrome of :mod:`repro.array.syndromes`. The simulator's
+timing never depends on this store — it exists so tests can verify
+that the layout, the striping driver's syndrome arithmetic, and the
+reconstruction engine together recover failed disks bit-exactly.
+Large performance runs disable it.
 
 A failed disk's contents are overwritten with a poison pattern the
 moment it fails: any code path that wrongly reads a failed disk
@@ -17,8 +19,8 @@ import typing
 
 import numpy as np
 
+from repro.array import syndromes as gf
 from repro.array.addressing import ArrayAddressing
-from repro.layout.base import PARITY_ROLE
 
 #: Value planted on failed disks to catch reads-after-failure.
 POISON = np.uint64(0xDEADBEEFDEADBEEF)
@@ -45,13 +47,13 @@ class DataStore:
         for disk in range(layout.num_disks):
             for offset in range(self.addressing.mapped_units_per_disk):
                 _stripe, role = layout.stripe_of(disk, offset)
-                if role != PARITY_ROLE:
+                if role >= 0:
                     self._units[disk, offset] = np.uint64(
                         initial_data_pattern(disk, offset)
                     )
-        # Parity pass: XOR each stripe's data into its parity slot.
+        # Syndrome pass: fill each stripe's check slot(s) from its data.
         for stripe in range(self.addressing.num_stripes):
-            self.recompute_parity(stripe)
+            self.recompute_syndromes(stripe)
 
     # ------------------------------------------------------------------
     # Unit access
@@ -84,6 +86,10 @@ class DataStore:
         layout = self.addressing.layout
         return self.read_unit(*self._slot(layout.parity_unit(stripe)))
 
+    def q_value(self, stripe: int) -> int:
+        layout = self.addressing.layout
+        return self.read_unit(*self._slot(layout.q_unit(stripe)))
+
     def recompute_parity(self, stripe: int) -> None:
         """Set the stripe's parity slot to the XOR of its data slots."""
         parity = 0
@@ -92,12 +98,27 @@ class DataStore:
         address = self.addressing.layout.parity_unit(stripe)
         self.write_unit(address.disk, address.offset, parity)
 
+    def recompute_q(self, stripe: int) -> None:
+        """Set the stripe's Q slot to the GF(2^64) syndrome of its data."""
+        address = self.addressing.layout.q_unit(stripe)
+        self.write_unit(
+            address.disk, address.offset, gf.q_of(self.stripe_data_values(stripe))
+        )
+
+    def recompute_syndromes(self, stripe: int) -> None:
+        """Refresh every check unit of the stripe from its data units."""
+        self.recompute_parity(stripe)
+        if self.addressing.layout.num_syndromes == 2:
+            self.recompute_q(stripe)
+
     def stripe_is_consistent(self, stripe: int) -> bool:
-        """True if parity equals the XOR of the stripe's data units."""
-        parity = 0
-        for value in self.stripe_data_values(stripe):
-            parity ^= value
-        return parity == self.parity_value(stripe)
+        """True if every check unit matches the stripe's data units."""
+        data = self.stripe_data_values(stripe)
+        if gf.p_of(data) != self.parity_value(stripe):
+            return False
+        if self.addressing.layout.num_syndromes == 2:
+            return gf.q_of(data) == self.q_value(stripe)
+        return True
 
     @staticmethod
     def _slot(address) -> typing.Tuple[int, int]:

@@ -19,6 +19,7 @@ from __future__ import annotations
 import typing
 from dataclasses import dataclass, field
 
+from repro.array import syndromes as gf
 from repro.disk.drive import KIND_RECON
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -100,6 +101,7 @@ class ParityScrubber:
                 ]
                 yield env.all_of(unit_events)
                 self.report.stripes_checked += 1
+                num_syndromes = layout.num_syndromes
                 if controller._fault_enabled:
                     errored = [
                         index
@@ -107,36 +109,33 @@ class ParityScrubber:
                         if event.value.error is not None
                     ]
                     self.report.media_errors_found += len(errored)
-                    if self.repair and len(errored) == 1:
-                        # One unreadable unit: rebuild it by XOR over
-                        # the rest and rewrite it in place (the write
-                        # remaps the latent extent).
-                        bad = units[errored[0]]
-                        rebuilt = controller._xor(
-                            controller._ds_read(unit)
-                            for unit in units
-                            if unit != bad
+                    if self.repair and 1 <= len(errored) <= num_syndromes:
+                        # Unreadable unit(s) within the syndrome budget:
+                        # rebuild each from the rest and rewrite it in
+                        # place (the write remaps the latent extent).
+                        yield from self._repair_errored(
+                            stripe, [units[index] for index in errored]
                         )
-                        yield controller._disk_access(
-                            bad, is_write=True, kind=KIND_RECON
-                        )
-                        controller._ds_write(bad, rebuilt)
-                        self.report.media_repairs += 1
                 if controller.datastore is None:
                     continue
-                expected = controller._xor(
-                    controller._ds_read(unit) for unit in units[:-1]
-                )
-                parity_unit = units[-1]
-                if controller._ds_read(parity_unit) != expected:
-                    self.report.mismatches_found += 1
-                    self.report.mismatched_stripes.append(stripe)
+                data = [controller._ds_read(unit) for unit in units[:-num_syndromes]]
+                checks = [(units[-num_syndromes], gf.p_of(data))]
+                if num_syndromes == 2:
+                    checks.append((units[-1], gf.q_of(data)))
+                stripe_stale = False
+                for check_unit, expected in checks:
+                    if controller._ds_read(check_unit) == expected:
+                        continue
+                    stripe_stale = True
                     if self.repair:
                         yield controller._disk_access(
-                            parity_unit, is_write=True, kind=KIND_RECON
+                            check_unit, is_write=True, kind=KIND_RECON
                         )
-                        controller._ds_write(parity_unit, expected)
+                        controller._ds_write(check_unit, expected)
                         self.report.repairs_written += 1
+                if stripe_stale:
+                    self.report.mismatches_found += 1
+                    self.report.mismatched_stripes.append(stripe)
             finally:
                 controller.locks.release(stripe)
             if controller.metrics is not None:
@@ -147,3 +146,34 @@ class ParityScrubber:
                 yield env.timeout(self.cycle_delay_ms)
         self.report.duration_ms = env.now - start_ms
         done.succeed(self.report)
+
+    def _repair_errored(self, stripe: int, bad_units):
+        """Rebuild errored unit(s) from the stripe's readable units.
+
+        Single-syndrome stripes XOR the survivors; dual-syndrome
+        stripes decode through :mod:`repro.array.syndromes`. Runs under
+        the stripe lock the caller already holds.
+        """
+        controller = self.controller
+        layout = controller.layout
+        units = layout.stripe_units(stripe)
+        if layout.num_syndromes == 1:
+            bad = bad_units[0]
+            rebuilt = controller._xor(
+                controller._ds_read(unit) for unit in units if unit != bad
+            )
+            values = {bad: rebuilt}
+        else:
+            decoded, _erasures, ok = yield from controller._dual_stripe_decode(
+                stripe, treat_dead=tuple(bad_units), kind=KIND_RECON
+            )
+            if not ok:
+                return
+            values = {
+                bad: controller._dual_unit_value(decoded, bad)
+                for bad in bad_units
+            }
+        for bad, rebuilt in values.items():
+            yield controller._disk_access(bad, is_write=True, kind=KIND_RECON)
+            controller._ds_write(bad, rebuilt)
+            self.report.media_repairs += 1

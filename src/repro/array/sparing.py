@@ -14,6 +14,7 @@ from __future__ import annotations
 import typing
 from dataclasses import dataclass
 
+from repro.faults.log import SPARES_EXHAUSTED
 from repro.recon.algorithms import ReconAlgorithm
 from repro.recon.sweeper import Reconstructor
 
@@ -79,6 +80,11 @@ class SparePool:
         self.algorithm = algorithm
         self.cycle_delay_ms = cycle_delay_ms
         self.repairs: typing.List[RepairRecord] = []
+        #: Disks that failed while the shelf was empty. No repair was
+        #: (or ever will be) launched for them: the array serves them
+        #: degraded, via its syndromes, indefinitely. Restocking helps
+        #: only *future* failures.
+        self.degraded_disks: typing.List[int] = []
         #: Callback ``(RepairRecord) -> None`` invoked *synchronously*
         #: the instant a repair record lands in ``repairs`` — before
         #: the completion event fires. A FaultInjector installs its
@@ -89,25 +95,40 @@ class SparePool:
             typing.Callable[[RepairRecord], None]
         ] = None
 
+    @property
+    def exhausted(self) -> bool:
+        """True once a failure has arrived with an empty shelf."""
+        return bool(self.degraded_disks)
+
     def handle_failure(self, disk: int):
         """Fail ``disk`` and repair it from the pool.
 
         Returns an event firing with the :class:`RepairRecord` when the
-        repair completes.
+        repair completes. If no spares remain, no repair is launched:
+        the disk enters an explicit degraded-forever state (recorded in
+        :attr:`degraded_disks` and the fault log) and the array keeps
+        serving it through its syndromes; ``None`` is returned.
 
-        Raises
-        ------
-        RuntimeError
-            If no spares remain — the array is left degraded.
+        Dual-syndrome arrays may call this for a second failure while a
+        first repair is still sweeping — the two rebuilds proceed
+        concurrently, each on its own disk.
         """
         controller = self.controller
         env = controller.env
         controller.fail_disk(disk)
         if self.spares_remaining < 1:
-            raise RuntimeError(
-                f"disk {disk} failed with no spares remaining: array is "
-                "degraded until a spare is restocked"
-            )
+            self.degraded_disks.append(disk)
+            if controller.fault_log is not None:
+                controller.fault_log.record(
+                    SPARES_EXHAUSTED,
+                    env.now,
+                    disk=disk,
+                    detail=(
+                        "no spares remaining: disk stays degraded; "
+                        "restocking repairs only future failures"
+                    ),
+                )
+            return None
         self.spares_remaining -= 1
         done = env.event()
         env.process(self._repair(disk, env.now, done), name=f"spare-repair-{disk}")
@@ -124,7 +145,7 @@ class SparePool:
         env = controller.env
         if self.replacement_delay_ms > 0:
             yield env.timeout(self.replacement_delay_ms)
-        controller.install_replacement()
+        controller.install_replacement(disk)
         installed_at_ms = env.now
         if self.algorithm is not None:
             controller.algorithm = self.algorithm
@@ -132,6 +153,7 @@ class SparePool:
             controller,
             workers=self.recon_workers,
             cycle_delay_ms=self.cycle_delay_ms,
+            disk=disk,
         )
         yield reconstructor.start()
         record = RepairRecord(

@@ -119,6 +119,13 @@ def _campaign(scale: str, options: SweepOptions) -> RunResult:
     return rows, campaign.format_rows(rows)
 
 
+def _campaign_pq(scale: str, options: SweepOptions) -> RunResult:
+    from repro.experiments import campaign
+
+    rows = campaign.run(scale, options=options, syndromes=2)
+    return rows, campaign.format_rows(rows)
+
+
 def _saturation(scale: str, options: SweepOptions) -> RunResult:
     from repro.experiments import saturation
 
@@ -139,6 +146,10 @@ EXPERIMENTS: typing.Dict[str, typing.Tuple[str, RunnerFn]] = {
     "fig8-6": ("Muntz & Lui model vs simulation", _fig8_6),
     "reliability": ("derived MTTDL from measured repair times", _reliability),
     "campaign": ("Monte Carlo fault campaign: empirical vs Markov MTTDL", _campaign),
+    "campaign-pq": (
+        "dual-syndrome (P+Q) fault campaign: two-fault MTTDL",
+        _campaign_pq,
+    ),
     "saturation": ("response time vs offered load (capacity knee)", _saturation),
 }
 

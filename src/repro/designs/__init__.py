@@ -30,6 +30,12 @@ from repro.designs.families import (
 )
 from repro.designs.paper import paper_design, PAPER_DESIGN_ALPHAS
 from repro.designs.catalog import DesignCatalog, default_catalog
+from repro.designs.tdesigns import (
+    boolean_quadruple_system,
+    cyclic_pq_design,
+    is_t_balanced,
+    validate_t_design,
+)
 
 __all__ = [
     "BlockDesign",
@@ -37,13 +43,17 @@ __all__ = [
     "DesignError",
     "PAPER_DESIGN_ALPHAS",
     "affine_plane",
+    "boolean_quadruple_system",
     "complement_design",
     "complete_design",
     "cyclic_design",
+    "cyclic_pq_design",
     "default_catalog",
     "derived_design",
     "develop_base_blocks",
+    "is_t_balanced",
     "paper_design",
     "projective_plane",
     "quadratic_residue_design",
+    "validate_t_design",
 ]

@@ -1,0 +1,155 @@
+"""t-designs (t=3) and cyclic constructions for dual-syndrome layouts.
+
+A BIBD balances *pairs* of objects, which makes single-failure
+reconstruction load uniform (layout criterion 2). A dual-syndrome
+array must also balance the load after a *pair* of failures: the
+stripes touching both failed disks must spread their surviving units
+evenly over the remaining disks. That is exactly the guarantee of a
+``t = 3`` design ("Parity Declustering for Fault-Tolerant Storage
+Systems via t-designs"): every *triple* of objects co-occurs in the
+same number of tuples, so for any two failed disks the doubly-degraded
+stripes hit every survivor equally often.
+
+Two constructions are provided:
+
+- :func:`boolean_quadruple_system` — the Steiner quadruple system
+  ``SQS(2^m)``: all 4-subsets of ``GF(2)^m`` whose elements XOR to
+  zero form a 3-(2^m, 4, 1) design. Smallest useful case ``m = 3``:
+  14 tuples on 8 objects.
+- :func:`cyclic_pq_design` — the cyclic-group construction ("An
+  approach to RAID-6 based on cyclic groups of a prime order"): a
+  planar (Singer) difference set developed under ``Z_v`` yields a
+  ``lam = 1`` BIBD with O(1) arithmetic placement — tuple ``i`` is the
+  base block shifted by ``i mod v``. These are 2-designs (the P+Q
+  *code* supplies two-fault tolerance; the cyclic development supplies
+  the declustering), while :func:`boolean_quadruple_system` and
+  complete designs additionally balance pair-failure load.
+
+Complete designs are t-balanced for every ``t <= k``, so they remain
+the universal (if table-hungry) fallback.
+"""
+
+from __future__ import annotations
+
+import itertools
+import typing
+
+from repro.designs.design import BlockDesign, DesignError
+from repro.designs.difference import cyclic_design
+
+
+# ----------------------------------------------------------------------
+# t-subset balance checking
+# ----------------------------------------------------------------------
+def t_subset_counts(
+    design: BlockDesign, t: int
+) -> typing.Dict[typing.Tuple[int, ...], int]:
+    """How many tuples each ``t``-subset of objects co-occurs in."""
+    if not 1 <= t <= design.k:
+        raise DesignError(f"need 1 <= t <= k={design.k}, got t={t}")
+    counts: typing.Dict[typing.Tuple[int, ...], int] = {
+        subset: 0 for subset in itertools.combinations(range(design.v), t)
+    }
+    for tup in design.tuples:
+        for subset in itertools.combinations(sorted(tup), t):
+            counts[subset] += 1
+    return counts
+
+
+def t_lambda(design: BlockDesign, t: int) -> int:
+    """The constant ``lambda_t`` a t-balanced design must satisfy.
+
+    By double counting, ``lambda_t = b * C(k, t) / C(v, t)``.
+    """
+    numerator = design.b
+    for i in range(t):
+        numerator *= design.k - i
+    denominator = 1
+    for i in range(t):
+        denominator *= design.v - i
+    if numerator % denominator:
+        raise DesignError(
+            f"b*C(k,{t}) = {numerator} not divisible by C(v,{t})*{t}! terms: "
+            f"no integral lambda_{t} exists"
+        )
+    return numerator // denominator
+
+
+def validate_t_design(design: BlockDesign, t: int = 3) -> int:
+    """Check ``t``-subset balance; returns ``lambda_t`` or raises.
+
+    A ``t``-balanced design is automatically ``s``-balanced for every
+    ``s < t``, so ``validate_t_design(d, 3)`` subsumes BIBD pair
+    balance.
+    """
+    lam_t = t_lambda(design, t)
+    for subset, count in t_subset_counts(design, t).items():
+        if count != lam_t:
+            raise DesignError(
+                f"{t}-subset {subset} co-occurs in {count} tuples, "
+                f"expected lambda_{t} = {lam_t}"
+            )
+    return lam_t
+
+
+def is_t_balanced(design: BlockDesign, t: int = 3) -> bool:
+    """True when every ``t``-subset of objects co-occurs equally often."""
+    try:
+        validate_t_design(design, t)
+    except DesignError:
+        return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# Constructions
+# ----------------------------------------------------------------------
+def boolean_quadruple_system(m: int) -> BlockDesign:
+    """The Steiner quadruple system ``SQS(2^m)``: a 3-(2^m, 4, 1) design.
+
+    Objects are the vectors of ``GF(2)^m``; tuples are the 4-subsets
+    whose elements XOR to zero (affine planes of AG(m, 2)). Any three
+    distinct vectors determine the fourth uniquely, so every triple
+    lies in exactly one tuple. Needs ``m >= 3`` (``m = 2`` degenerates
+    to a single tuple of all four objects).
+    """
+    if m < 3:
+        raise DesignError(f"boolean quadruple system needs m >= 3, got {m}")
+    v = 1 << m
+    tuples = []
+    for a, b, c in itertools.combinations(range(v), 3):
+        d = a ^ b ^ c
+        if d > c:  # each 4-subset once, in sorted order
+            tuples.append((a, b, c, d))
+    return BlockDesign(v=v, tuples=tuple(tuples), name=f"sqs-{v}")
+
+
+#: Planar (Singer) difference sets mod ``v = k^2 - k + 1`` for the
+#: tuple sizes where one exists; developing under Z_v gives a lam = 1
+#: cyclic BIBD whose placement is pure modular arithmetic.
+PLANAR_DIFFERENCE_SETS: typing.Dict[int, typing.Tuple[int, typing.Tuple[int, ...]]] = {
+    3: (7, (0, 1, 3)),
+    4: (13, (0, 1, 3, 9)),
+    5: (21, (3, 6, 7, 12, 14)),
+    6: (31, (1, 5, 11, 24, 25, 27)),
+}
+
+
+def cyclic_pq_design(k: int) -> BlockDesign:
+    """The cyclic-group P+Q design for tuple size ``k``.
+
+    Develops the planar difference set for ``k`` under the cyclic group
+    ``Z_v`` (``v = k^2 - k + 1``): ``v`` tuples, each the base block
+    shifted by the tuple index — so stripe placement is O(1) modular
+    arithmetic. The result is a symmetric ``lam = 1`` BIBD with one
+    stripe through every disk pair, the declustered substrate for the
+    P+Q syndrome code.
+    """
+    entry = PLANAR_DIFFERENCE_SETS.get(k)
+    if entry is None:
+        raise DesignError(
+            f"no planar difference set for k={k}; "
+            f"available: {sorted(PLANAR_DIFFERENCE_SETS)}"
+        )
+    v, base = entry
+    return cyclic_design([base], modulus=v, name=f"cyclic-pq-{v}-{k}")

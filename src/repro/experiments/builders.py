@@ -4,8 +4,14 @@ from __future__ import annotations
 
 from repro.designs.catalog import default_catalog
 from repro.designs.design import BlockDesign
+from repro.designs.tdesigns import (
+    PLANAR_DIFFERENCE_SETS,
+    boolean_quadruple_system,
+    cyclic_pq_design,
+)
 from repro.layout.base import ParityLayout
 from repro.layout.declustered import DeclusteredLayout
+from repro.layout.dual import CyclicDualRaid6Layout, DualDeclusteredLayout
 from repro.layout.raid5 import LeftSymmetricRaid5Layout
 
 #: The paper's array width (Table 5-1(c)).
@@ -25,8 +31,37 @@ def design_for(num_disks: int, stripe_size: int) -> BlockDesign:
     return default_catalog().select(num_disks, stripe_size)
 
 
-def build_layout(num_disks: int, stripe_size: int) -> ParityLayout:
-    """A parity layout for ``G`` on ``C`` disks (RAID 5 when G == C)."""
+def dual_design_for(num_disks: int, stripe_size: int) -> BlockDesign:
+    """The block design backing a *dual-syndrome* layout for (C, G).
+
+    Prefers triple-balanced families (uniform rebuild load across
+    failed *pairs*): the boolean Steiner quadruple systems for G=4 on
+    power-of-two widths, then the cyclic planar-difference-set designs,
+    then whatever the shared catalog offers (correct placement, merely
+    without the pair-balance guarantee).
+    """
+    if stripe_size == 4 and num_disks >= 8 and num_disks & (num_disks - 1) == 0:
+        return boolean_quadruple_system(num_disks.bit_length() - 1)
+    if (
+        stripe_size in PLANAR_DIFFERENCE_SETS
+        and num_disks == stripe_size * (stripe_size - 1) + 1
+    ):
+        return cyclic_pq_design(stripe_size)
+    return design_for(num_disks, stripe_size)
+
+
+def build_layout(
+    num_disks: int, stripe_size: int, syndromes: int = 1
+) -> ParityLayout:
+    """A parity layout for ``G`` on ``C`` disks (RAID 5 when G == C).
+
+    ``syndromes=2`` selects the dual (P+Q) variants: the cyclic RAID-6
+    rotation when G == C, the block-design dual layout otherwise.
+    """
+    if syndromes == 2:
+        if stripe_size == num_disks:
+            return CyclicDualRaid6Layout(num_disks)
+        return DualDeclusteredLayout(dual_design_for(num_disks, stripe_size))
     if stripe_size == num_disks:
         return LeftSymmetricRaid5Layout(num_disks)
     return DeclusteredLayout(design_for(num_disks, stripe_size))

@@ -6,10 +6,13 @@ buy reliability. This experiment *measures* it: a
 :class:`~repro.faults.injector.FaultInjector` drives an accelerated
 life test — hours-scale disk MTTF, a spare pool repairing each failure
 — against arrays of varying declustering ratio, and each trial runs
-until a second concurrent failure loses data or the mission ends. The
-empirical MTTDL (censored exponential MLE: total observed time over
-observed losses) is then cross-checked against the Markov
-approximation fed with the campaign's own measured mean repair time.
+until a concurrent failure beyond the array's tolerance loses data or
+the mission ends (the second failure for single-parity arrays, the
+third for dual-syndrome P+Q ones). The empirical MTTDL (censored
+exponential MLE: total observed time over observed losses) is then
+cross-checked against the Markov approximation — the two-fault chain
+when ``syndromes=2`` — fed with the campaign's own measured mean
+repair time.
 
 Campaigns always run on a micro-sized array: failure/repair statistics
 need many repair cycles, not big disks, and per-access timing detail
@@ -32,6 +35,11 @@ from repro.faults.profile import MS_PER_HOUR, FaultProfile
 from repro.sweep import SweepOptions, SweepSpec, run_sweep
 
 CAMPAIGN_STRIPE_SIZES = (4, 6, 10, 21)
+
+#: Dual-syndrome (P+Q) campaign stripe sizes on C=21: G=5 is the cyclic
+#: planar-difference-set design (triple-balanced), G=21 the cyclic
+#: RAID-6 rotation, the rest catalog designs in the dual layout.
+CAMPAIGN_PQ_STRIPE_SIZES = (5, 6, 10, 21)
 
 #: Three cylinders ≈ a few hundred stripe units per disk: repairs take
 #: seconds of simulated time, so one mission observes dozens of them.
@@ -73,6 +81,7 @@ def campaign_spec(
     seed: int = 1992,
     trials: typing.Optional[int] = None,
     mission_hours: float = MISSION_HOURS,
+    syndromes: int = 1,
 ) -> SweepSpec:
     """The campaign's sweep grid: ``trials`` missions per stripe size.
 
@@ -96,6 +105,7 @@ def campaign_spec(
             spares=512,
             replacement_delay_ms=REPLACEMENT_DELAY_MS,
             mission_ms=mission_hours * MS_PER_HOUR,
+            syndromes=syndromes,
         ),
     )
 
@@ -111,6 +121,7 @@ def trial_summary(result) -> dict:
         "g": result.config.stripe_size,
         "alpha": result.config.alpha,
         "num_disks": result.config.num_disks,
+        "syndromes": result.config.syndromes,
         "data_lost": bool(result.fault_summary["data_lost"]),
         "simulated_ms": result.simulated_ms,
         "mean_repair_ms": result.fault_summary["mean_repair_ms"],
@@ -121,6 +132,7 @@ def rows_from_summaries(
     summaries: typing.Sequence[dict],
     trials: int,
     mission_hours: float = MISSION_HOURS,
+    disk_mttf_hours: float = DISK_MTTF_HOURS,
 ) -> typing.List[dict]:
     """Aggregate per-trial summaries (in grid order) into campaign rows."""
     rows = []
@@ -139,10 +151,12 @@ def rows_from_summaries(
         analytic_mttdl_h = None
         analytic_loss_p = None
         if mean_repair_ms is not None:
+            # Old checkpoints predate the syndromes key: single-fault.
             inputs = ReliabilityInputs(
                 num_disks=group[0]["num_disks"],
-                disk_mttf_hours=DISK_MTTF_HOURS,
+                disk_mttf_hours=disk_mttf_hours,
                 repair_hours=mean_repair_ms / MS_PER_HOUR,
+                fault_tolerance=group[0].get("syndromes", 1),
             )
             analytic_mttdl_h = mttdl_hours(inputs)
             analytic_loss_p = data_loss_probability(inputs, mission_hours)
@@ -150,6 +164,7 @@ def rows_from_summaries(
             {
                 "g": group[0]["g"],
                 "alpha": round(group[0]["alpha"], 3),
+                "syndromes": group[0].get("syndromes", 1),
                 "trials": trials,
                 "losses": losses,
                 "loss_fraction": round(losses / trials, 3),
@@ -184,13 +199,18 @@ def rows_from_summaries(
 
 def run(
     scale: str = "tiny",
-    stripe_sizes: typing.Sequence[int] = CAMPAIGN_STRIPE_SIZES,
+    stripe_sizes: typing.Optional[typing.Sequence[int]] = None,
     seed: int = 1992,
     trials: typing.Optional[int] = None,
     mission_hours: float = MISSION_HOURS,
     options: typing.Optional[SweepOptions] = None,
+    syndromes: int = 1,
 ) -> typing.List[dict]:
     """Run the campaign grid; one row per stripe size."""
+    if stripe_sizes is None:
+        stripe_sizes = (
+            CAMPAIGN_PQ_STRIPE_SIZES if syndromes == 2 else CAMPAIGN_STRIPE_SIZES
+        )
     trials = trials if trials is not None else TRIALS.get(scale, 3)
     spec = campaign_spec(
         scale,
@@ -198,6 +218,7 @@ def run(
         seed=seed,
         trials=trials,
         mission_hours=mission_hours,
+        syndromes=syndromes,
     )
     outcome = run_sweep(spec, options)
     summaries = [trial_summary(result) for result in outcome.results]
@@ -205,6 +226,7 @@ def run(
 
 
 def format_rows(rows: typing.Sequence[dict]) -> str:
+    dual = bool(rows) and rows[0].get("syndromes", 1) == 2
     return format_table(
         headers=[
             "alpha", "G", "trials", "losses", "repair (s)",
@@ -219,7 +241,9 @@ def format_rows(rows: typing.Sequence[dict]) -> str:
             for r in rows
         ],
         title=(
-            "Fault campaign: empirical vs Markov MTTDL "
+            ("P+Q fault campaign (two-fault Markov chain): "
+             if dual else "Fault campaign: ")
+            + "empirical vs Markov MTTDL "
             f"(C=21, accelerated disk MTTF {DISK_MTTF_HOURS:.0f} h, "
             f"{MISSION_HOURS:.0f} h missions, 8-way repair sweep)"
         ),

@@ -71,6 +71,9 @@ class ScenarioConfig:
     spares: int = 0
     replacement_delay_ms: float = 0.0
     mission_ms: typing.Optional[float] = None
+    #: Syndromes per parity stripe: 1 (the paper's single parity) or 2
+    #: (the dual P+Q extension tolerating two concurrent failures).
+    syndromes: int = 1
 
     def __post_init__(self):
         if self.mode not in MODES:
@@ -81,6 +84,13 @@ class ScenarioConfig:
             raise ValueError("campaign mode requires a fault_profile")
         if self.spares < 0:
             raise ValueError("spares cannot be negative")
+        if self.syndromes not in (1, 2):
+            raise ValueError(f"syndromes must be 1 or 2, got {self.syndromes}")
+        if self.stripe_size <= self.syndromes:
+            raise ValueError(
+                f"stripe size {self.stripe_size} leaves no data units with "
+                f"{self.syndromes} syndromes"
+            )
 
     @property
     def alpha(self) -> float:
@@ -170,7 +180,9 @@ def run_scenario(config: ScenarioConfig, collect_metrics: bool = True) -> Scenar
     """
     scale = config.scale_preset()
     env = Environment()
-    layout = build_layout(config.num_disks, config.stripe_size)
+    layout = build_layout(
+        config.num_disks, config.stripe_size, syndromes=config.syndromes
+    )
     addressing = ArrayAddressing(layout, scale.spec())
     disk_factory = ConstantRateDisk if config.constant_rate_disks else None
     metrics = (

@@ -112,19 +112,19 @@ class FaultInjector:
     def inject_disk_failure(self, disk: int) -> None:
         """Fail ``disk`` now, routing through the spare pool if possible."""
         faults = self.controller.faults
-        if disk == faults.failed_disk or disk in faults.lost_disks:
+        if disk in faults.failed_disks or disk in faults.lost_disks:
             return  # already dead; nothing new fails
         self.disk_failures += 1
-        if (
-            faults.fault_free
-            and self.monitor is not None
-            and self.monitor.spares_remaining > 0
-        ):
+        if faults.can_absorb and self.monitor is not None:
+            # Within the syndrome budget the pool owns the outcome: it
+            # launches a repair while spares remain (concurrently with
+            # any sweep already running, on dual-syndrome arrays) and
+            # models explicit degraded-forever exhaustion otherwise.
             self.monitor.handle_failure(disk)
         else:
-            # Either the first failure with no spare on the shelf, or a
-            # failure on an already-degraded array: the controller
-            # records it (gracefully, as data loss in the latter case).
+            # A failure beyond the redundancy (or with no monitor): the
+            # controller records it, gracefully as data loss when the
+            # budget is already spent.
             self.controller.fail_disk(disk)
         if faults.data_lost and not self.data_loss_event.triggered:
             self.data_loss_event.succeed(self.env.now)
@@ -148,7 +148,7 @@ class FaultInjector:
             lifetime = self.profile.draw_lifetime_ms(self._lifetime_rng)
             yield self.env.timeout(lifetime)
             faults = self.controller.faults
-            if disk == faults.failed_disk or disk in faults.lost_disks:
+            if disk in faults.failed_disks or disk in faults.lost_disks:
                 # The slot is already dead; this clock now times the
                 # replacement spindle's remaining life.
                 continue
@@ -166,7 +166,7 @@ class FaultInjector:
             disk = self._latent_rng.randrange(num_disks)
             offset = self._latent_rng.randrange(addressing.mapped_units_per_disk)
             faults = self.controller.faults
-            if disk == faults.failed_disk or disk in faults.lost_disks:
+            if disk in faults.failed_disks or disk in faults.lost_disks:
                 continue  # errors on a dead spindle are moot
             state = self.controller.disks[disk].fault_state
             if state is None:

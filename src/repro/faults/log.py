@@ -25,6 +25,7 @@ DATA_LOSS = "data-loss"                # a multi-failure lost data (terminal)
 DATA_LOSS_ACCESS = "data-loss-access"  # a user request touched lost data
 REBUILD_LOST = "rebuild-lost"          # reconstruction surrendered a stripe
 REPAIR_COMPLETE = "repair-complete"    # a spare-pool repair finished
+SPARES_EXHAUSTED = "spares-exhausted"  # failure with an empty spare pool: disk stays degraded
 
 
 @dataclass(frozen=True)

@@ -15,21 +15,30 @@ as lookup tables that tile down the disks, and both are scored by the
 executable layout criteria in :mod:`repro.layout.criteria`.
 """
 
-from repro.layout.base import PARITY_ROLE, LayoutError, ParityLayout, UnitAddress
+from repro.layout.base import PARITY_ROLE, Q_ROLE, LayoutError, ParityLayout, UnitAddress
 from repro.layout.declustered import DeclusteredLayout, build_full_table
+from repro.layout.dual import (
+    CyclicDualRaid6Layout,
+    DualDeclusteredLayout,
+    build_dual_full_table,
+)
 from repro.layout.raid5 import LeftSymmetricRaid5Layout
 from repro.layout.reddy import ReddyTwoGroupLayout
 from repro.layout.criteria import CriterionReport, evaluate_layout
 
 __all__ = [
     "CriterionReport",
+    "CyclicDualRaid6Layout",
     "DeclusteredLayout",
+    "DualDeclusteredLayout",
     "LayoutError",
     "LeftSymmetricRaid5Layout",
     "PARITY_ROLE",
     "ParityLayout",
+    "Q_ROLE",
     "ReddyTwoGroupLayout",
     "UnitAddress",
+    "build_dual_full_table",
     "build_full_table",
     "evaluate_layout",
 ]

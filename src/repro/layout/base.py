@@ -17,6 +17,10 @@ from dataclasses import dataclass
 #: position 0..G-2 within the stripe.
 PARITY_ROLE = -1
 
+#: Role index of the second (Q) syndrome unit in dual-syndrome layouts.
+#: Data units of a dual stripe use positions 0..G-3.
+Q_ROLE = -2
+
 
 class LayoutError(ValueError):
     """Raised for malformed layout tables or out-of-range addresses."""
@@ -49,7 +53,9 @@ class ParityLayout:
     table:
         One full table: a sequence of stripes, each a sequence of ``G``
         :class:`UnitAddress` where index ``G-1`` is the **parity** slot
-        and indices ``0..G-2`` are data slots in order.
+        and indices ``0..G-2`` are data slots in order. Dual-syndrome
+        layouts (``num_syndromes=2``) additionally reserve index
+        ``G-2`` for the **Q** slot, leaving ``0..G-3`` for data.
     name:
         Human-readable layout label.
     data_mapping:
@@ -64,6 +70,10 @@ class ParityLayout:
           per disk, consecutive logical units land on distinct disks —
           recovering most of criterion 6 at the cost of criterion 5.
           This explores the open trade-off of Section 4.2.
+    num_syndromes:
+        Check units per stripe: 1 (parity only, the paper's code) or
+        2 (P+Q, tolerating any two failures; see
+        :mod:`repro.array.syndromes`).
     """
 
     def __init__(
@@ -73,7 +83,15 @@ class ParityLayout:
         table: typing.Sequence[typing.Sequence[UnitAddress]],
         name: str = "",
         data_mapping: str = "stripe",
+        num_syndromes: int = 1,
     ):
+        if num_syndromes not in (1, 2):
+            raise LayoutError(f"num_syndromes must be 1 or 2, got {num_syndromes}")
+        if stripe_size < num_syndromes + 1:
+            raise LayoutError(
+                f"stripe size {stripe_size} leaves no data units beside "
+                f"{num_syndromes} syndrome unit(s)"
+            )
         if stripe_size < 2:
             raise LayoutError(f"stripe size must be >= 2, got {stripe_size}")
         if stripe_size > num_disks:
@@ -86,6 +104,7 @@ class ParityLayout:
             )
         self.num_disks = num_disks
         self.stripe_size = stripe_size
+        self.num_syndromes = num_syndromes
         self.name = name or type(self).__name__
         self.data_mapping = data_mapping
         self._table = [list(stripe) for stripe in table]
@@ -100,7 +119,7 @@ class ParityLayout:
         #: the striping driver's single hottest translation.
         self._l2p_cache: typing.Dict[int, UnitAddress] = {}
         self._stripes_per_table = len(self._table)
-        self._data_units_per_stripe = stripe_size - 1
+        self._data_units_per_stripe = stripe_size - num_syndromes
         if data_mapping == "row-major":
             self._build_row_major_order()
 
@@ -140,8 +159,14 @@ class ParityLayout:
         ]
         for s, stripe in enumerate(self._table):
             for pos, unit in enumerate(stripe):
-                role = PARITY_ROLE if pos == self.stripe_size - 1 else pos
-                self._inverse[unit.disk][unit.offset] = (s, role)
+                self._inverse[unit.disk][unit.offset] = (s, self._role_of_pos(pos))
+
+    def _role_of_pos(self, pos: int) -> int:
+        if pos == self.stripe_size - 1:
+            return PARITY_ROLE
+        if self.num_syndromes == 2 and pos == self.stripe_size - 2:
+            return Q_ROLE
+        return pos
 
     # ------------------------------------------------------------------
     # Basic parameters
@@ -153,16 +178,21 @@ class ParityLayout:
 
     @property
     def data_units_per_stripe(self) -> int:
-        """``G - 1``."""
+        """``G - num_syndromes``."""
         return self._data_units_per_stripe
+
+    @property
+    def syndrome_roles(self) -> typing.Tuple[int, ...]:
+        """The check-unit roles: ``(PARITY_ROLE,)`` or ``(PARITY_ROLE, Q_ROLE)``."""
+        return (PARITY_ROLE, Q_ROLE)[: self.num_syndromes]
 
     def declustering_ratio(self) -> float:
         """``alpha = (G-1)/(C-1)`` — 1.0 for RAID 5."""
         return (self.stripe_size - 1) / (self.num_disks - 1)
 
     def parity_overhead(self) -> float:
-        """Fraction of disk space consumed by parity, ``1/G``."""
-        return 1.0 / self.stripe_size
+        """Fraction of disk space consumed by check units, ``num_syndromes/G``."""
+        return self.num_syndromes / self.stripe_size
 
     # ------------------------------------------------------------------
     # Forward mapping
@@ -170,14 +200,22 @@ class ParityLayout:
     def stripe_unit(self, stripe: int, role: int) -> UnitAddress:
         """Physical slot of stripe ``stripe``'s unit with role ``role``.
 
-        ``role`` is ``0..G-2`` for data or :data:`PARITY_ROLE`.
+        ``role`` is a data position, :data:`PARITY_ROLE`, or (in dual-
+        syndrome layouts) :data:`Q_ROLE`.
         """
-        pos = self.stripe_size - 1 if role == PARITY_ROLE else role
+        if role == PARITY_ROLE:
+            pos = self.stripe_size - 1
+        elif role == Q_ROLE:
+            if self.num_syndromes < 2:
+                raise LayoutError("layout has no Q syndrome")
+            pos = self.stripe_size - 2
+        else:
+            pos = role
         cached = self._unit_cache.get((stripe, pos))
         if cached is not None:
             return cached
         iteration, s = divmod(stripe, self._stripes_per_table)
-        if not 0 <= pos < self.stripe_size:
+        if not 0 <= pos < self.stripe_size or role >= self._data_units_per_stripe:
             raise LayoutError(f"role {role} invalid for stripe size {self.stripe_size}")
         base = self._table[s][pos]
         address = UnitAddress(base.disk, base.offset + iteration * self.table_depth)
@@ -188,6 +226,10 @@ class ParityLayout:
         """Physical slot of stripe ``stripe``'s parity unit."""
         return self.stripe_unit(stripe, PARITY_ROLE)
 
+    def q_unit(self, stripe: int) -> UnitAddress:
+        """Physical slot of stripe ``stripe``'s Q syndrome unit."""
+        return self.stripe_unit(stripe, Q_ROLE)
+
     def data_unit(self, stripe: int, j: int) -> UnitAddress:
         """Physical slot of stripe ``stripe``'s ``j``-th data unit."""
         if not 0 <= j < self._data_units_per_stripe:
@@ -195,10 +237,16 @@ class ParityLayout:
         return self.stripe_unit(stripe, j)
 
     def stripe_units(self, stripe: int) -> typing.List[UnitAddress]:
-        """All ``G`` slots of a stripe: data units in order, then parity."""
-        return [self.stripe_unit(stripe, j) for j in range(self.data_units_per_stripe)] + [
-            self.parity_unit(stripe)
-        ]
+        """All ``G`` slots of a stripe: data units in order, then check units.
+
+        Check units follow :attr:`syndrome_roles` order — parity, then
+        (in dual-syndrome layouts) Q.
+        """
+        units = [self.stripe_unit(stripe, j) for j in range(self.data_units_per_stripe)]
+        units.append(self.parity_unit(stripe))
+        if self.num_syndromes == 2:
+            units.append(self.q_unit(stripe))
+        return units
 
     # ------------------------------------------------------------------
     # Inverse mapping
@@ -222,7 +270,7 @@ class ParityLayout:
         for offset in range(self.table_depth):
             for disk in range(self.num_disks):
                 _stripe, role = self._inverse[disk][offset]
-                if role != PARITY_ROLE:
+                if role >= 0:
                     order.append(UnitAddress(disk, offset))
         self._row_major_order = order
         self._row_major_index = {
@@ -257,9 +305,9 @@ class ParityLayout:
         return address
 
     def physical_to_logical(self, disk: int, offset: int) -> typing.Optional[int]:
-        """Logical data unit at ``(disk, offset)``, or None for parity."""
+        """Logical data unit at ``(disk, offset)``, or None for check units."""
         stripe, role = self.stripe_of(disk, offset)
-        if role == PARITY_ROLE:
+        if role < 0:
             return None
         if self.data_mapping == "stripe":
             return stripe * self.data_units_per_stripe + role
@@ -286,9 +334,12 @@ class ParityLayout:
             cells = []
             for disk in range(self.num_disks):
                 stripe, role = self.stripe_of(disk, offset)
-                cells.append(
-                    f"P{stripe:<6d}" if role == PARITY_ROLE else f"D{stripe}.{role:<4d}"
-                )
+                if role == PARITY_ROLE:
+                    cells.append(f"P{stripe:<6d}")
+                elif role == Q_ROLE:
+                    cells.append(f"Q{stripe:<6d}")
+                else:
+                    cells.append(f"D{stripe}.{role:<4d}")
             lines.append(f"{offset:6d} | " + " ".join(cells))
         return "\n".join(lines)
 

@@ -9,6 +9,7 @@ layout is periodic, so the table is sufficient) and returns a
 
 from __future__ import annotations
 
+import itertools
 import typing
 from dataclasses import dataclass, field
 
@@ -208,9 +209,124 @@ def check_maximal_parallelism(layout: ParityLayout) -> CriterionReport:
     )
 
 
+def check_double_failure_correcting(layout: ParityLayout) -> CriterionReport:
+    """Dual criterion 1: two syndromes and no two stripe units share a disk.
+
+    With P and Q per stripe, any two failed disks cost a stripe at most
+    two units — exactly the erasure budget of the code — so no stripe
+    loses data.
+    """
+    if layout.num_syndromes < 2:
+        return CriterionReport(
+            name="double-failure-correcting",
+            passed=False,
+            detail="layout has a single syndrome; a second failure loses data",
+        )
+    distinct = check_single_failure_correcting(layout)
+    return CriterionReport(
+        name="double-failure-correcting",
+        passed=distinct.passed,
+        detail=(
+            "two syndromes per stripe and " + distinct.detail
+            if distinct.passed
+            else distinct.detail
+        ),
+    )
+
+
+def pair_reconstruction_loads(
+    layout: ParityLayout,
+) -> typing.Dict[typing.Tuple[int, int], typing.List[int]]:
+    """``loads[(a, b)][d]``: units disk ``d`` reads per table when disks
+    ``a`` and ``b`` have both failed.
+
+    Every stripe touching either failed disk is read in full (one pass
+    serves both rebuild targets), so survivor ``d`` is charged once per
+    degraded stripe it belongs to.
+    """
+    c = layout.num_disks
+    loads = {
+        pair: [0] * c for pair in itertools.combinations(range(c), 2)
+    }
+    stripe_disks = [
+        frozenset(u.disk for u in layout.stripe_units(s)) for s in _table_stripes(layout)
+    ]
+    for disks in stripe_disks:
+        for pair in itertools.combinations(range(c), 2):
+            if pair[0] in disks or pair[1] in disks:
+                row = loads[pair]
+                for d in disks:
+                    if d not in pair:
+                        row[d] += 1
+    return loads
+
+
+def check_pair_balanced_reconstruction(layout: ParityLayout) -> CriterionReport:
+    """Dual criterion 2: rebuild load is uniform for every failed *pair*.
+
+    For each pair of failed disks, every surviving disk must read the
+    same number of units per table. A BIBD alone does not guarantee
+    this — it takes a ``t = 3`` design (uniform triple co-occurrence),
+    since the load on survivor ``d`` is ``N(a,d) + N(b,d) - N(a,b,d)``.
+    """
+    observed = set()
+    for pair, row in pair_reconstruction_loads(layout).items():
+        for d, load in enumerate(row):
+            if d not in pair:
+                observed.add(load)
+    if len(observed) == 1:
+        load = observed.pop()
+        return CriterionReport(
+            name="pair-balanced-reconstruction",
+            passed=True,
+            detail=(
+                f"every survivor reads exactly {load} units per table "
+                "for any failed pair"
+            ),
+            metrics={"units_per_survivor_per_table": load},
+        )
+    return CriterionReport(
+        name="pair-balanced-reconstruction",
+        passed=False,
+        detail=f"survivor loads vary across failed pairs: {sorted(observed)}",
+        metrics={"min_load": min(observed), "max_load": max(observed)},
+    )
+
+
+def q_units_per_disk(layout: ParityLayout) -> typing.List[int]:
+    """Q syndrome units each disk holds in one full table."""
+    counts = [0] * layout.num_disks
+    for s in _table_stripes(layout):
+        counts[layout.q_unit(s).disk] += 1
+    return counts
+
+
+def check_distributed_q(layout: ParityLayout) -> CriterionReport:
+    """Dual criterion 3: Q units are spread evenly over the disks."""
+    counts = q_units_per_disk(layout)
+    if len(set(counts)) == 1:
+        return CriterionReport(
+            name="distributed-q",
+            passed=True,
+            detail=f"every disk holds {counts[0]} Q units per table",
+            metrics={"q_units_per_disk": counts[0]},
+        )
+    return CriterionReport(
+        name="distributed-q",
+        passed=False,
+        detail=f"Q counts per disk vary: min={min(counts)}, max={max(counts)}",
+        metrics={"min": min(counts), "max": max(counts)},
+    )
+
+
 def evaluate_layout(layout: ParityLayout) -> typing.List[CriterionReport]:
-    """Run all six criteria checks against a layout."""
-    return [
+    """Run all criteria checks against a layout.
+
+    The paper's six checks always run; dual-syndrome layouts get three
+    more (double-failure correction, pair-balanced reconstruction,
+    distributed Q).
+    """
+    reports = [
         check_single_failure_correcting(layout),
         check_distributed_reconstruction(layout),
         check_distributed_parity(layout),
@@ -218,3 +334,12 @@ def evaluate_layout(layout: ParityLayout) -> typing.List[CriterionReport]:
         check_large_write_optimization(layout),
         check_maximal_parallelism(layout),
     ]
+    if layout.num_syndromes == 2:
+        reports.extend(
+            [
+                check_double_failure_correcting(layout),
+                check_pair_balanced_reconstruction(layout),
+                check_distributed_q(layout),
+            ]
+        )
+    return reports

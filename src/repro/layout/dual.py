@@ -1,0 +1,116 @@
+"""Dual-syndrome (P+Q / RAID-6 style) parity layouts.
+
+Two constructions, mirroring the single-syndrome pair:
+
+- :class:`DualDeclusteredLayout` — parity declustering with two check
+  units per stripe. The full table makes ``G`` duplications of a block
+  design, rotating **both** syndrome positions across duplications
+  (P at element ``G-1-d``, Q at element ``G-2-d`` in duplication
+  ``d``), so every disk holds exactly ``r`` P units and ``r`` Q units
+  per full table — the dual analogue of the paper's Figure 4-2
+  rotation. Any validated BIBD with ``k >= 3`` works; a ``t = 3``
+  design (:mod:`repro.designs.tdesigns`) additionally balances the
+  reconstruction load over survivors when *two* disks have failed.
+- :class:`CyclicDualRaid6Layout` — the ``G = C`` full-width case: a
+  table of ``C`` stripes whose P and Q slots rotate one disk per
+  stripe (the cyclic-group placement, the RAID-6 analogue of
+  left-symmetric RAID 5).
+
+The declustering ratio keeps its meaning — each stripe still spans
+``G`` disks, so a single failed disk's rebuild touches a fraction
+``alpha = (G-1)/(C-1)`` of every survivor.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.designs.design import BlockDesign
+from repro.layout.base import LayoutError, ParityLayout, UnitAddress
+
+
+def build_dual_full_table(
+    design: BlockDesign,
+) -> typing.List[typing.List[UnitAddress]]:
+    """Full table for a dual-syndrome declustered layout.
+
+    Each stripe row lists its data slots in element order followed by
+    the Q slot (table position ``G-2``) and the P slot (position
+    ``G-1``), matching the :class:`~repro.layout.base.ParityLayout`
+    dual-table convention.
+    """
+    g = design.k
+    if g < 3:
+        raise LayoutError(f"dual syndromes need stripes of >= 3 units, got G={g}")
+    next_free = [0] * design.v
+    table: typing.List[typing.List[UnitAddress]] = []
+    for dup in range(g):
+        parity_position = (g - 1 - dup) % g
+        q_position = (g - 2 - dup) % g
+        for tup in design.tuples:
+            slots = []
+            for element in tup:
+                slots.append(UnitAddress(disk=element, offset=next_free[element]))
+                next_free[element] += 1
+            data_slots = [
+                slot
+                for pos, slot in enumerate(slots)
+                if pos not in (parity_position, q_position)
+            ]
+            table.append(data_slots + [slots[q_position], slots[parity_position]])
+    return table
+
+
+class DualDeclusteredLayout(ParityLayout):
+    """P+Q parity declustering over ``C = design.v`` disks, ``G = design.k``."""
+
+    def __init__(self, design: BlockDesign, data_mapping: str = "stripe"):
+        design.validate()
+        if design.k == design.v:
+            raise LayoutError(
+                "G == C is full-width RAID 6; use CyclicDualRaid6Layout for that case"
+            )
+        self.design = design
+        super().__init__(
+            num_disks=design.v,
+            stripe_size=design.k,
+            table=build_dual_full_table(design),
+            name=f"dual-declustered-{design.name or f'{design.v}-{design.k}'}",
+            data_mapping=data_mapping,
+            num_syndromes=2,
+        )
+
+
+class CyclicDualRaid6Layout(ParityLayout):
+    """Full-width P+Q with cyclically rotating check slots (``G = C``).
+
+    Stripe ``s`` occupies offset ``s`` of every disk; its P unit lives
+    on disk ``(C-1-s) mod C`` and its Q unit on disk ``(C-2-s) mod C``,
+    so consecutive stripes shift both check slots left by one — every
+    disk holds exactly one P and one Q unit per table.
+    """
+
+    def __init__(self, num_disks: int, data_mapping: str = "stripe"):
+        if num_disks < 3:
+            raise LayoutError(f"need at least 3 disks for P+Q, got {num_disks}")
+        c = num_disks
+        table: typing.List[typing.List[UnitAddress]] = []
+        for s in range(c):
+            parity_disk = (c - 1 - s) % c
+            q_disk = (c - 2 - s) % c
+            data_slots = [
+                UnitAddress(disk=(parity_disk + 1 + j) % c, offset=s)
+                for j in range(c - 2)
+            ]
+            table.append(
+                data_slots
+                + [UnitAddress(q_disk, s), UnitAddress(parity_disk, s)]
+            )
+        super().__init__(
+            num_disks=c,
+            stripe_size=c,
+            table=table,
+            name=f"cyclic-dual-raid6-{c}",
+            data_mapping=data_mapping,
+            num_syndromes=2,
+        )

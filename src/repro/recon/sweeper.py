@@ -92,6 +92,12 @@ class Reconstructor:
         Reconstruction throttle (the paper's future-work extension):
         each worker idles this long between cycles, trading longer
         reconstruction for lower user response-time degradation.
+    disk:
+        The failed disk to rebuild; defaults to the earliest active
+        failure. Dual-syndrome arrays run one Reconstructor per failed
+        disk, concurrently — each sweeps its own disk and, on P+Q
+        layouts, decodes through the *other* failure instead of
+        aborting when a second disk dies mid-sweep.
     """
 
     def __init__(
@@ -99,14 +105,22 @@ class Reconstructor:
         controller: "ArrayController",
         workers: int = 1,
         cycle_delay_ms: float = 0.0,
+        disk: typing.Optional[int] = None,
     ):
         if workers < 1:
             raise ValueError(f"need at least one worker, got {workers}")
         if cycle_delay_ms < 0:
             raise ValueError(f"negative throttle delay {cycle_delay_ms}")
-        if controller.recon_status is None:
+        if disk is None:
+            disk = controller.faults.failed_disk
+        status = (
+            controller.recon_statuses.get(disk) if disk is not None else None
+        )
+        if status is None:
             raise RuntimeError("install a replacement before reconstructing")
         self.controller = controller
+        self.disk = disk
+        self.status = status
         self.workers = workers
         self.cycle_delay_ms = cycle_delay_ms
         self.cycles: typing.List[CycleRecord] = []
@@ -124,7 +138,7 @@ class Reconstructor:
             raise RuntimeError("reconstruction already started")
         self._started = True
         env = self.controller.env
-        status = self.controller.recon_status
+        status = self.status
         status.started_at = env.now
         for index in range(self.workers):
             env.process(self._worker(), name=f"recon-worker-{index}")
@@ -133,10 +147,7 @@ class Reconstructor:
 
     def result(self) -> ReconstructionResult:
         """Summary after completion (raises if reconstruction unfinished)."""
-        status = self.controller.recon_status
-        if status is None:
-            # finish_repair already ran and a later failure cleared state.
-            raise RuntimeError("no reconstruction status available")
+        status = self.status
         unique_swept = len({cycle.offset for cycle in self.cycles})
         return ReconstructionResult(
             reconstruction_time_ms=status.reconstruction_time_ms(),
@@ -152,16 +163,16 @@ class Reconstructor:
     # Processes
     # ------------------------------------------------------------------
     def _finisher(self):
-        status = self.controller.recon_status
-        yield status.complete_event
-        self.controller.finish_repair()
+        yield self.status.complete_event
+        self.controller.finish_repair(self.disk)
 
     def _worker(self):
         controller = self.controller
         env = controller.env
         layout = controller.layout
-        status = controller.recon_status
-        failed = controller.faults.failed_disk
+        status = self.status
+        failed = self.disk
+        dual = layout.num_syndromes == 2
         while True:
             offset = status.claim_next()
             if offset is None:
@@ -173,28 +184,45 @@ class Reconstructor:
                     # A user reconstruct-write landed while we waited.
                     continue
                 if controller._stripe_data_lost(stripe):
-                    # A multi-failure destroyed another unit of this
-                    # stripe: nothing left to rebuild the target from.
-                    # Surrender the unit (marking it built lets the
-                    # sweep terminate) and account the loss.
+                    # A multi-failure destroyed more units of this
+                    # stripe than the syndromes can recover: nothing
+                    # left to rebuild the target from. Surrender the
+                    # unit (marking it built lets the sweep terminate)
+                    # and account the loss.
                     self._surrender(stripe, offset)
                     continue
                 target = self._address(failed, offset)
-                peers = controller._surviving_peers(stripe, target)
-                value = controller._xor(controller._ds_read(peer) for peer in peers)
-                read_start = env.now
-                peer_events = [
-                    controller._disk_access(peer, is_write=False, kind=KIND_RECON)
-                    for peer in peers
-                ]
-                yield env.all_of(peer_events)
-                if controller._fault_enabled and any(
-                    event.value.error is not None for event in peer_events
-                ):
-                    # A peer was unreadable (latent error survived the
-                    # retries): this unit cannot be rebuilt by the sweep.
-                    self._surrender(stripe, offset)
-                    continue
+                if dual:
+                    # P+Q decode through up to one *other* dead unit —
+                    # this is what lets a rebuild continue (rather than
+                    # abort) when a second disk fails mid-sweep.
+                    read_start = env.now
+                    decoded, _erasures, ok = yield from controller._dual_stripe_decode(
+                        stripe, treat_dead=(target,), kind=KIND_RECON,
+                        repair_errored=True,
+                    )
+                    if not ok:
+                        self._surrender(stripe, offset)
+                        continue
+                    value = controller._dual_unit_value(decoded, target)
+                else:
+                    peers = controller._surviving_peers(stripe, target)
+                    value = controller._xor(
+                        controller._ds_read(peer) for peer in peers
+                    )
+                    read_start = env.now
+                    peer_events = [
+                        controller._disk_access(peer, is_write=False, kind=KIND_RECON)
+                        for peer in peers
+                    ]
+                    yield env.all_of(peer_events)
+                    if controller._fault_enabled and any(
+                        event.value.error is not None for event in peer_events
+                    ):
+                        # A peer was unreadable (latent error survived the
+                        # retries): this unit cannot be rebuilt by the sweep.
+                        self._surrender(stripe, offset)
+                        continue
                 write_start = env.now
                 yield controller._disk_access(target, is_write=True, kind=KIND_RECON)
                 controller._ds_write(target, value)
@@ -227,7 +255,7 @@ class Reconstructor:
         """
         controller = self.controller
         self.lost_units += 1
-        controller.recon_status.mark_built(offset)
+        self.status.mark_built(offset)
         if controller.fault_log is not None:
             controller.fault_log.record(
                 REBUILD_LOST, controller.env.now, stripe=stripe, offset=offset

@@ -9,6 +9,15 @@ Subcommands mirror the HTTP API one-to-one::
     repro job result <id>             GET  /jobs/<id>/result
     repro job cancel <id>             POST /jobs/<id>/cancel
 
+``watch`` (and ``submit --watch``) survives a killed or restarted
+server: every event carries a per-job ``seq`` number, so when the
+stream drops without a terminal state the client reconnects with
+``?since=<last seq>&epoch=<stream epoch>`` and resumes where it left
+off — bounded retries with exponential backoff, counters reset
+whenever a reconnect actually makes progress. A restarted server
+answers with a fresh epoch, which tells it to replay its (new) history
+from the start rather than skip events the client never saw.
+
 Exit codes follow the repro-wide convention: 0 success, 1 runtime
 failure (connection refused, server error, job failed), 2 usage error
 (bad arguments, unreadable spec file, spec rejected by validation).
@@ -18,10 +27,13 @@ Errors go to stderr as one-line messages, never tracebacks.
 from __future__ import annotations
 
 import argparse
+import http.client
 import json
 import sys
+import time
 import typing
 import urllib.error
+import urllib.parse
 import urllib.request
 
 DEFAULT_SERVER = "http://127.0.0.1:8765"
@@ -33,12 +45,29 @@ EXIT_RUNTIME = 1
 EXIT_USAGE = 2
 
 
-class ClientError(Exception):
-    """A request failed; carries the exit code to use."""
+#: Reconnect policy for ``watch`` when the event stream drops.
+DEFAULT_WATCH_RETRIES = 5
+DEFAULT_WATCH_BACKOFF_S = 0.5
+MAX_WATCH_BACKOFF_S = 8.0
 
-    def __init__(self, message: str, exit_code: int = EXIT_RUNTIME):
+
+class ClientError(Exception):
+    """A request failed; carries the exit code to use.
+
+    ``retryable`` marks transient transport failures (connection
+    refused, reset) that a watcher may retry; definitive server
+    answers (HTTP 4xx/5xx) are not retryable.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        exit_code: int = EXIT_RUNTIME,
+        retryable: bool = False,
+    ):
         super().__init__(message)
         self.exit_code = exit_code
+        self.retryable = retryable
 
 
 class ServiceClient:
@@ -47,6 +76,10 @@ class ServiceClient:
     def __init__(self, base_url: str = DEFAULT_SERVER, timeout: float = 60.0):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        #: Stream epoch reported by the last ``events`` response; a
+        #: reconnecting watcher echoes it back so the server can tell
+        #: a resumed stream from one aimed at a restarted process.
+        self.last_stream_epoch: typing.Optional[str] = None
 
     def _request(
         self,
@@ -89,19 +122,32 @@ class ServiceClient:
         except (ValueError, OSError) as error:
             raise ClientError(f"{method} {path}: {error}") from error
 
-    def events(self, job_id: str) -> typing.Iterator[dict]:
-        """Follow a job's NDJSON event stream until it closes."""
-        request = self._request("GET", f"/jobs/{job_id}/events")
+    def events(
+        self,
+        job_id: str,
+        since: int = 0,
+        epoch: typing.Optional[str] = None,
+    ) -> typing.Iterator[dict]:
+        """Follow a job's NDJSON event stream until it closes.
+
+        ``since``/``epoch`` resume a dropped stream: the server skips
+        the first ``since`` events when ``epoch`` matches its own, and
+        replays from the start otherwise. A connection torn mid-stream
+        ends the iterator cleanly (the caller decides whether the
+        missing terminal state warrants a reconnect) — only an upfront
+        HTTP error or an unreachable server raises.
+        """
+        path = f"/jobs/{job_id}/events"
+        params = {}
+        if since:
+            params["since"] = str(since)
+        if epoch:
+            params["epoch"] = epoch
+        if params:
+            path += "?" + urllib.parse.urlencode(params)
+        request = self._request("GET", path)
         try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as response:
-                for line in response:
-                    line = line.strip()
-                    if not line:
-                        continue
-                    try:
-                        yield json.loads(line.decode("utf-8"))
-                    except ValueError:
-                        continue  # torn final line on disconnect
+            response = urllib.request.urlopen(request, timeout=self.timeout)
         except urllib.error.HTTPError as error:
             raise ClientError(
                 f"GET /jobs/{job_id}/events: HTTP {error.code}: "
@@ -109,8 +155,26 @@ class ServiceClient:
             ) from error
         except urllib.error.URLError as error:
             raise ClientError(
-                f"cannot reach {self.base_url}: {error.reason}"
+                f"cannot reach {self.base_url}: {error.reason}", retryable=True
             ) from error
+        with response:
+            self.last_stream_epoch = response.headers.get(
+                "X-Repro-Stream-Epoch", self.last_stream_epoch
+            )
+            while True:
+                try:
+                    line = response.readline()
+                except (OSError, http.client.HTTPException):
+                    return  # stream torn mid-flight; caller reconnects
+                if not line:
+                    return
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    yield json.loads(line.decode("utf-8"))
+                except ValueError:
+                    continue  # torn final line on disconnect
 
 
 def _error_message(error: urllib.error.HTTPError) -> str:
@@ -143,17 +207,60 @@ def _load_spec(path: str) -> dict:
     return document
 
 
-def _watch(client: ServiceClient, job_id: str) -> int:
-    """Stream events to stdout; exit by the job's terminal state."""
+def _watch(
+    client: ServiceClient,
+    job_id: str,
+    retries: int = DEFAULT_WATCH_RETRIES,
+    backoff_s: float = DEFAULT_WATCH_BACKOFF_S,
+    sleep: typing.Callable[[float], None] = time.sleep,
+) -> int:
+    """Stream events to stdout; exit by the job's terminal state.
+
+    A stream that drops before a terminal state is reconnected with
+    ``?since=<last seq>&epoch=<epoch>`` so already-printed events are
+    not repeated. Up to ``retries`` consecutive barren attempts are
+    made with exponential backoff; the counter resets whenever a
+    reconnect delivers events.
+    """
     final = None
-    for event in client.events(job_id):
-        print(json.dumps(event, sort_keys=True), flush=True)
-        if event.get("event") == "state":
-            final = event.get("state")
+    last_seq = 0
+    epoch: typing.Optional[str] = None
+    attempts = 0
+    while True:
+        progressed = False
+        try:
+            for event in client.events(job_id, since=last_seq, epoch=epoch):
+                print(json.dumps(event, sort_keys=True), flush=True)
+                progressed = True
+                seq = event.get("seq")
+                if isinstance(seq, int) and seq > 0:
+                    last_seq = seq
+                if event.get("event") == "state":
+                    final = event.get("state")
+        except ClientError as error:
+            if not error.retryable:
+                raise
+        epoch = client.last_stream_epoch or epoch
+        if final in ("done", "failed", "cancelled"):
+            break
+        if progressed:
+            attempts = 0
+        attempts += 1
+        if attempts > retries:
+            raise ClientError(
+                f"job {job_id}: event stream lost after "
+                f"{retries} reconnect attempt(s)"
+            )
+        delay = min(backoff_s * (2 ** (attempts - 1)), MAX_WATCH_BACKOFF_S)
+        print(
+            f"repro job: stream dropped before a terminal state; "
+            f"reconnecting from seq {last_seq} in {delay:.1f}s "
+            f"(attempt {attempts}/{retries})",
+            file=sys.stderr,
+        )
+        sleep(delay)
     if final == "done":
         return EXIT_OK
-    if final is None:
-        raise ClientError("event stream ended without a terminal state")
     raise ClientError(f"job {job_id} ended {final}")
 
 
@@ -171,7 +278,9 @@ def cmd_submit(client: ServiceClient, args: argparse.Namespace) -> int:
     if job.get("state") in ("done", "failed", "cancelled"):
         _print_json(job)
         return EXIT_OK if job.get("state") == "done" else EXIT_RUNTIME
-    return _watch(client, job["id"])
+    return _watch(
+        client, job["id"], retries=args.retries, backoff_s=args.backoff
+    )
 
 
 def cmd_list(client: ServiceClient, args: argparse.Namespace) -> int:
@@ -201,7 +310,9 @@ def cmd_status(client: ServiceClient, args: argparse.Namespace) -> int:
 
 
 def cmd_watch(client: ServiceClient, args: argparse.Namespace) -> int:
-    return _watch(client, args.job_id)
+    return _watch(
+        client, args.job_id, retries=args.retries, backoff_s=args.backoff
+    )
 
 
 def cmd_result(client: ServiceClient, args: argparse.Namespace) -> int:
@@ -235,6 +346,29 @@ def build_parser() -> argparse.ArgumentParser:
     commands = parser.add_subparsers(dest="command", metavar="COMMAND")
     commands.required = True
 
+    def add_watch_options(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--retries",
+            type=int,
+            default=DEFAULT_WATCH_RETRIES,
+            metavar="N",
+            help=(
+                "consecutive reconnect attempts before giving up on a "
+                f"dropped stream (default: {DEFAULT_WATCH_RETRIES})"
+            ),
+        )
+        command.add_argument(
+            "--backoff",
+            type=float,
+            default=DEFAULT_WATCH_BACKOFF_S,
+            metavar="S",
+            help=(
+                "initial reconnect delay in seconds, doubled per attempt "
+                f"up to {MAX_WATCH_BACKOFF_S:.0f}s "
+                f"(default: {DEFAULT_WATCH_BACKOFF_S})"
+            ),
+        )
+
     submit = commands.add_parser("submit", help="submit a spec file ('-' = stdin)")
     submit.add_argument("spec", help="path to a JSON job spec, or '-' for stdin")
     submit.add_argument(
@@ -242,6 +376,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="stream progress events until the job finishes",
     )
+    add_watch_options(submit)
     submit.set_defaults(fn=cmd_submit)
 
     listing = commands.add_parser("list", help="list all jobs")
@@ -254,6 +389,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     watch = commands.add_parser("watch", help="stream a job's progress events")
     watch.add_argument("job_id")
+    add_watch_options(watch)
     watch.set_defaults(fn=cmd_watch)
 
     result = commands.add_parser("result", help="fetch a finished job's result")

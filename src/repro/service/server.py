@@ -14,7 +14,13 @@ streaming endpoint. Endpoints:
 - ``GET /jobs/{id}/events`` — NDJSON progress stream: replays the
   job's event history, then follows live events (sweep progress,
   per-trial campaign summaries with condensed metrics snapshots) until
-  the job reaches a terminal state.
+  the job reaches a terminal state. Every event carries a per-job
+  ``seq`` number and the response carries an ``X-Repro-Stream-Epoch``
+  header (one value per server process): a reconnecting watcher sends
+  ``?since=N&epoch=E`` to resume after the last event it saw. A
+  matching epoch skips the first ``N`` events; a stale epoch (the
+  server restarted, so sequence numbers restarted too) replays the new
+  process's history from the start.
 - ``GET /jobs/{id}/result`` — the result document (409 until done).
 - ``POST /jobs/{id}/cancel`` — cancel: a queued job immediately, a
   running job at its next point boundary.
@@ -38,6 +44,8 @@ import os
 import sys
 import threading
 import typing
+import urllib.parse
+import uuid
 
 from repro._version import __version__
 from repro.array.faults import DataLossError
@@ -80,11 +88,14 @@ class _EventLog:
 
 
 class _Request:
-    def __init__(self, method: str, path: str, headers: dict, body: bytes):
+    def __init__(self, method: str, path: str, headers: dict, body: bytes,
+                 query: typing.Optional[dict] = None):
         self.method = method
         self.path = path
         self.headers = headers
         self.body = body
+        #: Last value per query-string parameter (parsed, URL-decoded).
+        self.query: typing.Dict[str, str] = query or {}
 
     def json(self) -> typing.Any:
         try:
@@ -122,6 +133,9 @@ class Service:
             cache=self.cache, workers=workers, execute=execute
         )
         self.max_jobs = max_jobs
+        #: One value per server process: lets a reconnecting watcher
+        #: detect that event sequence numbers restarted with us.
+        self.epoch = uuid.uuid4().hex[:12]
         self._jobs: typing.Dict[str, Job] = {}
         self._logs: typing.Dict[str, _EventLog] = {}
         self._cancels: typing.Dict[str, threading.Event] = {}
@@ -169,6 +183,8 @@ class Service:
     def _emit(self, job_id: str, event: dict) -> None:
         """Append an event and wake streaming readers (loop thread only)."""
         log = self._log_for(job_id)
+        event = dict(event)
+        event["seq"] = len(log.history) + 1
         log.history.append(event)
 
         async def _notify() -> None:
@@ -359,7 +375,12 @@ class Service:
         if length > MAX_BODY_BYTES:
             raise _HttpError(413, "request body too large")
         body = await reader.readexactly(length) if length else b""
-        return _Request(method.upper(), target.split("?", 1)[0], headers, body)
+        path, _sep, query_string = target.partition("?")
+        query = {
+            name: values[-1]
+            for name, values in urllib.parse.parse_qs(query_string).items()
+        }
+        return _Request(method.upper(), path, headers, body, query=query)
 
     async def _send_json(
         self,
@@ -454,12 +475,25 @@ class Service:
                 )
                 return
             if tail == "events" and method == "GET":
-                await self._stream_events(writer, job_id)
+                try:
+                    since = int(request.query.get("since", "0"))
+                except ValueError as error:
+                    raise _HttpError(400, "'since' must be an integer") from error
+                if since < 0:
+                    raise _HttpError(400, "'since' must be non-negative")
+                await self._stream_events(
+                    writer, job_id, since=since,
+                    epoch=request.query.get("epoch"),
+                )
                 return
         raise _HttpError(404, f"no route for {method} {request.path}")
 
     async def _stream_events(
-        self, writer: asyncio.StreamWriter, job_id: str
+        self,
+        writer: asyncio.StreamWriter,
+        job_id: str,
+        since: int = 0,
+        epoch: typing.Optional[str] = None,
     ) -> None:
         job = self._jobs.get(job_id)
         if job is None:
@@ -467,6 +501,7 @@ class Service:
         head = (
             "HTTP/1.1 200 OK\r\n"
             "Content-Type: application/x-ndjson\r\n"
+            f"X-Repro-Stream-Epoch: {self.epoch}\r\n"
             "Cache-Control: no-store\r\n"
             "Connection: close\r\n"
             "\r\n"
@@ -477,11 +512,17 @@ class Service:
         if not log.history and job.terminal:
             # Restarted service: history predates this process. Replay
             # the one fact that persists — the terminal state.
-            event = {"event": "state", "job": job.id, "state": job.state}
-            writer.write((json.dumps(event, sort_keys=True) + "\n").encode("utf-8"))
-            await writer.drain()
-            return
-        position = 0
+            self._emit(
+                job.id, {"event": "state", "job": job.id, "state": job.state}
+            )
+        # A matching epoch resumes after the last event the client saw;
+        # any other epoch means the sequence restarted with this
+        # process, so its history replays from the start.
+        position = min(since, len(log.history)) if epoch == self.epoch else 0
+        if job.terminal and position >= len(log.history) and log.history:
+            # Nothing left to say and nothing more will come: re-send
+            # the terminal event so the stream ends instead of hanging.
+            position = len(log.history) - 1
         try:
             while True:
                 while position < len(log.history):

@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 
 from repro._version import __version__
 from repro.experiments.campaign import (
+    CAMPAIGN_PQ_STRIPE_SIZES,
     CAMPAIGN_STRIPE_SIZES,
     MISSION_HOURS,
     TRIALS,
@@ -162,7 +163,13 @@ def _parse_campaign(document: typing.Mapping) -> JobSpec:
         raise SpecError(
             f"campaign 'scale' must be one of {sorted(TRIALS)}, got {scale!r}"
         )
-    stripe_sizes = document.get("stripe_sizes", list(CAMPAIGN_STRIPE_SIZES))
+    syndromes = document.get("syndromes", 1)
+    if syndromes not in (1, 2) or isinstance(syndromes, bool):
+        raise SpecError("'syndromes' must be 1 or 2")
+    default_sizes = (
+        CAMPAIGN_PQ_STRIPE_SIZES if syndromes == 2 else CAMPAIGN_STRIPE_SIZES
+    )
+    stripe_sizes = document.get("stripe_sizes", list(default_sizes))
     if (
         not isinstance(stripe_sizes, (list, tuple))
         or not stripe_sizes
@@ -190,6 +197,7 @@ def _parse_campaign(document: typing.Mapping) -> JobSpec:
             seed=seed,
             trials=trials,
             mission_hours=float(mission_hours),
+            syndromes=syndromes,
         )
         configs = grid.configs()
     except (TypeError, ValueError) as error:
@@ -199,6 +207,7 @@ def _parse_campaign(document: typing.Mapping) -> JobSpec:
         "mission_hours": float(mission_hours),
         "stripe_sizes": [int(g) for g in stripe_sizes],
         "seed": seed,
+        "syndromes": syndromes,
     }
     return JobSpec(
         kind="campaign",

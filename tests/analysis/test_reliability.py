@@ -51,6 +51,30 @@ class TestMttdl:
         with pytest.raises(ValueError):
             inputs(repair_hours=0)
 
+    def test_two_fault_formula(self):
+        # MTTF^3 / (C (C-1) (C-2) MTTR^2) with easy numbers.
+        result = mttdl_hours(
+            ReliabilityInputs(
+                num_disks=3,
+                disk_mttf_hours=100.0,
+                repair_hours=2.0,
+                fault_tolerance=2,
+            )
+        )
+        assert result == pytest.approx(100.0 ** 3 / (3 * 2 * 1 * 2.0 ** 2))
+
+    def test_second_syndrome_extends_the_chain_by_one_state(self):
+        # Going from t=1 to t=2 multiplies MTTDL by MTTF / ((C-2) MTTR).
+        single = mttdl_hours(inputs())
+        dual = mttdl_hours(inputs(fault_tolerance=2))
+        assert dual / single == pytest.approx(150_000.0 / (19 * 1.0))
+
+    def test_fault_tolerance_validation(self):
+        with pytest.raises(ValueError):
+            inputs(fault_tolerance=0)
+        with pytest.raises(ValueError):
+            inputs(num_disks=3, fault_tolerance=3)
+
 
 class TestLossProbability:
     def test_zero_mission(self):

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.array.sparing import SparePool
+from repro.faults.log import SPARES_EXHAUSTED, FaultLog
 from repro.recon import USER_WRITES
 
 
@@ -52,11 +53,29 @@ class TestAutomaticRepair:
 
 
 class TestExhaustion:
-    def test_no_spares_leaves_array_degraded(self, small_array):
-        pool = SparePool(small_array.controller, spares=0)
-        with pytest.raises(RuntimeError, match="no spares"):
-            pool.handle_failure(2)
-        assert not small_array.controller.faults.fault_free
+    def test_no_spares_enters_degraded_forever_state(self, small_array):
+        controller = small_array.controller
+        controller.fault_log = FaultLog()
+        pool = SparePool(controller, spares=0)
+        assert pool.handle_failure(2) is None
+        assert not controller.faults.fault_free
+        assert pool.exhausted
+        assert pool.degraded_disks == [2]
+        assert pool.repairs == []
+        events = controller.fault_log.of_kind(SPARES_EXHAUSTED)
+        assert len(events) == 1
+        assert events[0].disk == 2
+
+    def test_degraded_forever_array_keeps_serving(self, small_array):
+        """Exhaustion is not an outage: reads of the dead disk decode
+        on the fly, indefinitely."""
+        controller = small_array.controller
+        pool = SparePool(controller, spares=0)
+        pool.handle_failure(2)
+        done = controller.read(0, num_units=controller.addressing.num_data_units)
+        request = small_array.env.run(until=done)
+        assert "on-the-fly-read" in request.paths
+        assert not request.lost_units
 
     def test_restock_enables_future_repairs(self, small_array):
         pool = SparePool(small_array.controller, spares=1, recon_workers=4)
@@ -64,6 +83,14 @@ class TestExhaustion:
         pool.restock()
         record = small_array.env.run(until=pool.handle_failure(4))
         assert record.failed_disk == 4
+
+    def test_restock_does_not_resurrect_degraded_disks(self, small_array):
+        controller = small_array.controller
+        pool = SparePool(controller, spares=0)
+        pool.handle_failure(2)
+        pool.restock()
+        assert pool.degraded_disks == [2]
+        assert not controller.faults.fault_free
 
     def test_validation(self, small_array):
         with pytest.raises(ValueError):

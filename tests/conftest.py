@@ -13,9 +13,14 @@ from dataclasses import dataclass
 import pytest
 
 from repro.array import ArrayAddressing, ArrayController
-from repro.designs import complete_design, paper_design
+from repro.designs import boolean_quadruple_system, complete_design, paper_design
 from repro.disk import scaled_spec
-from repro.layout import DeclusteredLayout, LeftSymmetricRaid5Layout
+from repro.layout import (
+    CyclicDualRaid6Layout,
+    DeclusteredLayout,
+    DualDeclusteredLayout,
+    LeftSymmetricRaid5Layout,
+)
 from repro.recon.algorithms import BASELINE
 from repro.sim import Environment
 
@@ -64,10 +69,44 @@ def build_array(
     return ArrayUnderTest(env=env, controller=controller, addressing=addressing)
 
 
+def build_dual_array(
+    num_disks: int = 8,
+    cylinders: int = 10,
+    algorithm=BASELINE,
+    with_datastore: bool = True,
+    policy: str = "cvscan",
+    fault_profile=None,
+    retry_policy=None,
+) -> ArrayUnderTest:
+    """Assemble a small dual-syndrome (P+Q) array for tests.
+
+    8 disks get the declustered SQS(8) layout (G=4, triple-balanced);
+    any other count gets the full-width cyclic RAID-6 rotation.
+    """
+    env = Environment()
+    if num_disks == 8:
+        layout = DualDeclusteredLayout(boolean_quadruple_system(3))
+    else:
+        layout = CyclicDualRaid6Layout(num_disks)
+    addressing = ArrayAddressing(layout, scaled_spec(cylinders))
+    controller = ArrayController(
+        env, addressing, policy=policy, algorithm=algorithm,
+        with_datastore=with_datastore,
+        fault_profile=fault_profile, retry_policy=retry_policy,
+    )
+    return ArrayUnderTest(env=env, controller=controller, addressing=addressing)
+
+
 @pytest.fixture
 def small_array() -> ArrayUnderTest:
     """A fresh 5-disk G=4 declustered array with a data store."""
     return build_array()
+
+
+@pytest.fixture
+def dual_array() -> ArrayUnderTest:
+    """A fresh 8-disk G=4 dual-syndrome declustered array."""
+    return build_dual_array()
 
 
 @pytest.fixture

@@ -1,0 +1,93 @@
+"""t-design validation, boolean SQS, and cyclic P+Q constructions."""
+
+import pytest
+
+from repro.designs import complete_design, paper_design
+from repro.designs.design import DesignError
+from repro.designs.tdesigns import (
+    PLANAR_DIFFERENCE_SETS,
+    boolean_quadruple_system,
+    cyclic_pq_design,
+    is_t_balanced,
+    t_lambda,
+    t_subset_counts,
+    validate_t_design,
+)
+
+
+class TestValidation:
+    def test_complete_design_is_t_balanced_for_all_t(self):
+        design = complete_design(7, 4)
+        for t in range(1, 5):
+            assert validate_t_design(design, t) == t_lambda(design, t)
+
+    def test_paper_bibd_is_pair_but_not_triple_balanced(self):
+        design = paper_design(5)  # (b=21, v=21, k=5, lam=1)
+        assert is_t_balanced(design, 2)
+        assert not is_t_balanced(design, 3)
+
+    def test_t_lambda_by_double_counting(self):
+        design = complete_design(6, 3)  # b = 20
+        assert t_lambda(design, 1) == design.r
+        assert t_lambda(design, 2) == design.lam
+        assert t_lambda(design, 3) == 1
+
+    def test_subset_counts_cover_all_subsets(self):
+        design = complete_design(5, 3)
+        counts = t_subset_counts(design, 3)
+        assert len(counts) == 10
+        assert set(counts.values()) == {1}
+
+    def test_t_out_of_range_rejected(self):
+        design = complete_design(5, 3)
+        with pytest.raises(DesignError):
+            t_subset_counts(design, 0)
+        with pytest.raises(DesignError):
+            t_subset_counts(design, 4)
+
+
+class TestBooleanQuadrupleSystem:
+    def test_sqs8_parameters(self):
+        design = boolean_quadruple_system(3)
+        assert (design.v, design.k, design.b) == (8, 4, 14)
+
+    def test_sqs8_is_a_3_design(self):
+        design = boolean_quadruple_system(3)
+        assert validate_t_design(design, 3) == 1
+        design.validate()  # also a BIBD (lam = 3)
+        assert design.lam == 3
+
+    def test_sqs16_is_a_3_design(self):
+        design = boolean_quadruple_system(4)
+        assert (design.v, design.b) == (16, 140)
+        assert validate_t_design(design, 3) == 1
+
+    def test_tuples_xor_to_zero(self):
+        for tup in boolean_quadruple_system(3).tuples:
+            value = 0
+            for element in tup:
+                value ^= element
+            assert value == 0
+
+    def test_m_below_three_rejected(self):
+        with pytest.raises(DesignError):
+            boolean_quadruple_system(2)
+
+
+class TestCyclicPQ:
+    @pytest.mark.parametrize("k", sorted(PLANAR_DIFFERENCE_SETS))
+    def test_planar_sets_develop_to_lam1_bibds(self, k):
+        design = cyclic_pq_design(k)
+        v = k * k - k + 1
+        assert (design.v, design.k, design.b, design.lam) == (v, k, v, 1)
+        design.validate()
+
+    def test_placement_is_cyclic_shift(self):
+        design = cyclic_pq_design(5)
+        base = design.tuples[0]
+        for i, tup in enumerate(design.tuples):
+            assert tup == tuple((e + i) % design.v for e in base)
+
+    def test_unknown_k_rejected(self):
+        with pytest.raises(DesignError):
+            cyclic_pq_design(7)

@@ -8,8 +8,10 @@ from repro.experiments.builders import (
     alpha_of,
     build_layout,
     design_for,
+    dual_design_for,
 )
 from repro.layout import DeclusteredLayout, LeftSymmetricRaid5Layout
+from repro.layout.dual import CyclicDualRaid6Layout, DualDeclusteredLayout
 
 
 class TestBuildLayout:
@@ -39,3 +41,41 @@ class TestBuildLayout:
             if g == 21:
                 continue
             design_for(21, g).validate()
+
+
+class TestDualBuildLayout:
+    def test_g_equals_c_gives_cyclic_raid6(self):
+        layout = build_layout(21, 21, syndromes=2)
+        assert isinstance(layout, CyclicDualRaid6Layout)
+        assert layout.num_syndromes == 2
+
+    @pytest.mark.parametrize("g", [4, 5, 6, 10])
+    def test_declustered_dual_layouts_have_requested_shape(self, g):
+        layout = build_layout(21, g, syndromes=2)
+        assert isinstance(layout, DualDeclusteredLayout)
+        assert layout.num_syndromes == 2
+        assert layout.stripe_size == g
+        assert layout.num_disks == 21
+        assert layout.data_units_per_stripe == g - 2
+
+    def test_planar_pair_uses_the_cyclic_pq_design(self):
+        from repro.designs.tdesigns import is_t_balanced, t_lambda
+
+        # C = G(G-1)+1 with a planar difference set: 21 = 5*4+1. The
+        # projective-plane design routes every disk pair through
+        # exactly one stripe (lambda_2 = 1).
+        design = dual_design_for(21, 5)
+        assert design.v == 21 and design.k == 5
+        assert is_t_balanced(design, 2)
+        assert t_lambda(design, 2) == 1
+
+    def test_power_of_two_g4_uses_the_quadruple_system(self):
+        from repro.designs.tdesigns import is_t_balanced
+
+        design = dual_design_for(8, 4)
+        assert design.v == 8 and design.k == 4
+        assert is_t_balanced(design, 3)
+
+    def test_other_pairs_fall_back_to_the_catalog(self):
+        layout = build_layout(21, 6, syndromes=2)
+        assert layout.stripe_size == 6

@@ -115,3 +115,121 @@ class TestCampaignExperiment:
         text = campaign.format_rows(rows)
         assert "MTTDL" in text
         assert "Markov" in text
+
+
+def dual_campaign_config(**overrides):
+    kwargs = dict(
+        stripe_size=5,
+        num_disks=21,
+        syndromes=2,
+        user_rate_per_s=0.0,
+        read_fraction=0.5,
+        mode="campaign",
+        recon_workers=8,
+        scale=campaign.MICRO,
+        seed=1992,
+        spares=0,
+        fault_profile=FaultProfile(
+            disk_mttf_hours=20_000.0 / MS_PER_HOUR,  # 20 s mean lifetime
+            seed=1992,
+        ),
+        mission_ms=5_000.0,
+    )
+    kwargs.update(overrides)
+    return ScenarioConfig(**kwargs)
+
+
+class TestDualVersusSingleControl:
+    """Acceptance: with the identical fault schedule (same profile
+    seed), the second concurrent failure that loses data on a
+    single-syndrome array is absorbed by the dual-syndrome one."""
+
+    def test_single_control_loses_where_dual_survives(self):
+        # 20 s lifetimes on 21 disks, no spares: failure #2 lands at
+        # ~4.3 s and failure #3 at ~5.7 s, so a 5 s mission separates
+        # the two tolerances.
+        single = run_scenario(dual_campaign_config(syndromes=1))
+        dual = run_scenario(dual_campaign_config())
+        assert single.fault_summary["data_lost"]
+        assert single.fault_summary["data_loss_events"] == 1
+        assert single.fault_summary["disk_failures"] == 2
+        assert not dual.fault_summary["data_lost"]
+        assert dual.fault_summary["data_loss_events"] == 0
+        assert dual.fault_summary["lost_disks"] == []
+        assert dual.fault_summary["exposed_stripes"] == 0
+        # The dual array absorbed the same double failure and ran the
+        # mission to its horizon; the single control stopped at loss.
+        assert dual.fault_summary["disk_failures"] >= 2
+        assert dual.simulated_ms == 5_000.0
+        assert single.simulated_ms < 5_000.0
+
+    def test_third_failure_is_recorded_not_raised(self):
+        result = run_scenario(dual_campaign_config(mission_ms=60_000.0))
+        summary = result.fault_summary
+        assert summary["data_lost"]
+        assert summary["data_loss_events"] == 1
+        assert summary["disk_failures"] == 3
+        assert result.simulated_ms == summary["time_to_data_loss_ms"]
+
+
+class TestDualCampaignTwoFaultMTTDL:
+    """Acceptance: the empirical two-fault MTTDL of an accelerated P+Q
+    campaign matches the extended (three-state) Markov chain fed with
+    the campaign's own measured repair time."""
+
+    @pytest.fixture(scope="class")
+    def row(self):
+        # 0.1 h disk MTTF against ~2 s repairs: every trial reaches a
+        # triple concurrent failure well inside a 2 h mission, so three
+        # trials give three loss observations.
+        trials = 3
+        summaries = []
+        for trial in range(trials):
+            config = dual_campaign_config(
+                spares=512,
+                replacement_delay_ms=1_000.0,
+                fault_profile=FaultProfile(
+                    disk_mttf_hours=0.1, seed=2026 + trial
+                ),
+                mission_ms=2.0 * MS_PER_HOUR,
+            )
+            summaries.append(campaign.trial_summary(run_scenario(config)))
+        return campaign.rows_from_summaries(
+            summaries, trials, mission_hours=2.0, disk_mttf_hours=0.1
+        )[0]
+
+    def test_every_trial_observes_a_two_fault_loss(self, row):
+        assert row["syndromes"] == 2
+        assert row["losses"] == 3
+
+    def test_empirical_mttdl_within_tolerance_of_two_fault_markov(self, row):
+        assert row["mean_repair_s"] > 0
+        assert row["analytic_mttdl_h"] is not None
+        assert 0.4 <= row["mttdl_ratio"] <= 2.5
+
+    def test_dual_rows_format_with_the_two_fault_title(self, row):
+        text = campaign.format_rows([row])
+        assert "P+Q" in text
+        assert "two-fault" in text
+
+
+class TestDualCampaignSpec:
+    def test_spec_configs_carry_syndromes(self):
+        spec = campaign.campaign_spec(
+            "tiny", stripe_sizes=(5,), trials=2, syndromes=2
+        )
+        configs = spec.configs()
+        assert len(configs) == 2
+        assert all(config.syndromes == 2 for config in configs)
+        assert all(config.to_key()["syndromes"] == 2 for config in configs)
+
+    def test_summary_without_syndromes_key_aggregates_as_single(self):
+        # Checkpoints written before the dual campaign existed lack the
+        # syndromes key; they must aggregate with the one-fault chain.
+        legacy = {
+            "g": 4, "alpha": 0.15, "num_disks": 21, "data_lost": True,
+            "simulated_ms": 3_600_000.0, "mean_repair_ms": 2_000.0,
+        }
+        row = campaign.rows_from_summaries([legacy], trials=1)[0]
+        assert row["syndromes"] == 1
+        assert row["analytic_mttdl_h"] is not None

@@ -216,3 +216,27 @@ class TestConfigKey:
 
         config = micro_config(algorithm=STRICT_BASELINE)
         assert ScenarioConfig.from_key(config.to_key()).algorithm is STRICT_BASELINE
+
+
+class TestSyndromesConfig:
+    def test_default_is_single_parity(self):
+        config = micro_config()
+        assert config.syndromes == 1
+        assert config.to_key()["syndromes"] == 1
+
+    def test_dual_round_trips_through_key(self):
+        config = micro_config(syndromes=2)
+        assert ScenarioConfig.from_key(config.to_key()) == config
+
+    def test_legacy_key_without_syndromes_defaults_to_single(self):
+        # Cache keys written before the dual campaign existed must
+        # rebuild, not KeyError.
+        key = micro_config().to_key()
+        key.pop("syndromes")
+        assert ScenarioConfig.from_key(key).syndromes == 1
+
+    def test_invalid_syndrome_counts_rejected(self):
+        with pytest.raises(ValueError, match="syndromes"):
+            micro_config(syndromes=3)
+        with pytest.raises(ValueError, match="syndromes"):
+            micro_config(stripe_size=2, syndromes=2)

@@ -1,0 +1,178 @@
+"""Degraded-mode I/O during rebuild with latent sector errors.
+
+Satellite contract for the robustness PR: a latent (unreadable) sector
+discovered *while a rebuild is running* behaves per the array's fault
+tolerance. A single-parity sweep that hits a latent peer has no
+redundancy left and must surrender exactly that stripe — loudly. A
+dual-syndrome sweep decodes through the latent peer via the surviving
+syndrome, and rewrites the latent unit in place so repeated sweeps
+don't grind the disk's hard-error budget down. User I/O racing either
+repair must stay bit-exact throughout.
+"""
+
+from repro.array.datastore import initial_data_pattern
+from repro.faults.log import FOREGROUND_REPAIR, REBUILD_LOST
+from repro.faults.profile import FaultProfile
+from repro.recon import Reconstructor
+from repro.workload import SyntheticWorkload, WorkloadConfig
+from tests.array.test_scrubber import plant_latent
+from tests.conftest import build_array, build_dual_array
+from tests.recon.test_dual_recon import disk_is_bit_exact
+
+QUIESCENT = FaultProfile(seed=3)  # fault paths armed, no stochastic sources
+
+
+def stripe_with_peer(array, failed):
+    """(stripe, peer unit) — a stripe on ``failed`` plus one live peer."""
+    layout = array.layout
+    for stripe in range(array.addressing.num_stripes):
+        units = layout.stripe_units(stripe)
+        if any(unit.disk == failed for unit in units):
+            peer = next(unit for unit in units if unit.disk != failed)
+            return stripe, peer
+    raise AssertionError(f"no stripe touches disk {failed}")
+
+
+def rebuild(array, disk, workers=2):
+    controller = array.controller
+    controller.install_replacement(disk)
+    reconstructor = Reconstructor(controller, workers=workers, disk=disk)
+    array.env.run(until=reconstructor.start())
+    return reconstructor
+
+
+class TestSingleParitySurrenders:
+    def test_latent_peer_costs_the_sweep_exactly_that_stripe(self):
+        array = build_array(fault_profile=QUIESCENT)
+        failed = 1
+        stripe, peer = stripe_with_peer(array, failed)
+        state = plant_latent(array, peer)
+        array.controller.fail_disk(failed)
+        reconstructor = rebuild(array, failed)
+        # One stripe had a latent peer: with parity already spent on
+        # the failed disk there is nothing left to XOR from, so the
+        # sweep surrenders that unit — and only that unit.
+        assert reconstructor.lost_units == 1
+        [lost] = array.controller.fault_log.of_kind(REBUILD_LOST)
+        assert lost.stripe == stripe
+        # The surrender is not a repair: the latent extent remains.
+        assert state.latent_extents == 1
+
+    def test_stripes_without_the_latent_peer_rebuild_bit_exactly(self):
+        array = build_array(fault_profile=QUIESCENT)
+        failed = 1
+        stripe, peer = stripe_with_peer(array, failed)
+        plant_latent(array, peer)
+        array.controller.fail_disk(failed)
+        rebuild(array, failed)
+        layout = array.layout
+        store = array.controller.datastore
+        for offset in range(array.addressing.mapped_units_per_disk):
+            unit_stripe, role = layout.stripe_of(failed, offset)
+            if unit_stripe == stripe:
+                continue  # the surrendered unit
+            if role >= 0:
+                expected = initial_data_pattern(failed, offset)
+                assert store.read_unit(failed, offset) == expected
+
+
+class TestDualSweepDecodesAndRepairs:
+    def test_latent_peer_is_decoded_through_and_rewritten(self):
+        array = build_dual_array(fault_profile=QUIESCENT)
+        failed = 2
+        stripe, peer = stripe_with_peer(array, failed)
+        state = plant_latent(array, peer)
+        array.controller.fail_disk(failed)
+        reconstructor = rebuild(array, failed)
+        # The surviving syndrome absorbs the latent erasure: nothing
+        # surrendered, the rebuilt disk is bit-exact...
+        assert reconstructor.lost_units == 0
+        assert array.controller.fault_log.count(REBUILD_LOST) == 0
+        assert disk_is_bit_exact(array, failed)
+        # ...and the latent unit itself was rewritten in place, so the
+        # next sweep will not re-hit it.
+        assert state.latent_extents == 0
+        repairs = [
+            e
+            for e in array.controller.fault_log.of_kind(FOREGROUND_REPAIR)
+            if e.disk == peer.disk and e.offset == peer.offset
+        ]
+        assert len(repairs) == 1
+        assert repairs[0].detail == "rebuilt by recon sweep decode"
+        store = array.controller.datastore
+        assert all(
+            store.stripe_is_consistent(s)
+            for s in range(array.addressing.num_stripes)
+        )
+
+    def test_degraded_read_during_rebuild_decodes_past_the_latent(self):
+        array = build_dual_array(fault_profile=QUIESCENT)
+        controller = array.controller
+        failed = 1
+        controller.fail_disk(failed)
+        controller.install_replacement(failed)
+        # A logical unit on the failed disk whose stripe also has a
+        # latent peer: the on-the-fly decode sees two erasures.
+        layout = array.layout
+        target = None
+        for logical in range(array.addressing.num_data_units):
+            address = array.addressing.logical_unit_address(logical)
+            if address.disk != failed:
+                continue
+            stripe = layout.stripe_of_logical(logical)
+            peer = next(
+                unit
+                for unit in layout.stripe_units(stripe)
+                if unit.disk != failed
+            )
+            target = (logical, address, peer)
+            break
+        assert target is not None
+        logical, address, peer = target
+        plant_latent(array, peer)
+        request = array.run_op(controller.read(logical))
+        assert not request.lost_units
+        assert request.read_values == [
+            initial_data_pattern(address.disk, address.offset)
+        ]
+        assert "double-degraded-read" in request.paths
+
+
+class TestForegroundRepairVersusSweepRace:
+    def test_user_io_and_sweep_race_over_latent_sectors(self):
+        """Concurrent user I/O, a running dual rebuild, and several
+        latent sectors: foreground repairs and sweep decodes contend
+        for the same stripes and every read must stay bit-exact."""
+        array = build_dual_array(fault_profile=FaultProfile(seed=5))
+        controller = array.controller
+        failed = 2
+        planted = 0
+        for stripe in range(0, array.addressing.num_stripes, 7):
+            units = [
+                unit
+                for unit in array.layout.stripe_units(stripe)
+                if unit.disk != failed
+            ]
+            plant_latent(array, units[stripe % len(units)])
+            planted += 1
+            if planted == 3:
+                break
+        controller.fail_disk(failed)
+        controller.install_replacement(failed)
+        workload = SyntheticWorkload(
+            controller,
+            WorkloadConfig(access_rate_per_s=40, read_fraction=0.5),
+        )
+        workload.run(duration_ms=float("inf"))
+        reconstructor = Reconstructor(controller, workers=4, disk=failed)
+        array.env.run(until=reconstructor.start())
+        workload.stop()
+        array.env.run(until=workload.drained())
+        assert workload.integrity_errors == []
+        assert reconstructor.lost_units == 0
+        assert controller.faults.fault_free
+        store = controller.datastore
+        assert all(
+            store.stripe_is_consistent(s)
+            for s in range(array.addressing.num_stripes)
+        )

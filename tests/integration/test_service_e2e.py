@@ -20,6 +20,7 @@ import json
 import os
 import pathlib
 import signal
+import socket
 import subprocess
 import sys
 import time
@@ -43,13 +44,13 @@ DEADLINE_S = 120.0
 
 
 class ServeProcess:
-    def __init__(self, data_dir, cache_dir, port_file):
+    def __init__(self, data_dir, cache_dir, port_file, port=0):
         env = dict(os.environ)
         env["PYTHONPATH"] = str(REPO / "src")
         self.process = subprocess.Popen(
             [
                 sys.executable, "-m", "repro", "serve",
-                "--port", "0",
+                "--port", str(port),
                 "--data-dir", str(data_dir),
                 "--cache-dir", str(cache_dir),
                 "--port-file", str(port_file),
@@ -178,3 +179,82 @@ def test_kill_resume_identity_and_warm_cache(tmp_path):
     assert warm["sweep"]["executed"] == 0
     assert warm["sweep"]["cache_hits"] == total
     assert warm["rows"] == reference["rows"]
+
+
+def free_port():
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+@pytest.mark.slow
+def test_watch_reconnects_across_a_server_restart(tmp_path):
+    """``repro job watch`` must ride out a killed-and-restarted server.
+
+    The watcher is the real CLI in a subprocess. Mid-campaign the
+    server is SIGKILLed; the watcher's stream tears, its reconnect
+    attempts get connection-refused, and once the server restarts (same
+    port, same data dir) the resumed job streams to ``done`` — the
+    watcher exits 0 having printed a terminal event, with reconnect
+    notices on stderr.
+    """
+    data_dir = tmp_path / "data"
+    port = free_port()
+
+    serve = ServeProcess(data_dir, "none", tmp_path / "port1.json", port=port)
+    watcher = None
+    try:
+        status, job = serve.request("POST", "/jobs", CAMPAIGN_SPEC)
+        assert status == 201
+        job_id = job["id"]
+        watcher = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "job",
+                "--server", f"http://127.0.0.1:{port}",
+                "watch", job_id,
+                "--retries", "40",
+                "--backoff", "0.2",
+            ],
+            cwd=str(REPO),
+            env={**os.environ, "PYTHONPATH": str(REPO / "src")},
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+        )
+        # Let at least one trial land so the watcher has streamed real
+        # progress before the crash.
+        serve.wait_until(
+            f"/jobs/{job_id}",
+            lambda body: body["progress"].get("completed", 0) >= 1
+            or terminal(body),
+        )
+        serve.kill()  # SIGKILL: the watcher's stream tears mid-flight
+
+        # A gap with no server at all: the watcher must retry through
+        # connection-refused, not just a torn stream.
+        time.sleep(1.0)
+        serve = ServeProcess(
+            data_dir, "none", tmp_path / "port2.json", port=port
+        )
+        out, err = watcher.communicate(timeout=DEADLINE_S)
+    finally:
+        if watcher is not None and watcher.poll() is None:
+            watcher.kill()
+            watcher.communicate(timeout=10.0)
+        serve.terminate()
+
+    err_text = err.decode("utf-8", "replace")
+    assert watcher.returncode == 0, f"watch failed:\n{err_text}"
+    assert "reconnecting from seq" in err_text
+    events = [
+        json.loads(line)
+        for line in out.decode("utf-8").splitlines()
+        if line.strip()
+    ]
+    assert events, "watcher printed no events"
+    finals = [e for e in events if e.get("event") == "state"]
+    assert finals[-1]["state"] == "done"
+    # Both server processes contributed events: the stream carries the
+    # pre-kill epoch and the post-restart epoch.
+    assert any(e.get("event") in ("trial", "point") for e in events)
+    seqs = [e["seq"] for e in events]
+    assert seqs.count(1) >= 2, "no replay from the restarted process"

@@ -1,0 +1,143 @@
+"""Dual-syndrome layouts: placement, balance, and the extended criteria."""
+
+import pytest
+
+from repro.designs import (
+    boolean_quadruple_system,
+    complete_design,
+    cyclic_pq_design,
+    paper_design,
+)
+from repro.layout import (
+    PARITY_ROLE,
+    Q_ROLE,
+    CyclicDualRaid6Layout,
+    DualDeclusteredLayout,
+    LayoutError,
+    evaluate_layout,
+)
+from repro.layout.criteria import (
+    check_double_failure_correcting,
+    check_distributed_q,
+    check_pair_balanced_reconstruction,
+    parity_units_per_disk,
+    q_units_per_disk,
+)
+from repro.layout.raid5 import LeftSymmetricRaid5Layout
+
+
+def dual_paper_layout():
+    return DualDeclusteredLayout(paper_design(5))  # C=21, G=5
+
+
+class TestDualDeclustered:
+    def test_basic_parameters(self):
+        layout = dual_paper_layout()
+        assert layout.num_syndromes == 2
+        assert layout.data_units_per_stripe == 3
+        assert layout.parity_overhead() == pytest.approx(2 / 5)
+        assert layout.declustering_ratio() == pytest.approx(4 / 20)
+        assert layout.syndrome_roles == (PARITY_ROLE, Q_ROLE)
+
+    def test_stripe_units_are_distinct_disks(self):
+        layout = dual_paper_layout()
+        for s in range(layout.stripes_per_table):
+            units = layout.stripe_units(s)
+            assert len(units) == 5
+            assert len({u.disk for u in units}) == 5
+
+    def test_p_and_q_spread_evenly(self):
+        layout = dual_paper_layout()
+        design = layout.design
+        assert set(parity_units_per_disk(layout)) == {design.r}
+        assert set(q_units_per_disk(layout)) == {design.r}
+
+    def test_p_and_q_on_distinct_slots(self):
+        layout = dual_paper_layout()
+        for s in range(layout.stripes_per_table):
+            assert layout.parity_unit(s) != layout.q_unit(s)
+
+    def test_inverse_mapping_round_trips(self):
+        layout = DualDeclusteredLayout(cyclic_pq_design(4))  # C=13, G=4
+        seen = set()
+        for s in range(layout.stripes_per_table):
+            for role in [0, 1, PARITY_ROLE, Q_ROLE]:
+                address = layout.stripe_unit(s, role)
+                assert layout.stripe_of(address.disk, address.offset) == (s, role)
+                seen.add(address)
+        assert len(seen) == layout.stripes_per_table * 4
+
+    def test_logical_mapping_skips_check_units(self):
+        layout = dual_paper_layout()
+        for logical in range(200):
+            address = layout.logical_to_physical(logical)
+            assert layout.physical_to_logical(address.disk, address.offset) == logical
+        p = layout.parity_unit(0)
+        q = layout.q_unit(0)
+        assert layout.physical_to_logical(p.disk, p.offset) is None
+        assert layout.physical_to_logical(q.disk, q.offset) is None
+
+    def test_full_width_design_rejected(self):
+        with pytest.raises(LayoutError):
+            DualDeclusteredLayout(complete_design(4, 4))
+
+    def test_too_narrow_stripe_rejected(self):
+        with pytest.raises(LayoutError):
+            DualDeclusteredLayout(complete_design(5, 2))
+
+    def test_single_layout_has_no_q(self):
+        layout = LeftSymmetricRaid5Layout(5)
+        assert layout.num_syndromes == 1
+        with pytest.raises(LayoutError):
+            layout.q_unit(0)
+
+
+class TestCyclicDualRaid6:
+    def test_rotation(self):
+        layout = CyclicDualRaid6Layout(7)
+        c = 7
+        for s in range(c):
+            assert layout.parity_unit(s).disk == (c - 1 - s) % c
+            assert layout.q_unit(s).disk == (c - 2 - s) % c
+        assert set(parity_units_per_disk(layout)) == {1}
+        assert set(q_units_per_disk(layout)) == {1}
+
+    def test_alpha_is_one(self):
+        assert CyclicDualRaid6Layout(7).declustering_ratio() == pytest.approx(1.0)
+
+    def test_tiny_array_rejected(self):
+        with pytest.raises(LayoutError):
+            CyclicDualRaid6Layout(2)
+
+
+class TestDualCriteria:
+    def test_t3_design_passes_pair_balance(self):
+        layout = DualDeclusteredLayout(boolean_quadruple_system(3))
+        report = check_pair_balanced_reconstruction(layout)
+        assert report.passed, report.detail
+
+    def test_full_width_passes_pair_balance(self):
+        report = check_pair_balanced_reconstruction(CyclicDualRaid6Layout(6))
+        assert report.passed, report.detail
+
+    def test_bibd_fails_pair_balance(self):
+        # lam=1 but not triple-balanced: pairs of failures skew the load.
+        layout = DualDeclusteredLayout(cyclic_pq_design(4))
+        assert not check_pair_balanced_reconstruction(layout).passed
+
+    def test_single_syndrome_fails_double_failure(self):
+        assert not check_double_failure_correcting(LeftSymmetricRaid5Layout(5)).passed
+
+    def test_dual_passes_double_failure(self):
+        assert check_double_failure_correcting(dual_paper_layout()).passed
+
+    def test_evaluate_layout_adds_dual_reports(self):
+        names = [r.name for r in evaluate_layout(dual_paper_layout())]
+        assert "double-failure-correcting" in names
+        assert "pair-balanced-reconstruction" in names
+        assert "distributed-q" in names
+        assert len(names) == 9
+
+    def test_evaluate_layout_unchanged_for_single(self):
+        names = [r.name for r in evaluate_layout(LeftSymmetricRaid5Layout(5))]
+        assert len(names) == 6

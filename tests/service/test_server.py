@@ -236,6 +236,83 @@ class TestCancel:
         assert "already done" in body["error"]
 
 
+def stream_with_epoch(service, path):
+    """Like LiveService.stream but also returns the stream-epoch header."""
+    import json
+    import urllib.request
+
+    request = urllib.request.Request(service.base + path)
+    with urllib.request.urlopen(request, timeout=30.0) as response:
+        epoch = response.headers.get("X-Repro-Stream-Epoch")
+        events = [json.loads(line) for line in response if line.strip()]
+    return events, epoch
+
+
+class TestResumableStream:
+    """seq numbering + ?since/?epoch replay for reconnecting watchers."""
+
+    def test_events_carry_monotonic_seq(self, live_service):
+        _status, job = live_service.post("/jobs", micro_sweep_spec((4, 5)))
+        _final, events = live_service.wait_for(job["id"])
+        assert [e["seq"] for e in events] == list(range(1, len(events) + 1))
+
+    def test_epoch_header_identifies_the_server_process(self, live_service):
+        _status, job = live_service.post("/jobs", micro_scenario_spec())
+        live_service.wait_for(job["id"])
+        _events, epoch = stream_with_epoch(
+            live_service, f"/jobs/{job['id']}/events"
+        )
+        assert epoch == live_service.service.epoch
+        assert epoch  # non-empty opaque token
+
+    def test_since_with_matching_epoch_skips_seen_events(self, live_service):
+        _status, job = live_service.post("/jobs", micro_sweep_spec((4, 5)))
+        _final, events = live_service.wait_for(job["id"])
+        cut = events[1]["seq"]  # pretend we disconnected after two events
+        resumed, _epoch = stream_with_epoch(
+            live_service,
+            f"/jobs/{job['id']}/events"
+            f"?since={cut}&epoch={live_service.service.epoch}",
+        )
+        assert resumed == events[cut:]
+
+    def test_stale_epoch_replays_everything(self, live_service):
+        """After a restart seq numbers restart too; 'since' is meaningless."""
+        _status, job = live_service.post("/jobs", micro_sweep_spec((4, 5)))
+        _final, events = live_service.wait_for(job["id"])
+        replayed, _epoch = stream_with_epoch(
+            live_service,
+            f"/jobs/{job['id']}/events?since={len(events)}&epoch=deadbeef",
+        )
+        assert replayed == events
+
+    def test_since_past_the_end_of_a_done_job_resends_the_terminal(
+        self, live_service
+    ):
+        # A watcher that saw everything but whose connection tore right
+        # at the terminal event must not hang: the stream re-sends the
+        # final event and closes.
+        _status, job = live_service.post("/jobs", micro_scenario_spec())
+        _final, events = live_service.wait_for(job["id"])
+        tail, _epoch = stream_with_epoch(
+            live_service,
+            f"/jobs/{job['id']}/events"
+            f"?since={len(events)}&epoch={live_service.service.epoch}",
+        )
+        assert tail == [events[-1]]
+        assert tail[0]["state"] == "done"
+
+    def test_bad_since_is_400(self, live_service):
+        _status, job = live_service.post("/jobs", micro_scenario_spec())
+        live_service.wait_for(job["id"])
+        for bad in ("abc", "-1"):
+            status, body = live_service.get(
+                f"/jobs/{job['id']}/events?since={bad}"
+            )
+            assert status == 400
+            assert "since" in body["error"]
+
+
 class TestCampaignOverHttp:
     def test_campaign_job_streams_trials_and_returns_rows(self, tmp_path):
         service = LiveService(tmp_path / "data", execute=fake_campaign_execute)

@@ -88,6 +88,7 @@ class TestCampaign:
             "mission_hours": 3.0,
             "stripe_sizes": [4, 6],
             "seed": 11,
+            "syndromes": 1,
         }
 
     def test_defaults_come_from_the_scale(self):
@@ -100,6 +101,25 @@ class TestCampaign:
         rebuilt = spec_from_normalized(spec.document)
         assert rebuilt.campaign == spec.campaign
         assert rebuilt.configs == spec.configs
+
+    def test_dual_syndrome_campaign(self):
+        from repro.experiments.campaign import CAMPAIGN_PQ_STRIPE_SIZES
+
+        spec = parse_spec(
+            {"kind": "campaign", "scale": "tiny", "trials": 1, "syndromes": 2}
+        )
+        assert spec.campaign["syndromes"] == 2
+        # The default grid switches to the dual-capable stripe sizes.
+        assert spec.campaign["stripe_sizes"] == list(CAMPAIGN_PQ_STRIPE_SIZES)
+        assert all(config.syndromes == 2 for config in spec.configs)
+        single = parse_spec({"kind": "campaign", "scale": "tiny", "trials": 1})
+        assert spec.job_id() != single.job_id()
+
+    def test_invalid_syndromes_rejected(self):
+        with pytest.raises(SpecError, match="syndromes"):
+            parse_spec({"kind": "campaign", "scale": "tiny", "syndromes": 3})
+        with pytest.raises(SpecError, match="syndromes"):
+            parse_spec({"kind": "campaign", "scale": "tiny", "syndromes": True})
 
 
 MALFORMED = [
