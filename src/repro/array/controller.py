@@ -96,6 +96,7 @@ class ArrayController:
         on_disk_failure: typing.Optional[typing.Callable[[int], None]] = None,
         metrics: typing.Optional[MetricsRegistry] = None,
         measure_since_ms: float = 0.0,
+        lock_monitor=None,
     ):
         self.env = env
         self.addressing = addressing
@@ -128,7 +129,9 @@ class ArrayController:
         self.faults = ArrayFaults(
             self.layout.num_disks, tolerance=self.layout.num_syndromes
         )
-        self.locks = StripeLockTable(env)
+        # Like metrics, the lock monitor (simsan) is purely
+        # observational; None outside sanitizer runs.
+        self.locks = StripeLockTable(env, monitor=lock_monitor)
         self.datastore: typing.Optional[DataStore] = (
             DataStore(addressing) if with_datastore else None
         )

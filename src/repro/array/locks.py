@@ -50,10 +50,18 @@ class _Mutex:
 
 
 class StripeLockTable:
-    """On-demand mutexes keyed by parity stripe number."""
+    """On-demand mutexes keyed by parity stripe number.
 
-    def __init__(self, env: "Environment"):
+    ``monitor`` is an opt-in observation hook (the simsan lock-order
+    sanitizer). It is None in every normal run: the two ``if`` checks
+    below are the entire overhead when it is off, and the monitor API
+    is purely observational — it must never touch lock state, so an
+    instrumented run stays bit-identical to an uninstrumented one.
+    """
+
+    def __init__(self, env: "Environment", monitor=None):
         self.env = env
+        self.monitor = monitor
         self._locks: typing.Dict[int, _Mutex] = {}
 
     def acquire(self, stripe: int):
@@ -62,10 +70,24 @@ class StripeLockTable:
         if mutex is None:
             mutex = _Mutex(self.env)
             self._locks[stripe] = mutex
+        if self.monitor is not None:
+            granted = not mutex.locked
+            event = mutex.acquire()
+            self.monitor.on_acquire(stripe, event, granted)
+            return event
         return mutex.acquire()
 
     def release(self, stripe: int) -> None:
-        mutex = self._locks[stripe]
+        mutex = self._locks.get(stripe)
+        if self.monitor is not None:
+            # Observe before mutating so the monitor can flag a release
+            # nobody holds (SAN003) before the KeyError below.
+            next_event = (
+                mutex.waiters[0] if mutex is not None and mutex.waiters else None
+            )
+            self.monitor.on_release(stripe, next_event)
+        if mutex is None:
+            raise KeyError(stripe)
         mutex.release()
         if mutex.idle:
             del self._locks[stripe]

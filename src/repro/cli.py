@@ -170,7 +170,10 @@ def build_parser() -> argparse.ArgumentParser:
         ),
         epilog=(
             "Developer tooling: 'repro lint' runs the simlint determinism "
-            "& lock-discipline static analysis (see 'repro lint --help'); "
+            "& lock-discipline static analysis — add --project for the "
+            "whole-program flow rules (see 'repro lint --help'); "
+            "'repro simsan' runs the runtime lock-order sanitizer over "
+            "macro scenarios (see 'repro simsan --help'); "
             "'repro report' renders stored scenario results (sweep-cache "
             "entries or result JSON) as per-run metric tables (see "
             "'repro report --help'); 'repro bench' runs the continuous "
@@ -240,6 +243,11 @@ def main(argv: typing.Optional[typing.Sequence[str]] = None) -> int:
         from repro.devtools.simlint.cli import main as lint_main
 
         return lint_main(argv[1:])
+    if argv and argv[0] == "simsan":
+        # The runtime lock-order sanitizer (simlint's dynamic twin).
+        from repro.devtools.simsan.cli import main as simsan_main
+
+        return simsan_main(argv[1:])
     if argv and argv[0] == "report":
         # Same carve-out for the metrics report renderer.
         from repro.metrics.report import main as report_main

@@ -11,9 +11,13 @@ block the build while new violations do.
 Public surface:
 
 - :func:`lint_paths` / :func:`lint_source` — run the analysis
+  (``lint_paths(..., project=True)`` adds the whole-program rules)
 - :class:`Finding`, :class:`LintReport` — results
-- :class:`Rule`, :func:`register`, :func:`all_rules` — the plugin API
+- :class:`Rule`, :class:`ProjectRule`, :class:`RuntimeRule`,
+  :func:`register`, :func:`all_rules` — the plugin API
 - :mod:`~repro.devtools.simlint.baseline` — accepted-findings file
+- :mod:`~repro.devtools.simlint.project` — the cross-module analyses
+  (module graph, call graph, taint, lock flow)
 """
 
 from repro.devtools.simlint.baseline import (
@@ -30,8 +34,20 @@ from repro.devtools.simlint.engine import (
     lint_source,
 )
 from repro.devtools.simlint.findings import Finding, LintReport
-from repro.devtools.simlint.registry import Rule, all_rules, get_rules, register
-from repro.devtools.simlint.reporters import format_json, format_text
+from repro.devtools.simlint.registry import (
+    ProjectRule,
+    Rule,
+    RuntimeRule,
+    all_rules,
+    get_rules,
+    register,
+)
+from repro.devtools.simlint.reporters import (
+    format_github,
+    format_json,
+    format_sarif,
+    format_text,
+)
 
 __all__ = [
     "Baseline",
@@ -40,9 +56,13 @@ __all__ = [
     "LintReport",
     "LintUsageError",
     "ModuleContext",
+    "ProjectRule",
     "Rule",
+    "RuntimeRule",
     "all_rules",
+    "format_github",
     "format_json",
+    "format_sarif",
     "format_text",
     "get_rules",
     "iter_python_files",

@@ -21,7 +21,12 @@ from repro.devtools.simlint.baseline import (
 )
 from repro.devtools.simlint.engine import LintUsageError, lint_paths
 from repro.devtools.simlint.registry import all_rules
-from repro.devtools.simlint.reporters import format_json, format_text
+from repro.devtools.simlint.reporters import (
+    format_github,
+    format_json,
+    format_sarif,
+    format_text,
+)
 
 EXIT_OK = 0
 EXIT_FINDINGS = 1
@@ -45,9 +50,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=["text", "json"],
+        choices=["text", "json", "sarif", "github"],
         default="text",
-        help="report format (default: text)",
+        help=(
+            "report format (default: text); 'sarif' emits SARIF 2.1.0, "
+            "'github' emits Actions problem annotations"
+        ),
+    )
+    parser.add_argument(
+        "--project",
+        action="store_true",
+        help=(
+            "whole-program mode: build the cross-module project context "
+            "and also run the interprocedural rules "
+            "(DET010/DET011/LOCK010/LOCK011)"
+        ),
     )
     parser.add_argument(
         "--baseline",
@@ -101,7 +118,7 @@ def _split_ids(text: typing.Optional[str]) -> typing.Optional[typing.List[str]]:
 
 def _list_rules(stream: typing.TextIO) -> None:
     for rule in all_rules():
-        stream.write(f"{rule.id}  [{rule.severity}]  {rule.title}\n")
+        stream.write(f"{rule.id}  [{rule.severity}, {rule.scope}]  {rule.title}\n")
         stream.write(f"    why:  {rule.rationale}\n")
         stream.write(f"    fix:  {rule.hint}\n")
 
@@ -144,6 +161,7 @@ def main(argv: typing.Optional[typing.Sequence[str]] = None) -> int:
                 select=_split_ids(args.select),
                 ignore=_split_ids(args.ignore),
                 baseline=None,
+                project=args.project,
             )
             target = baseline_path or pathlib.Path(DEFAULT_BASELINE_NAME)
             count = write_baseline(target, report.active, previous=baseline)
@@ -155,6 +173,7 @@ def main(argv: typing.Optional[typing.Sequence[str]] = None) -> int:
             select=_split_ids(args.select),
             ignore=_split_ids(args.ignore),
             baseline=baseline,
+            project=args.project,
         )
     except LintUsageError as error:
         print(f"simlint: error: {error}", file=sys.stderr)
@@ -162,6 +181,10 @@ def main(argv: typing.Optional[typing.Sequence[str]] = None) -> int:
 
     if args.format == "json":
         sys.stdout.write(format_json(report))
+    elif args.format == "sarif":
+        sys.stdout.write(format_sarif(report))
+    elif args.format == "github":
+        sys.stdout.write(format_github(report))
     else:
         print(format_text(report, verbose=args.verbose))
     return EXIT_OK if report.ok else EXIT_FINDINGS

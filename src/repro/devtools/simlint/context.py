@@ -31,9 +31,25 @@ _SUPPRESS_RE = re.compile(
     r"(?:\s*\((?P<reason>[^)]*)\))?"
 )
 
+#: Whole-program taint annotation: ``# simlint: assume=deterministic
+#: (reason)`` on (or directly above) a ``def`` line forces the
+#: function's taint summary clean; ``assume=nondeterministic`` marks it
+#: as a source even though its body looks harmless. Used by the
+#: interprocedural DET010/DET011 analysis (see
+#: :mod:`repro.devtools.simlint.project.taint`).
+_ASSUME_RE = re.compile(
+    r"#\s*simlint:\s*assume\s*=\s*(?P<value>deterministic|nondeterministic)"
+    r"(?:\s*\((?P<reason>[^)]*)\))?"
+)
+
 
 class Suppression(typing.NamedTuple):
     rules: typing.FrozenSet[str]
+    reason: str
+
+
+class Assumption(typing.NamedTuple):
+    value: str  # "deterministic" | "nondeterministic"
     reason: str
 
 
@@ -68,6 +84,7 @@ class ModuleContext:
         self._collect_imports()
         self.line_suppressions: typing.Dict[int, Suppression] = {}
         self.file_suppressions: typing.Dict[str, str] = {}
+        self.line_assumptions: typing.Dict[int, Assumption] = {}
         self._collect_suppressions()
 
     # ------------------------------------------------------------------
@@ -152,6 +169,19 @@ class ModuleContext:
         for token in tokens:
             if token.type != tokenize.COMMENT:
                 continue
+            assume = _ASSUME_RE.search(token.string)
+            if assume:
+                line = token.start[0]
+                entry = Assumption(
+                    value=assume.group("value"),
+                    reason=(assume.group("reason") or "").strip(),
+                )
+                self.line_assumptions[line] = entry
+                text_before = self.lines[line - 1][: token.start[1]]
+                if not text_before.strip():
+                    # Standalone comment covers the following line, so it
+                    # can sit above the def it annotates.
+                    self.line_assumptions.setdefault(line + 1, entry)
             match = _SUPPRESS_RE.search(token.string)
             if not match:
                 continue
@@ -189,3 +219,7 @@ class ModuleContext:
         if entry is not None and rule in entry.rules:
             return entry.reason or "(no reason given)"
         return None
+
+    def assumption_for(self, line: int) -> typing.Optional[Assumption]:
+        """The ``assume=`` annotation covering ``line`` (a def line), if any."""
+        return self.line_assumptions.get(line)

@@ -1,0 +1,36 @@
+"""Whole-program analysis layer: module graph, call graph, flow analyses.
+
+The per-module rules (DET001–004, LOCK001, …) see one file at a time;
+everything in this package sees the whole tree at once:
+
+- :mod:`~repro.devtools.simlint.project.modules` — the
+  :class:`ProjectContext`: every module parsed, functions and classes
+  indexed by qualified name, imports and lightweight type annotations
+  resolved so ``self.controller._xor`` finds the method it names.
+- :mod:`~repro.devtools.simlint.project.callgraph` — call sites
+  resolved against that index into a project-wide call graph.
+- :mod:`~repro.devtools.simlint.project.taint` — interprocedural
+  nondeterminism taint (rules DET010/DET011).
+- :mod:`~repro.devtools.simlint.project.lockflow` — interprocedural
+  stripe-lock discipline and the acquired-while-holding lock-order
+  graph (rules LOCK010/LOCK011).
+
+Analyses are memoized on the :class:`ProjectContext`, so the rules
+that share an analysis (and the simsan runtime cross-check) pay for it
+once per lint run.
+"""
+
+from repro.devtools.simlint.project.callgraph import CallGraph, CallSite
+from repro.devtools.simlint.project.modules import (
+    ClassInfo,
+    FunctionInfo,
+    ProjectContext,
+)
+
+__all__ = [
+    "CallGraph",
+    "CallSite",
+    "ClassInfo",
+    "FunctionInfo",
+    "ProjectContext",
+]

@@ -1,0 +1,134 @@
+"""The project call graph: call sites resolved to project functions.
+
+Each resolvable :class:`ast.Call` inside a project function becomes a
+:class:`CallSite`. Calls passed as the generator argument of an
+env-like ``.process(...)`` spawn are tagged ``kind="spawn"`` — they
+start a *concurrent* process, so flow analyses must not treat them as
+inline control transfer (lock handoffs ride exactly this edge).
+"""
+
+from __future__ import annotations
+
+import ast
+import typing
+
+from repro.devtools.simlint.context import dotted_parts
+from repro.devtools.simlint.project.modules import (
+    FunctionInfo,
+    LocalTypes,
+    ProjectContext,
+)
+
+ENVIRONMENT_CLASS_SUFFIX = ".Environment"
+
+
+def is_env_chain(project: ProjectContext, types: LocalTypes, expr: ast.AST) -> bool:
+    """Does ``expr`` name the simulation environment?
+
+    Matches the codebase's spellings (``env``, ``self.env``,
+    ``controller.env``) syntactically, plus anything whose inferred
+    type is the kernel ``Environment``.
+    """
+    parts = dotted_parts(expr)
+    if parts and parts[-1] == "env":
+        return True
+    inferred = types.type_of(expr)
+    return inferred is not None and inferred.endswith(ENVIRONMENT_CLASS_SUFFIX)
+
+
+class CallSite(typing.NamedTuple):
+    """One resolved call from one project function to another."""
+
+    caller: str        # caller qualname
+    callee: str        # callee qualname
+    node: ast.Call
+    #: "call" for inline calls (incl. ``yield from``), "spawn" when the
+    #: call's generator is handed to ``env.process(...)``.
+    kind: str
+
+
+class CallGraph:
+    """Resolved call sites, indexed both ways."""
+
+    def __init__(self, project: ProjectContext):
+        self.project = project
+        self.calls_from: typing.Dict[str, typing.List[CallSite]] = {}
+        self.calls_to: typing.Dict[str, typing.List[CallSite]] = {}
+        self.local_types: typing.Dict[str, LocalTypes] = {}
+        for qualname in sorted(project.functions):
+            self._scan(project.functions[qualname])
+
+    def types_for(self, func: FunctionInfo) -> LocalTypes:
+        if func.qualname not in self.local_types:
+            self.local_types[func.qualname] = LocalTypes(self.project, func)
+        return self.local_types[func.qualname]
+
+    def _scan(self, func: FunctionInfo) -> None:
+        types = self.types_for(func)
+        spawned: typing.Set[int] = set()
+        sites: typing.List[CallSite] = []
+        for node in ast.walk(func.node):
+            if not isinstance(node, ast.Call):
+                continue
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "process"
+                and node.args
+                and isinstance(node.args[0], ast.Call)
+                and is_env_chain(self.project, types, node.func.value)
+            ):
+                spawned.add(id(node.args[0]))
+        for node in ast.walk(func.node):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = types.resolve_call(node)
+            if callee is None:
+                continue
+            kind = "spawn" if id(node) in spawned else "call"
+            sites.append(CallSite(func.qualname, callee.qualname, node, kind))
+        sites.sort(key=lambda s: (s.node.lineno, s.node.col_offset))
+        self.calls_from[func.qualname] = sites
+        for site in sites:
+            self.calls_to.setdefault(site.callee, []).append(site)
+
+    def argument_for(
+        self, site: CallSite, param_index: int
+    ) -> typing.Optional[ast.AST]:
+        """The actual argument feeding ``param_index`` of the callee.
+
+        Accounts for the bound-method offset: ``obj.m(a)`` feeds
+        parameter 1 (after ``self``) with ``a``.
+        """
+        callee = self.project.functions.get(site.callee)
+        if callee is None:
+            return None
+        offset = 0
+        if callee.is_method and isinstance(site.node.func, ast.Attribute):
+            parts = dotted_parts(site.node.func.value)
+            # Class.method(self, ...) spelled through the class is the
+            # one unbound form we'd mis-map; skip the offset for it.
+            if not (parts and parts[-1] == callee.class_name):
+                offset = 1
+        position = param_index - offset
+        if position < 0:
+            # The receiver itself (e.g. ``self``).
+            if isinstance(site.node.func, ast.Attribute):
+                return site.node.func.value
+            return None
+        if position < len(site.node.args):
+            arg = site.node.args[position]
+            return None if isinstance(arg, ast.Starred) else arg
+        params = callee.params
+        if param_index < len(params):
+            wanted = params[param_index].arg
+            for keyword in site.node.keywords:
+                if keyword.arg == wanted:
+                    return keyword.value
+        return None
+
+
+def build_call_graph(project: ProjectContext) -> CallGraph:
+    """Memoized construction via :meth:`ProjectContext.analysis`."""
+    return typing.cast(
+        CallGraph, project.analysis("callgraph", lambda: CallGraph(project))
+    )

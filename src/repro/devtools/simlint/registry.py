@@ -33,6 +33,12 @@ class Rule:
     #: How to fix a finding (the autofix hint).
     hint: str = ""
     severity: str = "error"
+    #: "module" rules see one file; "project" rules see the whole tree
+    #: (run only under ``--project``); "runtime" rules are emitted by
+    #: the simsan sanitizer, never by the engine — they are registered
+    #: so ``--list-rules`` documents them and suppressions/baselines
+    #: can target them.
+    scope: str = "module"
 
     def check(self, ctx: ModuleContext) -> typing.Iterator[Finding]:
         raise NotImplementedError
@@ -51,6 +57,40 @@ class Rule:
             snippet=ctx.snippet(node),
             hint=self.hint,
         )
+
+
+class ProjectRule(Rule):
+    """A whole-program rule: sees every module at once.
+
+    Implements :meth:`check_project` against a
+    :class:`~repro.devtools.simlint.project.modules.ProjectContext`;
+    :meth:`finding` still anchors each finding in one module's
+    :class:`ModuleContext`, so suppressions and baselines work
+    unchanged.
+    """
+
+    scope = "project"
+
+    def check(self, ctx: ModuleContext) -> typing.Iterator[Finding]:
+        raise NotImplementedError(
+            f"{self.id} is a project-scope rule; use check_project()"
+        )
+
+    def check_project(self, project: typing.Any) -> typing.Iterator[Finding]:
+        raise NotImplementedError
+
+
+class RuntimeRule(Rule):
+    """A sanitizer rule: findings come from simsan at runtime.
+
+    The engine never runs these; registration gives them stable IDs,
+    ``--list-rules`` documentation, and suppression/baseline support.
+    """
+
+    scope = "runtime"
+
+    def check(self, ctx: ModuleContext) -> typing.Iterator[Finding]:
+        return iter(())
 
 
 _REGISTRY: typing.Dict[str, Rule] = {}
@@ -78,13 +118,34 @@ def all_rules() -> typing.List[Rule]:
 def get_rules(
     select: typing.Optional[typing.Iterable[str]] = None,
     ignore: typing.Optional[typing.Iterable[str]] = None,
+    project: bool = False,
 ) -> typing.List[Rule]:
-    """The enabled subset: ``select`` narrows, then ``ignore`` removes."""
+    """The enabled subset: ``select`` narrows, then ``ignore`` removes.
+
+    Module rules always run; project rules only under ``project=True``.
+    Selecting a rule the current mode cannot run is a usage error with
+    a pointed message rather than a silently-empty run.
+    """
     rules = all_rules()
-    known = {rule.id for rule in rules}
+    by_id = {rule.id: rule for rule in rules}
     for requested in list(select or []) + list(ignore or []):
-        if requested not in known:
+        if requested not in by_id:
             raise KeyError(f"unknown rule id {requested!r}")
+    if select:
+        for requested in select:
+            scope = by_id[requested].scope
+            if scope == "runtime":
+                raise KeyError(
+                    f"rule {requested!r} is a runtime sanitizer rule; it is "
+                    "emitted by `repro simsan`, not by the lint engine"
+                )
+            if scope == "project" and not project:
+                raise KeyError(
+                    f"rule {requested!r} is a whole-program rule; "
+                    "run with --project to enable it"
+                )
+    scopes = {"module", "project"} if project else {"module"}
+    rules = [rule for rule in rules if rule.scope in scopes]
     if select:
         wanted = set(select)
         rules = [rule for rule in rules if rule.id in wanted]

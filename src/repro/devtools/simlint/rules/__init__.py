@@ -2,6 +2,8 @@
 
 Rule inventory (IDs are stable public API):
 
+Per-module (always run):
+
 - ``DET001`` — no wall-clock reads in simulation code
 - ``DET002`` — no module-level or unseeded random draws
 - ``DET003`` — no id()-based ordering
@@ -10,8 +12,27 @@ Rule inventory (IDs are stable public API):
 - ``TIME001`` — no ==/!= between float simulated timestamps
 - ``MUT001`` — no mutation of frozen configs outside constructors
 - ``ERR001`` — no broad except that can swallow DataLossError
+
+Whole-program (``repro lint --project``):
+
+- ``DET010`` — call returns transitive nondeterminism
+- ``DET011`` — nondeterministic value reaches the event kernel
+- ``LOCK010`` — stripe lock escapes its cross-function release protocol
+- ``LOCK011`` — lock acquisition sites form an order cycle
+
+Runtime sanitizer (``repro simsan``):
+
+- ``SAN001``–``SAN006`` — lock-protocol violations observed while a
+  macro scenario actually runs (see
+  :mod:`repro.devtools.simsan.monitor`)
 """
 
-from repro.devtools.simlint.rules import determinism, errors, hygiene, locks
+from repro.devtools.simlint.rules import (
+    determinism,
+    errors,
+    hygiene,
+    interprocedural,
+    locks,
+)
 
-__all__ = ["determinism", "errors", "hygiene", "locks"]
+__all__ = ["determinism", "errors", "hygiene", "interprocedural", "locks"]

@@ -1,0 +1,8 @@
+"""``python -m repro.devtools.simsan`` — direct sanitizer entry point."""
+
+import sys
+
+from repro.devtools.simsan.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -169,14 +169,20 @@ class ScenarioResult:
         return self.reconstruction.reconstruction_time_ms / self.reconstruction.total_units
 
 
-def run_scenario(config: ScenarioConfig, collect_metrics: bool = True) -> ScenarioResult:
+def run_scenario(
+    config: ScenarioConfig,
+    collect_metrics: bool = True,
+    lock_monitor=None,
+) -> ScenarioResult:
     """Simulate one scenario point and summarize it.
 
     ``collect_metrics`` controls only the observability block attached
     to the result — it is deliberately *not* part of
     :class:`ScenarioConfig` (and thus not part of the cache key),
     because metrics collection is passive: the simulation is
-    event-for-event identical with it on or off.
+    event-for-event identical with it on or off. ``lock_monitor`` (the
+    simsan sanitizer) is held to the same contract: observation only,
+    bit-identical results with it on or off.
     """
     scale = config.scale_preset()
     env = Environment()
@@ -198,6 +204,7 @@ def run_scenario(config: ScenarioConfig, collect_metrics: bool = True) -> Scenar
         fault_profile=config.fault_profile,
         metrics=metrics,
         measure_since_ms=scale.warmup_ms,
+        lock_monitor=lock_monitor,
     )
     recorder = ResponseRecorder(warmup_ms=scale.warmup_ms)
     workload: typing.Optional[SyntheticWorkload] = None

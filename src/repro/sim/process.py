@@ -94,6 +94,7 @@ class Process(Event):
         except StopIteration as stop:
             self.succeed(stop.value)
             return
+        # simlint: disable=ERR001 (kernel trampoline: the caught exception is forwarded verbatim into the process event via self.fail, so DataLossError propagates to whoever joins the process; nothing is swallowed)
         except BaseException as exc:
             self.fail(exc)
             return

@@ -47,6 +47,87 @@ class TestExitCodes:
             == 2
         )
 
+    def test_explicit_non_python_file_exits_two(self, tmp_path, capsys):
+        notes = tmp_path / "notes.txt"
+        notes.write_text("not python\n")
+        assert lint_main([str(notes), "--no-baseline"]) == 2
+        assert "not a Python file" in capsys.readouterr().err
+
+    def test_project_rule_without_project_flag_exits_two(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        assert lint_main([str(tmp_path), "--select", "LOCK010"]) == 2
+        assert "--project" in capsys.readouterr().err
+
+    def test_runtime_rule_selection_exits_two(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        assert lint_main([str(tmp_path), "--select", "SAN002", "--project"]) == 2
+        assert "simsan" in capsys.readouterr().err
+
+
+class TestProjectMode:
+    HANDOFF = textwrap.dedent(
+        """
+        class Cache:
+            def read(self, stripe):
+                # simlint: disable=LOCK001 (handed to the spawned closer)
+                yield self.locks.acquire(stripe)
+                self.env.process(self._finish(stripe))
+
+            def _finish(self, stripe):
+                if stripe < 0:
+                    return
+                yield self.env.timeout(1.0)
+                self.locks.release(stripe)
+        """
+    )
+
+    def test_project_flag_finds_the_handoff_leak(self, tmp_path, capsys):
+        (tmp_path / "handoff.py").write_text(self.HANDOFF)
+        assert lint_main([str(tmp_path), "--no-baseline"]) == 0
+        capsys.readouterr()
+        assert lint_main([str(tmp_path), "--no-baseline", "--project"]) == 1
+        out = capsys.readouterr().out
+        assert "LOCK010" in out
+        assert "_finish" in out
+
+    def test_src_lints_clean_in_project_mode(self, monkeypatch, capsys):
+        # Acceptance gate: the whole-program rules hold over the real
+        # tree with no baseline at all.
+        monkeypatch.chdir(REPO_ROOT)
+        exit_code = lint_main(["src/repro", "--no-baseline", "--project"])
+        assert exit_code == 0, capsys.readouterr().out
+
+    def test_list_rules_shows_scopes(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "[error, project]" in out
+        assert "[error, runtime]" in out
+
+
+class TestOutputFormats:
+    def test_sarif_output(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text(
+            "import time\n\ndef stamp():\n    return time.time()\n"
+        )
+        assert (
+            lint_main([str(tmp_path), "--no-baseline", "--format", "sarif"])
+            == 1
+        )
+        document = json.loads(capsys.readouterr().out)
+        assert document["runs"][0]["results"][0]["ruleId"] == "DET001"
+
+    def test_github_output(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text(
+            "import time\n\ndef stamp():\n    return time.time()\n"
+        )
+        assert (
+            lint_main([str(tmp_path), "--no-baseline", "--format", "github"])
+            == 1
+        )
+        out = capsys.readouterr().out
+        assert out.startswith("::error file=")
+        assert "title=simlint DET001::" in out
+
 
 class TestRepoIsClean:
     """The acceptance criterion: `python -m repro lint` exits 0 here."""
@@ -126,3 +207,19 @@ class TestReproEntryPoint:
     def test_experiment_cli_still_works(self, capsys):
         assert repro_main(["list"]) == 0
         assert "fig4-3" in capsys.readouterr().out
+
+
+class TestSimsanEntryPoint:
+    def test_unknown_scenario_exits_two(self, capsys):
+        assert repro_main(["simsan", "nope"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_degraded_scenario_runs_clean(self, monkeypatch, capsys):
+        # The cheapest real scenario end to end through the dispatcher:
+        # instrumented run, static cross-check, zero violations.
+        monkeypatch.chdir(REPO_ROOT)
+        assert repro_main(["simsan", "degraded"]) == 0
+        captured = capsys.readouterr()
+        assert "degraded:" in captured.err
+        assert "0 violation(s)" in captured.err
+        assert "0 finding(s)" in captured.out
