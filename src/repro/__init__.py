@@ -51,9 +51,12 @@ from repro.designs import (
 from repro.disk import IBM_0661, Disk, DiskSpec, scaled_spec
 from repro.experiments import ScenarioConfig, ScenarioResult, get_scale, run_scenario
 from repro.layout import (
+    CyclicArithmeticLayout,
     DeclusteredLayout,
     LeftSymmetricRaid5Layout,
     ParityLayout,
+    PermutationStripingLayout,
+    TableParityLayout,
     evaluate_layout,
 )
 from repro.recon import (
@@ -73,6 +76,7 @@ __all__ = [
     "ArrayController",
     "BASELINE",
     "BlockDesign",
+    "CyclicArithmeticLayout",
     "DataStore",
     "DeclusteredLayout",
     "Disk",
@@ -82,12 +86,14 @@ __all__ = [
     "LeftSymmetricRaid5Layout",
     "ParityLayout",
     "ParityScrubber",
+    "PermutationStripingLayout",
     "REDIRECT",
     "REDIRECT_PIGGYBACK",
     "Reconstructor",
     "ScenarioConfig",
     "SparePool",
     "ScenarioResult",
+    "TableParityLayout",
     "SyntheticWorkload",
     "TraceRecord",
     "TraceWorkload",

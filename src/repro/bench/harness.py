@@ -11,14 +11,15 @@ import typing
 from dataclasses import dataclass
 
 from repro.bench.envinfo import environment_fingerprint
+from repro.bench.layoutperf import LAYOUT_BENCHMARKS
 from repro.bench.macro import MACRO_BENCHMARKS
 from repro.bench.micro import MICRO_BENCHMARKS
 from repro.bench.schema import SCHEMA_ID, validate_document
 
 
 def benchmark_names() -> typing.List[str]:
-    """Every runnable benchmark, micro suite first."""
-    return list(MICRO_BENCHMARKS) + list(MACRO_BENCHMARKS)
+    """Every runnable benchmark: micro suite, then layout, then macro."""
+    return list(MICRO_BENCHMARKS) + list(LAYOUT_BENCHMARKS) + list(MACRO_BENCHMARKS)
 
 
 @dataclass(frozen=True)
@@ -51,6 +52,8 @@ class BenchOptions:
 def _run_one(name: str, scale: str) -> typing.Dict[str, float]:
     if name in MICRO_BENCHMARKS:
         return MICRO_BENCHMARKS[name]()
+    if name in LAYOUT_BENCHMARKS:
+        return LAYOUT_BENCHMARKS[name]()
     return MACRO_BENCHMARKS[name](scale)
 
 

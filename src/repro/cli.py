@@ -178,7 +178,9 @@ def build_parser() -> argparse.ArgumentParser:
             "entries or result JSON) as per-run metric tables (see "
             "'repro report --help'); 'repro bench' runs the continuous "
             "benchmarking harness and emits BENCH_<date>.json (see "
-            "'repro bench --help'); 'repro serve' runs the simulation "
+            "'repro bench --help'); 'repro scenario' runs one ad-hoc "
+            "scenario point — any width, any layout family (see 'repro "
+            "scenario --help'); 'repro serve' runs the simulation "
             "job service and 'repro job' is its client (see 'repro "
             "serve --help' / 'repro job --help')."
         ),
@@ -258,6 +260,11 @@ def main(argv: typing.Optional[typing.Sequence[str]] = None) -> int:
         from repro.bench.cli import main as bench_main
 
         return bench_main(argv[1:])
+    if argv and argv[0] == "scenario":
+        # One ad-hoc scenario point (any width/layout), same cache.
+        from repro.experiments.scenario_cli import main as scenario_main
+
+        return scenario_main(argv[1:])
     if argv and argv[0] == "serve":
         # The simulation job service (async HTTP API).
         from repro.service.server import main as serve_main

@@ -33,6 +33,100 @@ class BaseBlock:
         return self.period if self.period is not None else modulus
 
 
+def developed_tuple_count(
+    base_blocks: typing.Sequence[BaseBlock], modulus: int
+) -> int:
+    """Tuples the development of ``base_blocks`` yields, without building it."""
+    return sum(base.orbit_length(modulus) for base in base_blocks)
+
+
+def iter_developed_tuples(
+    base_blocks: typing.Sequence[BaseBlock], modulus: int
+) -> typing.Iterator[typing.Tuple[int, ...]]:
+    """Develop a difference family lazily, one tuple at a time.
+
+    Yields tuples in the canonical development order — block-major,
+    then shift — which every consumer of cyclic designs (including the
+    arithmetic layouts, whose offset formulas re-derive this order)
+    relies on. Nothing here allocates the O(b·k) developed design.
+    """
+    if modulus < 2:
+        raise DesignError(f"modulus must be >= 2, got {modulus}")
+    for base in base_blocks:
+        length = base.orbit_length(modulus)
+        if not 1 <= length <= modulus:
+            raise DesignError(f"period {length} outside 1..{modulus}")
+        for shift in range(length):
+            yield tuple((e + shift) % modulus for e in base.elements)
+
+
+def developed_tuple_at(
+    base_blocks: typing.Sequence[BaseBlock], modulus: int, index: int
+) -> typing.Tuple[int, ...]:
+    """Random access into the development order: tuple ``index`` in O(k).
+
+    The inverse of enumerating :func:`iter_developed_tuples` — used by
+    table-free layouts to resolve one stripe without materializing any
+    neighbors.
+    """
+    if index < 0:
+        raise DesignError(f"negative tuple index {index}")
+    remaining = index
+    for base in base_blocks:
+        length = base.orbit_length(modulus)
+        if remaining < length:
+            return tuple((e + remaining) % modulus for e in base.elements)
+        remaining -= length
+    raise DesignError(
+        f"tuple index {index} outside the "
+        f"{developed_tuple_count(base_blocks, modulus)}-tuple development"
+    )
+
+
+def difference_family_lambda(
+    base_blocks: typing.Sequence[BaseBlock], modulus: int
+) -> int:
+    """Verify balance of a *full-orbit* difference family; return ``lam``.
+
+    Counts how often every nonzero residue arises as a difference of two
+    elements of one base block — O(m·k²) time and O(v) memory, never the
+    developed design. A constant count ``lam`` is exactly what makes the
+    developed design a BIBD, so this is the streamed equivalent of
+    ``BlockDesign.validate()`` for cyclic designs.
+
+    Raises
+    ------
+    DesignError
+        If any block develops a short orbit (balance of those is not a
+        pure difference count), elements repeat within a block, or the
+        difference counts are not constant.
+    """
+    if modulus < 2:
+        raise DesignError(f"modulus must be >= 2, got {modulus}")
+    if not base_blocks:
+        raise DesignError("difference family has no base blocks")
+    counts = [0] * modulus
+    for base in base_blocks:
+        if base.orbit_length(modulus) != modulus:
+            raise DesignError(
+                f"difference counting needs full orbits; block {base.elements} "
+                f"has period {base.period}"
+            )
+        residues = [e % modulus for e in base.elements]
+        if len(set(residues)) != len(residues):
+            raise DesignError(f"base block {base.elements} repeats an element")
+        for a in residues:
+            for b in residues:
+                if a != b:
+                    counts[(a - b) % modulus] += 1
+    lams = set(counts[1:])
+    if len(lams) != 1:
+        raise DesignError(
+            f"not a difference family: difference counts range over {sorted(lams)}"
+        )
+    return lams.pop()
+
+
 def develop_base_blocks(
     base_blocks: typing.Sequence[BaseBlock],
     modulus: int,
@@ -47,16 +141,11 @@ def develop_base_blocks(
     modulus:
         ``N`` — the design's object count and the development modulus.
     """
-    if modulus < 2:
-        raise DesignError(f"modulus must be >= 2, got {modulus}")
-    tuples: typing.List[typing.Tuple[int, ...]] = []
-    for base in base_blocks:
-        length = base.orbit_length(modulus)
-        if not 1 <= length <= modulus:
-            raise DesignError(f"period {length} outside 1..{modulus}")
-        for shift in range(length):
-            tuples.append(tuple((e + shift) % modulus for e in base.elements))
-    return BlockDesign(v=modulus, tuples=tuple(tuples), name=name)
+    return BlockDesign(
+        v=modulus,
+        tuples=tuple(iter_developed_tuples(base_blocks, modulus)),
+        name=name,
+    )
 
 
 def cyclic_design(

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import typing
 
-from repro.designs.design import BlockDesign
+from repro.designs.design import BlockDesign, DesignError
 from repro.designs.difference import cyclic_design
 
 FamilySpec = typing.Tuple[
@@ -41,6 +41,39 @@ KNOWN_FAMILIES: typing.Dict[typing.Tuple[int, int], FamilySpec] = {
     (15, 7): (((0, 1, 2, 4, 5, 8, 10),), None),
     (23, 11): (((1, 2, 3, 4, 6, 8, 9, 12, 13, 16, 18),), None),  # QR(23)
 }
+
+
+def full_orbit_family(
+    v: int, k: int
+) -> typing.Tuple[typing.Tuple[int, ...], ...]:
+    """Base blocks of a *full-orbit* cyclic difference family for ``(v, k)``.
+
+    Full orbits (every block developed through all ``v`` shifts) are
+    what the arithmetic cyclic layout needs: its O(1) offset formulas
+    assume each block contributes exactly ``v`` tuples. Sources, in
+    order: the registered families above (skipping any with short
+    orbits, such as (15, 3)), the planar (Singer) difference sets, and
+    quadratic-residue difference sets for primes ``v ≡ 3 (mod 4)``.
+
+    Raises
+    ------
+    DesignError
+        If no full-orbit family is known for the parameters.
+    """
+    from repro.designs.families import is_prime, quadratic_residues
+    from repro.designs.tdesigns import PLANAR_DIFFERENCE_SETS
+
+    spec = KNOWN_FAMILIES.get((v, k))
+    if spec is not None and spec[1] is None:
+        return spec[0]
+    planar = PLANAR_DIFFERENCE_SETS.get(k)
+    if planar is not None and planar[0] == v:
+        return (planar[1],)
+    if v == 2 * k + 1 and v % 4 == 3 and is_prime(v):
+        return (tuple(quadratic_residues(v)),)
+    raise DesignError(
+        f"no full-orbit cyclic difference family known for (v={v}, k={k})"
+    )
 
 
 def known_family_design(v: int, k: int) -> BlockDesign:

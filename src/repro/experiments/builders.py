@@ -3,13 +3,18 @@
 from __future__ import annotations
 
 from repro.designs.catalog import default_catalog
-from repro.designs.design import BlockDesign
+from repro.designs.complete import complete_design_size
+from repro.designs.design import BlockDesign, DesignError
+from repro.designs.families import is_prime
+from repro.designs.known_families import full_orbit_family
 from repro.designs.tdesigns import (
     PLANAR_DIFFERENCE_SETS,
     boolean_quadruple_system,
     cyclic_pq_design,
 )
-from repro.layout.base import ParityLayout
+from repro.layout.arithmetic import CyclicArithmeticLayout, PermutationStripingLayout
+from repro.layout.base import LayoutError, ParityLayout
+from repro.layout.criteria import SAMPLING_THRESHOLD_DISKS
 from repro.layout.declustered import DeclusteredLayout
 from repro.layout.dual import CyclicDualRaid6Layout, DualDeclusteredLayout
 from repro.layout.raid5 import LeftSymmetricRaid5Layout
@@ -19,6 +24,17 @@ PAPER_NUM_DISKS = 21
 
 #: The paper's parity stripe sizes and the alphas they induce on C=21.
 PAPER_STRIPE_SIZES = (3, 4, 5, 6, 10, 18, 21)
+
+#: Layout selection strategies a scenario may name. "auto" (the
+#: default) preserves the historical table-based selection wherever the
+#: design catalog serves the requested (C, G) itself — so every
+#: pre-existing configuration is bit-identical — and switches to an
+#: arithmetic layout when the catalog could only substitute a different
+#: stripe size (the closest-feasible-alpha policy), which at large C
+#: would mean a near-complete design whose validation is intractable.
+#: The explicit names force one family and fail loudly if it does not
+#: fit.
+LAYOUT_CHOICES = ("auto", "table", "prime", "cyclic")
 
 
 def design_for(num_disks: int, stripe_size: int) -> BlockDesign:
@@ -50,14 +66,65 @@ def dual_design_for(num_disks: int, stripe_size: int) -> BlockDesign:
     return design_for(num_disks, stripe_size)
 
 
-def build_layout(
-    num_disks: int, stripe_size: int, syndromes: int = 1
+def arithmetic_layout(
+    num_disks: int, stripe_size: int, syndromes: int = 1, kind: str = "auto"
 ) -> ParityLayout:
-    """A parity layout for ``G`` on ``C`` disks (RAID 5 when G == C).
+    """A table-free layout for ``(C, G)``: permutation striping on prime
+    widths, cyclic difference-family development where one is known.
 
-    ``syndromes=2`` selects the dual (P+Q) variants: the cyclic RAID-6
-    rotation when G == C, the block-design dual layout otherwise.
+    ``kind`` may force ``"prime"`` or ``"cyclic"``; ``"auto"`` prefers
+    permutation striping (always available on a prime width) and falls
+    back to a cyclic family.
     """
+    if kind in ("auto", "prime") and is_prime(num_disks) and stripe_size < num_disks:
+        return PermutationStripingLayout(
+            num_disks, stripe_size, num_syndromes=syndromes
+        )
+    if kind == "prime":
+        raise LayoutError(
+            f"layout 'prime' needs a prime C with G < C, got C={num_disks} "
+            f"G={stripe_size}"
+        )
+    try:
+        blocks = full_orbit_family(num_disks, stripe_size)
+    except DesignError as error:
+        raise LayoutError(
+            f"no arithmetic layout for C={num_disks} G={stripe_size}: {error}"
+        ) from error
+    return CyclicArithmeticLayout(blocks, num_disks, num_syndromes=syndromes)
+
+
+def _catalog_serves_exact(num_disks: int, stripe_size: int, syndromes: int) -> bool:
+    """Whether the table path can serve the *requested* (C, G) itself.
+
+    When this is False the catalog's :meth:`select` would substitute
+    the closest feasible alpha — a different stripe size entirely. At
+    small C that substitution is the paper's own policy and stays; at
+    large C the nearest feasible design is a near-complete one whose
+    O(b * k**2) validation is intractable (v=1009 would pick k=1008 and
+    spend ~1e9 operations in ``pair_counts``), so the auto path must
+    not walk into it.
+    """
+    if stripe_size == num_disks:
+        return True  # RAID 5 / cyclic RAID 6: no block design involved
+    if syndromes == 2:
+        if stripe_size == 4 and num_disks >= 8 and num_disks & (num_disks - 1) == 0:
+            return True  # boolean Steiner quadruple system
+        if (
+            stripe_size in PLANAR_DIFFERENCE_SETS
+            and num_disks == stripe_size * (stripe_size - 1) + 1
+        ):
+            return True  # cyclic planar P+Q design
+    catalog = default_catalog()
+    if catalog.exact(num_disks, stripe_size) is not None:
+        return True
+    return complete_design_size(num_disks, stripe_size) <= catalog.max_table_tuples
+
+
+def _table_layout(
+    num_disks: int, stripe_size: int, syndromes: int
+) -> ParityLayout:
+    """The historical table-based selection (RAID 5 when G == C)."""
     if syndromes == 2:
         if stripe_size == num_disks:
             return CyclicDualRaid6Layout(num_disks)
@@ -65,6 +132,52 @@ def build_layout(
     if stripe_size == num_disks:
         return LeftSymmetricRaid5Layout(num_disks)
     return DeclusteredLayout(design_for(num_disks, stripe_size))
+
+
+def build_layout(
+    num_disks: int, stripe_size: int, syndromes: int = 1, layout: str = "auto"
+) -> ParityLayout:
+    """A parity layout for ``G`` on ``C`` disks (RAID 5 when G == C).
+
+    ``syndromes=2`` selects the dual (P+Q) variants: the cyclic RAID-6
+    rotation when G == C, the block-design dual layout otherwise.
+
+    ``layout`` picks the implementation family (:data:`LAYOUT_CHOICES`):
+    ``"auto"`` keeps the historical table-based selection wherever the
+    catalog serves the requested geometry itself, prefers an arithmetic
+    layout with the *requested* G when the catalog could only
+    substitute a neighboring alpha, and keeps the paper's substitution
+    policy below :data:`SAMPLING_THRESHOLD_DISKS` when no arithmetic
+    construction fits either; ``"table"`` forces the table path;
+    ``"prime"`` / ``"cyclic"`` force the corresponding arithmetic
+    construction.
+    """
+    if layout not in LAYOUT_CHOICES:
+        raise LayoutError(
+            f"unknown layout {layout!r}; choose from {LAYOUT_CHOICES}"
+        )
+    if layout == "prime" or layout == "cyclic":
+        return arithmetic_layout(num_disks, stripe_size, syndromes, kind=layout)
+    if layout == "table":
+        return _table_layout(num_disks, stripe_size, syndromes)
+    if _catalog_serves_exact(num_disks, stripe_size, syndromes):
+        try:
+            return _table_layout(num_disks, stripe_size, syndromes)
+        except DesignError:
+            return arithmetic_layout(num_disks, stripe_size, syndromes)
+    try:
+        return arithmetic_layout(num_disks, stripe_size, syndromes)
+    except LayoutError as error:
+        if num_disks >= SAMPLING_THRESHOLD_DISKS:
+            # A closest-alpha substitute at this width would be a
+            # near-complete design: intractable to validate and nothing
+            # like the requested geometry. Fail instead of hanging.
+            raise LayoutError(
+                f"no layout for C={num_disks} G={stripe_size}: the catalog "
+                f"has no design at this width and no arithmetic "
+                f"construction fits ({error})"
+            ) from error
+        return _table_layout(num_disks, stripe_size, syndromes)
 
 
 def alpha_of(num_disks: int, stripe_size: int) -> float:

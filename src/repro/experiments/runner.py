@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 from repro.array.addressing import ArrayAddressing
 from repro.array.controller import ArrayController
 from repro.disk.constant import ConstantRateDisk
-from repro.experiments.builders import PAPER_NUM_DISKS, build_layout
+from repro.experiments.builders import LAYOUT_CHOICES, PAPER_NUM_DISKS, build_layout
 from repro.experiments.scales import ScalePreset, get_scale
 from repro.faults.profile import FaultProfile
 from repro.metrics import MetricsRegistry
@@ -74,6 +74,12 @@ class ScenarioConfig:
     #: Syndromes per parity stripe: 1 (the paper's single parity) or 2
     #: (the dual P+Q extension tolerating two concurrent failures).
     syndromes: int = 1
+    #: Layout implementation family (see
+    #: :data:`repro.experiments.builders.LAYOUT_CHOICES`): "auto" keeps
+    #: the historical table-based selection where the design catalog
+    #: serves it and falls back to arithmetic layouts at large C;
+    #: "table"/"prime"/"cyclic" force one family.
+    layout: str = "auto"
 
     def __post_init__(self):
         if self.mode not in MODES:
@@ -90,6 +96,10 @@ class ScenarioConfig:
             raise ValueError(
                 f"stripe size {self.stripe_size} leaves no data units with "
                 f"{self.syndromes} syndromes"
+            )
+        if self.layout not in LAYOUT_CHOICES:
+            raise ValueError(
+                f"layout must be one of {LAYOUT_CHOICES}, got {self.layout!r}"
             )
 
     @property
@@ -187,7 +197,10 @@ def run_scenario(
     scale = config.scale_preset()
     env = Environment()
     layout = build_layout(
-        config.num_disks, config.stripe_size, syndromes=config.syndromes
+        config.num_disks,
+        config.stripe_size,
+        syndromes=config.syndromes,
+        layout=config.layout,
     )
     addressing = ArrayAddressing(layout, scale.spec())
     disk_factory = ConstantRateDisk if config.constant_rate_disks else None

@@ -8,14 +8,26 @@ stripes of ``G`` units (``G - 1`` data units plus one parity unit):
 - *inverse*: given ``(disk, offset)``, which stripe and role is that
   unit.
 
-Two layouts are provided: the left-symmetric RAID 5 layout (Figure 2-1
-of the paper; the special case ``G = C``) and the block-design-based
-declustered layout (Section 4, Figures 2-3 and 4-2). Both are built
-as lookup tables that tile down the disks, and both are scored by the
-executable layout criteria in :mod:`repro.layout.criteria`.
+Two families implement the :class:`~repro.layout.base.ParityLayout`
+contract. The table-based family materializes its period as a lookup
+table tiled down the disks: the left-symmetric RAID 5 layout (Figure
+2-1 of the paper; the special case ``G = C``) and the block-design
+declustered layout (Section 4, Figures 2-3 and 4-2). The arithmetic
+family (:mod:`repro.layout.arithmetic`) computes every mapping in O(1)
+integer arithmetic with no table at all, which is what makes C=1000+
+arrays practical. All layouts are scored by the executable layout
+criteria in :mod:`repro.layout.criteria` — exhaustively for small
+arrays, by seeded sampling for large ones.
 """
 
-from repro.layout.base import PARITY_ROLE, Q_ROLE, LayoutError, ParityLayout, UnitAddress
+from repro.layout.base import (
+    PARITY_ROLE,
+    Q_ROLE,
+    LayoutError,
+    ParityLayout,
+    TableParityLayout,
+    UnitAddress,
+)
 from repro.layout.declustered import DeclusteredLayout, build_full_table
 from repro.layout.dual import (
     CyclicDualRaid6Layout,
@@ -24,10 +36,23 @@ from repro.layout.dual import (
 )
 from repro.layout.raid5 import LeftSymmetricRaid5Layout
 from repro.layout.reddy import ReddyTwoGroupLayout
-from repro.layout.criteria import CriterionReport, evaluate_layout
+from repro.layout.arithmetic import (
+    ArithmeticLayout,
+    CyclicArithmeticLayout,
+    PermutationStripingLayout,
+)
+from repro.layout.criteria import (
+    SAMPLING_THRESHOLD_DISKS,
+    CriterionReport,
+    SamplePlan,
+    evaluate_layout,
+    sample_plan,
+)
 
 __all__ = [
+    "ArithmeticLayout",
     "CriterionReport",
+    "CyclicArithmeticLayout",
     "CyclicDualRaid6Layout",
     "DeclusteredLayout",
     "DualDeclusteredLayout",
@@ -35,10 +60,15 @@ __all__ = [
     "LeftSymmetricRaid5Layout",
     "PARITY_ROLE",
     "ParityLayout",
+    "PermutationStripingLayout",
     "Q_ROLE",
     "ReddyTwoGroupLayout",
+    "SAMPLING_THRESHOLD_DISKS",
+    "SamplePlan",
+    "TableParityLayout",
     "UnitAddress",
     "build_dual_full_table",
     "build_full_table",
     "evaluate_layout",
+    "sample_plan",
 ]

@@ -1,11 +1,22 @@
-"""The layout interface and its table-based implementation.
+"""The layout interface, split into mapping contract and table backend.
 
-Every layout in this project is periodic: a *full table* assigns one
-iteration's worth of stripes to ``(disk, offset)`` slots, and the whole
-disk is covered by tiling the table down the disks. The paper's
-declustered layout has a table of ``G * b`` stripes occupying
-``G * r`` units on each disk; the RAID 5 layout has a table of ``C``
-stripes occupying ``C`` units per disk.
+Every layout in this project is periodic: one *full table*'s worth of
+stripes covers a ``C x table_depth`` rectangle of ``(disk, offset)``
+slots, and the whole disk is covered by tiling that period down the
+disks. :class:`ParityLayout` is the mapping contract — tiling,
+forward/inverse unit mapping, and the data mapping (logical data unit
+→ physical slot) used by the striping driver — expressed over two
+period-local primitives subclasses provide:
+
+- ``_period_unit(s, pos)``   — slot of unit ``pos`` of table stripe ``s``;
+- ``_period_slot(disk, off)`` — ``(table stripe, role)`` at a table slot.
+
+:class:`TableParityLayout` is the paper's implementation: the period is
+materialized as an explicit table (``G * b`` stripes occupying ``G * r``
+units per disk for the declustered layout; ``C`` stripes of depth ``C``
+for RAID 5). :mod:`repro.layout.arithmetic` provides the table-free
+implementations where both primitives are pure integer arithmetic, which
+is what makes C=1000+ arrays practical.
 """
 
 from __future__ import annotations
@@ -37,12 +48,15 @@ class UnitAddress:
 class ParityLayout:
     """A periodic parity layout over ``C`` disks with stripes of ``G`` units.
 
-    Subclasses build the table; this base class implements tiling,
-    forward/inverse unit mapping, and the data mapping (logical data
-    unit → physical slot) used by the striping driver. The data mapping
-    is "by parity stripe index" (Table 5-1): logical data units fill
-    successive data positions of successive parity stripes, which
-    satisfies the large-write-optimization criterion.
+    This base class implements tiling, forward/inverse unit mapping, and
+    the data mapping (logical data unit → physical slot) used by the
+    striping driver, all in terms of the period-local primitives
+    ``_period_unit`` / ``_period_slot``. Subclasses provide those
+    primitives and must set ``_stripes_per_table`` and ``table_depth``
+    during construction. The default data mapping is "by parity stripe
+    index" (Table 5-1): logical data units fill successive data
+    positions of successive parity stripes, which satisfies the
+    large-write-optimization criterion.
 
     Parameters
     ----------
@@ -50,16 +64,10 @@ class ParityLayout:
         ``C``.
     stripe_size:
         ``G``, counting the parity unit.
-    table:
-        One full table: a sequence of stripes, each a sequence of ``G``
-        :class:`UnitAddress` where index ``G-1`` is the **parity** slot
-        and indices ``0..G-2`` are data slots in order. Dual-syndrome
-        layouts (``num_syndromes=2``) additionally reserve index
-        ``G-2`` for the **Q** slot, leaving ``0..G-3`` for data.
     name:
         Human-readable layout label.
     data_mapping:
-        How logical data units are ordered onto the table's data slots:
+        How logical data units are ordered onto the period's data slots:
 
         - ``"stripe"`` (default, the paper's Table 5-1 choice): logical
           units fill successive data positions of successive parity
@@ -69,31 +77,36 @@ class ParityLayout:
           offset row across the disks. Since each row holds one unit
           per disk, consecutive logical units land on distinct disks —
           recovering most of criterion 6 at the cost of criterion 5.
-          This explores the open trade-off of Section 4.2.
+          This explores the open trade-off of Section 4.2. Only
+          table-based layouts support it (the order is an explicit
+          index over the materialized table).
     num_syndromes:
         Check units per stripe: 1 (parity only, the paper's code) or
         2 (P+Q, tolerating any two failures; see
         :mod:`repro.array.syndromes`).
     """
 
+    #: Set by subclasses during construction.
+    table_depth: int
+    _stripes_per_table: int
+
     def __init__(
         self,
         num_disks: int,
         stripe_size: int,
-        table: typing.Sequence[typing.Sequence[UnitAddress]],
         name: str = "",
         data_mapping: str = "stripe",
         num_syndromes: int = 1,
     ):
         if num_syndromes not in (1, 2):
             raise LayoutError(f"num_syndromes must be 1 or 2, got {num_syndromes}")
+        # num_syndromes >= 1 makes this check subsume any ``G < 2``
+        # guard: G=1 is rejected here with the usable diagnostic.
         if stripe_size < num_syndromes + 1:
             raise LayoutError(
                 f"stripe size {stripe_size} leaves no data units beside "
                 f"{num_syndromes} syndrome unit(s)"
             )
-        if stripe_size < 2:
-            raise LayoutError(f"stripe size must be >= 2, got {stripe_size}")
         if stripe_size > num_disks:
             raise LayoutError(
                 f"stripe size {stripe_size} exceeds array width {num_disks}"
@@ -107,19 +120,228 @@ class ParityLayout:
         self.num_syndromes = num_syndromes
         self.name = name or type(self).__name__
         self.data_mapping = data_mapping
-        self._table = [list(stripe) for stripe in table]
-        self._check_and_index_table()
-        #: Memo for :meth:`stripe_unit`: (stripe, pos) -> UnitAddress.
-        #: The striping driver resolves the same few thousand stripe
-        #: units over and over; addresses are immutable, so sharing is
-        #: safe, and the key space is bounded by the mapped capacity.
-        self._unit_cache: typing.Dict[typing.Tuple[int, int], UnitAddress] = {}
-        #: Memo for :meth:`logical_to_physical`: logical unit -> slot.
-        #: One dict probe replaces a divmod plus the stripe_unit hop on
-        #: the striping driver's single hottest translation.
-        self._l2p_cache: typing.Dict[int, UnitAddress] = {}
-        self._stripes_per_table = len(self._table)
         self._data_units_per_stripe = stripe_size - num_syndromes
+
+    # ------------------------------------------------------------------
+    # Period-local primitives (the subclass contract)
+    # ------------------------------------------------------------------
+    def _period_unit(self, s: int, pos: int) -> UnitAddress:
+        """Slot of unit ``pos`` of table stripe ``s`` (both period-local)."""
+        raise NotImplementedError
+
+    def _period_slot(self, disk: int, table_offset: int) -> typing.Tuple[int, int]:
+        """``(table stripe, role)`` of the slot at ``(disk, table_offset)``."""
+        raise NotImplementedError
+
+    def _role_of_pos(self, pos: int) -> int:
+        if pos == self.stripe_size - 1:
+            return PARITY_ROLE
+        if self.num_syndromes == 2 and pos == self.stripe_size - 2:
+            return Q_ROLE
+        return pos
+
+    # ------------------------------------------------------------------
+    # Basic parameters
+    # ------------------------------------------------------------------
+    @property
+    def stripes_per_table(self) -> int:
+        """Stripes in one full table (the layout's period)."""
+        return self._stripes_per_table
+
+    @property
+    def data_units_per_stripe(self) -> int:
+        """``G - num_syndromes``."""
+        return self._data_units_per_stripe
+
+    @property
+    def syndrome_roles(self) -> typing.Tuple[int, ...]:
+        """The check-unit roles: ``(PARITY_ROLE,)`` or ``(PARITY_ROLE, Q_ROLE)``."""
+        return (PARITY_ROLE, Q_ROLE)[: self.num_syndromes]
+
+    @property
+    def mapping_table_units(self) -> int:
+        """Slots the implementation materializes to translate addresses.
+
+        The full table for table-based layouts; zero for arithmetic
+        layouts, whose period exists only as formulas. This is the
+        quantity layout criterion 4 (efficient mapping) bounds.
+        """
+        return self.stripes_per_table * self.stripe_size
+
+    def declustering_ratio(self) -> float:
+        """``alpha = (G-1)/(C-1)`` — 1.0 for RAID 5."""
+        return (self.stripe_size - 1) / (self.num_disks - 1)
+
+    def parity_overhead(self) -> float:
+        """Fraction of disk space consumed by check units, ``num_syndromes/G``."""
+        return self.num_syndromes / self.stripe_size
+
+    # ------------------------------------------------------------------
+    # Forward mapping
+    # ------------------------------------------------------------------
+    def stripe_unit(self, stripe: int, role: int) -> UnitAddress:
+        """Physical slot of stripe ``stripe``'s unit with role ``role``.
+
+        ``role`` is a data position, :data:`PARITY_ROLE`, or (in dual-
+        syndrome layouts) :data:`Q_ROLE`.
+        """
+        if role == PARITY_ROLE:
+            pos = self.stripe_size - 1
+        elif role == Q_ROLE:
+            if self.num_syndromes < 2:
+                raise LayoutError("layout has no Q syndrome")
+            pos = self.stripe_size - 2
+        else:
+            pos = role
+        if not 0 <= pos < self.stripe_size or role >= self._data_units_per_stripe:
+            raise LayoutError(f"role {role} invalid for stripe size {self.stripe_size}")
+        iteration, s = divmod(stripe, self._stripes_per_table)
+        base = self._period_unit(s, pos)
+        if iteration == 0:
+            return base
+        return UnitAddress(base.disk, base.offset + iteration * self.table_depth)
+
+    def parity_unit(self, stripe: int) -> UnitAddress:
+        """Physical slot of stripe ``stripe``'s parity unit."""
+        return self.stripe_unit(stripe, PARITY_ROLE)
+
+    def q_unit(self, stripe: int) -> UnitAddress:
+        """Physical slot of stripe ``stripe``'s Q syndrome unit."""
+        return self.stripe_unit(stripe, Q_ROLE)
+
+    def data_unit(self, stripe: int, j: int) -> UnitAddress:
+        """Physical slot of stripe ``stripe``'s ``j``-th data unit."""
+        if not 0 <= j < self._data_units_per_stripe:
+            raise LayoutError(f"data index {j} outside 0..{self._data_units_per_stripe - 1}")
+        return self.stripe_unit(stripe, j)
+
+    def stripe_units(self, stripe: int) -> typing.List[UnitAddress]:
+        """All ``G`` slots of a stripe: data units in order, then check units.
+
+        Check units follow :attr:`syndrome_roles` order — parity, then
+        (in dual-syndrome layouts) Q.
+        """
+        units = [self.stripe_unit(stripe, j) for j in range(self.data_units_per_stripe)]
+        units.append(self.parity_unit(stripe))
+        if self.num_syndromes == 2:
+            units.append(self.q_unit(stripe))
+        return units
+
+    # ------------------------------------------------------------------
+    # Inverse mapping
+    # ------------------------------------------------------------------
+    def stripe_of(self, disk: int, offset: int) -> typing.Tuple[int, int]:
+        """``(stripe, role)`` of the unit at ``(disk, offset)``."""
+        if not 0 <= disk < self.num_disks:
+            raise LayoutError(f"disk {disk} outside array of {self.num_disks}")
+        if offset < 0:
+            raise LayoutError(f"negative offset {offset}")
+        iteration, table_offset = divmod(offset, self.table_depth)
+        s, role = self._period_slot(disk, table_offset)
+        return iteration * self.stripes_per_table + s, role
+
+    # ------------------------------------------------------------------
+    # Data mapping (logical data unit numbering)
+    # ------------------------------------------------------------------
+    @property
+    def data_units_per_table(self) -> int:
+        """Data slots in one full table."""
+        return self.stripes_per_table * self.data_units_per_stripe
+
+    @property
+    def supports_large_write(self) -> bool:
+        """True when aligned logical windows coincide with parity stripes."""
+        return self.data_mapping == "stripe"
+
+    def logical_to_physical(self, logical_unit: int) -> UnitAddress:
+        """Physical slot of logical data unit ``logical_unit``."""
+        if logical_unit < 0:
+            raise LayoutError(f"negative logical unit {logical_unit}")
+        stripe, j = divmod(logical_unit, self._data_units_per_stripe)
+        return self.stripe_unit(stripe, j)
+
+    def physical_to_logical(self, disk: int, offset: int) -> typing.Optional[int]:
+        """Logical data unit at ``(disk, offset)``, or None for check units."""
+        stripe, role = self.stripe_of(disk, offset)
+        if role < 0:
+            return None
+        return stripe * self.data_units_per_stripe + role
+
+    def stripe_of_logical(self, logical_unit: int) -> int:
+        """The parity stripe containing logical data unit ``logical_unit``."""
+        if self.data_mapping == "stripe":
+            return logical_unit // self._data_units_per_stripe
+        address = self.logical_to_physical(logical_unit)
+        return self.stripe_of(address.disk, address.offset)[0]
+
+    # ------------------------------------------------------------------
+    # Rendering (for docs, tests, and the layout explorer example)
+    # ------------------------------------------------------------------
+    def render_table(self, depth: typing.Optional[int] = None) -> str:
+        """ASCII rendering in the style of the paper's Figures 2-1/2-3."""
+        depth = self.table_depth if depth is None else depth
+        header = "Offset | " + " ".join(f"DISK{d:<3d}" for d in range(self.num_disks))
+        lines = [header, "-" * len(header)]
+        for offset in range(depth):
+            cells = []
+            for disk in range(self.num_disks):
+                stripe, role = self.stripe_of(disk, offset)
+                if role == PARITY_ROLE:
+                    cells.append(f"P{stripe:<6d}")
+                elif role == Q_ROLE:
+                    cells.append(f"Q{stripe:<6d}")
+                else:
+                    cells.append(f"D{stripe}.{role:<4d}")
+            lines.append(f"{offset:6d} | " + " ".join(cells))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"<{type(self).__name__} C={self.num_disks} G={self.stripe_size} "
+            f"alpha={self.declustering_ratio():.3f} table={self.stripes_per_table}x"
+            f"{self.table_depth}>"
+        )
+
+
+class TableParityLayout(ParityLayout):
+    """A parity layout whose period is a materialized table.
+
+    Parameters are those of :class:`ParityLayout` plus:
+
+    table:
+        One full table: a sequence of stripes, each a sequence of ``G``
+        :class:`UnitAddress` where index ``G-1`` is the **parity** slot
+        and indices ``0..G-2`` are data slots in order. Dual-syndrome
+        layouts (``num_syndromes=2``) additionally reserve index
+        ``G-2`` for the **Q** slot, leaving ``0..G-3`` for data.
+    """
+
+    def __init__(
+        self,
+        num_disks: int,
+        stripe_size: int,
+        table: typing.Sequence[typing.Sequence[UnitAddress]],
+        name: str = "",
+        data_mapping: str = "stripe",
+        num_syndromes: int = 1,
+    ):
+        super().__init__(
+            num_disks,
+            stripe_size,
+            name=name,
+            data_mapping=data_mapping,
+            num_syndromes=num_syndromes,
+        )
+        self._table = [list(stripe) for stripe in table]
+        self._stripes_per_table = len(self._table)
+        self._check_and_index_table()
+        #: Memo for :meth:`logical_to_physical`, keyed on the
+        #: *within-table* logical unit so the key space is capped by the
+        #: table itself (``data_units_per_table`` entries) no matter how
+        #: many table iterations deep a scan goes. Addresses are
+        #: immutable, so sharing the period-local slot and shifting the
+        #: offset per iteration is safe.
+        self._l2p_period_cache: typing.Dict[int, UnitAddress] = {}
         if data_mapping == "row-major":
             self._build_row_major_order()
 
@@ -161,108 +383,17 @@ class ParityLayout:
             for pos, unit in enumerate(stripe):
                 self._inverse[unit.disk][unit.offset] = (s, self._role_of_pos(pos))
 
-    def _role_of_pos(self, pos: int) -> int:
-        if pos == self.stripe_size - 1:
-            return PARITY_ROLE
-        if self.num_syndromes == 2 and pos == self.stripe_size - 2:
-            return Q_ROLE
-        return pos
+    # ------------------------------------------------------------------
+    # Period-local primitives
+    # ------------------------------------------------------------------
+    def _period_unit(self, s: int, pos: int) -> UnitAddress:
+        return self._table[s][pos]
+
+    def _period_slot(self, disk: int, table_offset: int) -> typing.Tuple[int, int]:
+        return self._inverse[disk][table_offset]
 
     # ------------------------------------------------------------------
-    # Basic parameters
-    # ------------------------------------------------------------------
-    @property
-    def stripes_per_table(self) -> int:
-        """Stripes in one full table."""
-        return self._stripes_per_table
-
-    @property
-    def data_units_per_stripe(self) -> int:
-        """``G - num_syndromes``."""
-        return self._data_units_per_stripe
-
-    @property
-    def syndrome_roles(self) -> typing.Tuple[int, ...]:
-        """The check-unit roles: ``(PARITY_ROLE,)`` or ``(PARITY_ROLE, Q_ROLE)``."""
-        return (PARITY_ROLE, Q_ROLE)[: self.num_syndromes]
-
-    def declustering_ratio(self) -> float:
-        """``alpha = (G-1)/(C-1)`` — 1.0 for RAID 5."""
-        return (self.stripe_size - 1) / (self.num_disks - 1)
-
-    def parity_overhead(self) -> float:
-        """Fraction of disk space consumed by check units, ``num_syndromes/G``."""
-        return self.num_syndromes / self.stripe_size
-
-    # ------------------------------------------------------------------
-    # Forward mapping
-    # ------------------------------------------------------------------
-    def stripe_unit(self, stripe: int, role: int) -> UnitAddress:
-        """Physical slot of stripe ``stripe``'s unit with role ``role``.
-
-        ``role`` is a data position, :data:`PARITY_ROLE`, or (in dual-
-        syndrome layouts) :data:`Q_ROLE`.
-        """
-        if role == PARITY_ROLE:
-            pos = self.stripe_size - 1
-        elif role == Q_ROLE:
-            if self.num_syndromes < 2:
-                raise LayoutError("layout has no Q syndrome")
-            pos = self.stripe_size - 2
-        else:
-            pos = role
-        cached = self._unit_cache.get((stripe, pos))
-        if cached is not None:
-            return cached
-        iteration, s = divmod(stripe, self._stripes_per_table)
-        if not 0 <= pos < self.stripe_size or role >= self._data_units_per_stripe:
-            raise LayoutError(f"role {role} invalid for stripe size {self.stripe_size}")
-        base = self._table[s][pos]
-        address = UnitAddress(base.disk, base.offset + iteration * self.table_depth)
-        self._unit_cache[(stripe, pos)] = address
-        return address
-
-    def parity_unit(self, stripe: int) -> UnitAddress:
-        """Physical slot of stripe ``stripe``'s parity unit."""
-        return self.stripe_unit(stripe, PARITY_ROLE)
-
-    def q_unit(self, stripe: int) -> UnitAddress:
-        """Physical slot of stripe ``stripe``'s Q syndrome unit."""
-        return self.stripe_unit(stripe, Q_ROLE)
-
-    def data_unit(self, stripe: int, j: int) -> UnitAddress:
-        """Physical slot of stripe ``stripe``'s ``j``-th data unit."""
-        if not 0 <= j < self._data_units_per_stripe:
-            raise LayoutError(f"data index {j} outside 0..{self._data_units_per_stripe - 1}")
-        return self.stripe_unit(stripe, j)
-
-    def stripe_units(self, stripe: int) -> typing.List[UnitAddress]:
-        """All ``G`` slots of a stripe: data units in order, then check units.
-
-        Check units follow :attr:`syndrome_roles` order — parity, then
-        (in dual-syndrome layouts) Q.
-        """
-        units = [self.stripe_unit(stripe, j) for j in range(self.data_units_per_stripe)]
-        units.append(self.parity_unit(stripe))
-        if self.num_syndromes == 2:
-            units.append(self.q_unit(stripe))
-        return units
-
-    # ------------------------------------------------------------------
-    # Inverse mapping
-    # ------------------------------------------------------------------
-    def stripe_of(self, disk: int, offset: int) -> typing.Tuple[int, int]:
-        """``(stripe, role)`` of the unit at ``(disk, offset)``."""
-        if not 0 <= disk < self.num_disks:
-            raise LayoutError(f"disk {disk} outside array of {self.num_disks}")
-        if offset < 0:
-            raise LayoutError(f"negative offset {offset}")
-        iteration, table_offset = divmod(offset, self.table_depth)
-        s, role = self._inverse[disk][table_offset]
-        return iteration * self.stripes_per_table + s, role
-
-    # ------------------------------------------------------------------
-    # Data mapping (logical data unit numbering)
+    # Data mapping
     # ------------------------------------------------------------------
     def _build_row_major_order(self) -> None:
         """Index data slots row by row for the row-major data mapping."""
@@ -277,75 +408,34 @@ class ParityLayout:
             (slot.disk, slot.offset): i for i, slot in enumerate(order)
         }
 
-    @property
-    def data_units_per_table(self) -> int:
-        """Data slots in one full table."""
-        return self.stripes_per_table * self.data_units_per_stripe
-
-    @property
-    def supports_large_write(self) -> bool:
-        """True when aligned logical windows coincide with parity stripes."""
-        return self.data_mapping == "stripe"
-
     def logical_to_physical(self, logical_unit: int) -> UnitAddress:
-        """Physical slot of logical data unit ``logical_unit``."""
-        cached = self._l2p_cache.get(logical_unit)
-        if cached is not None:
-            return cached
+        """Physical slot of logical data unit ``logical_unit``.
+
+        One bounded dict probe replaces the divmod plus table hop on the
+        striping driver's single hottest translation.
+        """
         if logical_unit < 0:
             raise LayoutError(f"negative logical unit {logical_unit}")
-        if self.data_mapping == "stripe":
-            stripe, j = divmod(logical_unit, self._data_units_per_stripe)
-            address = self.data_unit(stripe, j)
-        else:
-            iteration, within = divmod(logical_unit, self.data_units_per_table)
-            base = self._row_major_order[within]
-            address = UnitAddress(base.disk, base.offset + iteration * self.table_depth)
-        self._l2p_cache[logical_unit] = address
-        return address
+        iteration, within = divmod(logical_unit, self.data_units_per_table)
+        base = self._l2p_period_cache.get(within)
+        if base is None:
+            if self.data_mapping == "stripe":
+                s, j = divmod(within, self._data_units_per_stripe)
+                base = self._table[s][j]
+            else:
+                base = self._row_major_order[within]
+            self._l2p_period_cache[within] = base
+        if iteration == 0:
+            return base
+        return UnitAddress(base.disk, base.offset + iteration * self.table_depth)
 
     def physical_to_logical(self, disk: int, offset: int) -> typing.Optional[int]:
         """Logical data unit at ``(disk, offset)``, or None for check units."""
+        if self.data_mapping == "stripe":
+            return super().physical_to_logical(disk, offset)
         stripe, role = self.stripe_of(disk, offset)
         if role < 0:
             return None
-        if self.data_mapping == "stripe":
-            return stripe * self.data_units_per_stripe + role
         iteration, table_offset = divmod(offset, self.table_depth)
         within = self._row_major_index[(disk, table_offset)]
         return iteration * self.data_units_per_table + within
-
-    def stripe_of_logical(self, logical_unit: int) -> int:
-        """The parity stripe containing logical data unit ``logical_unit``."""
-        if self.data_mapping == "stripe":
-            return logical_unit // self._data_units_per_stripe
-        address = self.logical_to_physical(logical_unit)
-        return self.stripe_of(address.disk, address.offset)[0]
-
-    # ------------------------------------------------------------------
-    # Rendering (for docs, tests, and the layout explorer example)
-    # ------------------------------------------------------------------
-    def render_table(self, depth: typing.Optional[int] = None) -> str:
-        """ASCII rendering in the style of the paper's Figures 2-1/2-3."""
-        depth = self.table_depth if depth is None else depth
-        header = "Offset | " + " ".join(f"DISK{d:<3d}" for d in range(self.num_disks))
-        lines = [header, "-" * len(header)]
-        for offset in range(depth):
-            cells = []
-            for disk in range(self.num_disks):
-                stripe, role = self.stripe_of(disk, offset)
-                if role == PARITY_ROLE:
-                    cells.append(f"P{stripe:<6d}")
-                elif role == Q_ROLE:
-                    cells.append(f"Q{stripe:<6d}")
-                else:
-                    cells.append(f"D{stripe}.{role:<4d}")
-            lines.append(f"{offset:6d} | " + " ".join(cells))
-        return "\n".join(lines)
-
-    def __repr__(self) -> str:
-        return (
-            f"<{type(self).__name__} C={self.num_disks} G={self.stripe_size} "
-            f"alpha={self.declustering_ratio():.3f} table={self.stripes_per_table}x"
-            f"{self.table_depth}>"
-        )

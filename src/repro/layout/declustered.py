@@ -20,7 +20,7 @@ from __future__ import annotations
 import typing
 
 from repro.designs.design import BlockDesign
-from repro.layout.base import LayoutError, ParityLayout, UnitAddress
+from repro.layout.base import LayoutError, TableParityLayout, UnitAddress
 
 
 def build_full_table(
@@ -58,7 +58,7 @@ def build_full_table(
     return table
 
 
-class DeclusteredLayout(ParityLayout):
+class DeclusteredLayout(TableParityLayout):
     """Parity declustering over ``C = design.v`` disks with ``G = design.k``.
 
     The design is validated for BIBD balance before use; an unbalanced

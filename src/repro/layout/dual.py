@@ -26,7 +26,7 @@ from __future__ import annotations
 import typing
 
 from repro.designs.design import BlockDesign
-from repro.layout.base import LayoutError, ParityLayout, UnitAddress
+from repro.layout.base import LayoutError, TableParityLayout, UnitAddress
 
 
 def build_dual_full_table(
@@ -61,7 +61,7 @@ def build_dual_full_table(
     return table
 
 
-class DualDeclusteredLayout(ParityLayout):
+class DualDeclusteredLayout(TableParityLayout):
     """P+Q parity declustering over ``C = design.v`` disks, ``G = design.k``."""
 
     def __init__(self, design: BlockDesign, data_mapping: str = "stripe"):
@@ -81,7 +81,7 @@ class DualDeclusteredLayout(ParityLayout):
         )
 
 
-class CyclicDualRaid6Layout(ParityLayout):
+class CyclicDualRaid6Layout(TableParityLayout):
     """Full-width P+Q with cyclically rotating check slots (``G = C``).
 
     Stripe ``s`` occupies offset ``s`` of every disk; its P unit lives

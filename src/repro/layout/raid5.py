@@ -8,10 +8,10 @@ is compared (``alpha = 1``), and it satisfies all six layout criteria.
 
 from __future__ import annotations
 
-from repro.layout.base import LayoutError, ParityLayout, UnitAddress
+from repro.layout.base import LayoutError, TableParityLayout, UnitAddress
 
 
-class LeftSymmetricRaid5Layout(ParityLayout):
+class LeftSymmetricRaid5Layout(TableParityLayout):
     """RAID 5 with left-symmetric parity placement over ``C`` disks."""
 
     def __init__(self, num_disks: int):

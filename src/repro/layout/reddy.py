@@ -20,10 +20,10 @@ The layout exists for comparison with the paper's scheme at the fixed
 from __future__ import annotations
 
 from repro.designs.design import BlockDesign
-from repro.layout.base import LayoutError, ParityLayout, UnitAddress
+from repro.layout.base import LayoutError, TableParityLayout, UnitAddress
 
 
-class ReddyTwoGroupLayout(ParityLayout):
+class ReddyTwoGroupLayout(TableParityLayout):
     """Two parity groups per offset row, selected by a block design.
 
     Parameters

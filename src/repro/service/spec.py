@@ -45,7 +45,9 @@ from repro.experiments.runner import ScenarioConfig
 
 #: Bump when the normalized spec layout changes; separates job ids the
 #: way the sweep cache separates result formats.
-SPEC_FORMAT_VERSION = 1
+#: v2: normalized configs carry ScenarioConfig.layout (implementation
+#: family), so every stored config key changed shape.
+SPEC_FORMAT_VERSION = 2
 
 KINDS = ("scenario", "sweep", "campaign")
 

@@ -35,7 +35,9 @@ from repro.workload.recorder import ResponseSummary
 #: v3: metrics block (latency histograms, windowed per-disk stats,
 #: recon progress) on results; percentiles and utilization computed by
 #: repro.metrics (nearest-rank, measurement-windowed).
-CACHE_FORMAT_VERSION = 3
+#: v4: ScenarioConfig.layout joins the canonical config key (layout
+#: implementation family), so every key dict changed shape.
+CACHE_FORMAT_VERSION = 4
 
 
 def default_cache_dir() -> pathlib.Path:

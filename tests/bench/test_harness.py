@@ -30,6 +30,7 @@ def stub_registries(monkeypatch):
         return {"wall_s": 1.0, "ios_per_s": 42.0}
 
     monkeypatch.setattr(harness, "MICRO_BENCHMARKS", {"kernel.stub": stub_micro})
+    monkeypatch.setattr(harness, "LAYOUT_BENCHMARKS", {})
     monkeypatch.setattr(harness, "MACRO_BENCHMARKS", {"macro.stub": stub_macro})
     return calls
 

@@ -1,5 +1,7 @@
 """Unit tests for experiment layout construction."""
 
+import time
+
 import pytest
 
 from repro.experiments.builders import (
@@ -11,6 +13,7 @@ from repro.experiments.builders import (
     dual_design_for,
 )
 from repro.layout import DeclusteredLayout, LeftSymmetricRaid5Layout
+from repro.layout.arithmetic import PermutationStripingLayout
 from repro.layout.dual import CyclicDualRaid6Layout, DualDeclusteredLayout
 
 
@@ -41,6 +44,50 @@ class TestBuildLayout:
             if g == 21:
                 continue
             design_for(21, g).validate()
+
+
+class TestAutoLayoutSelection:
+    def test_auto_serves_large_prime_widths_arithmetically(self):
+        # The catalog has no v=1009 designs; its closest-feasible-alpha
+        # substitute would be a near-complete design (k=1008, b=1009)
+        # whose O(b * k**2) validation takes the better part of an hour.
+        # Auto must route straight to the arithmetic construction with
+        # the requested G — and do so fast.
+        started = time.perf_counter()
+        layout = build_layout(1009, 10)
+        elapsed = time.perf_counter() - started
+        assert isinstance(layout, PermutationStripingLayout)
+        assert layout.num_disks == 1009 and layout.stripe_size == 10
+        assert layout.mapping_table_units == 0
+        assert elapsed < 5.0, f"auto selection took {elapsed:.1f}s"
+
+    def test_auto_serves_large_dual_widths_arithmetically(self):
+        layout = build_layout(1009, 10, syndromes=2)
+        assert isinstance(layout, PermutationStripingLayout)
+        assert layout.num_syndromes == 2
+        assert layout.mapping_table_units == 0
+
+    def test_auto_prefers_requested_g_over_substitution_on_primes(self):
+        # C=23 G=7 has no exact catalog design and the complete design
+        # is over the table cap; permutation striping serves the exact
+        # requested geometry instead of a neighboring alpha.
+        layout = build_layout(23, 7)
+        assert isinstance(layout, PermutationStripingLayout)
+        assert layout.num_disks == 23 and layout.stripe_size == 7
+
+    def test_auto_keeps_paper_substitution_on_small_composite_widths(self):
+        # C=21 G=7: no exact design, no arithmetic construction — the
+        # paper's closest-feasible-alpha policy still applies (the
+        # registered G=6 design, alpha 0.25, is nearest to 0.30).
+        layout = build_layout(21, 7)
+        assert isinstance(layout, DeclusteredLayout)
+        assert layout.stripe_size == 6
+
+    def test_paper_grid_still_served_by_tables(self):
+        for g in PAPER_STRIPE_SIZES:
+            if g == 21:
+                continue
+            assert isinstance(build_layout(21, g), DeclusteredLayout)
 
 
 class TestDualBuildLayout:

@@ -7,6 +7,7 @@ from repro.layout import (
     LayoutError,
     LeftSymmetricRaid5Layout,
     ParityLayout,
+    TableParityLayout,
     UnitAddress,
 )
 
@@ -18,7 +19,7 @@ def tiny_layout() -> ParityLayout:
         [UnitAddress(1, 1), UnitAddress(2, 0)],
         [UnitAddress(2, 1), UnitAddress(0, 1)],
     ]
-    return ParityLayout(num_disks=3, stripe_size=2, table=table, name="tiny")
+    return TableParityLayout(num_disks=3, stripe_size=2, table=table, name="tiny")
 
 
 class TestTableValidation:
@@ -29,11 +30,11 @@ class TestTableValidation:
 
     def test_empty_table_rejected(self):
         with pytest.raises(LayoutError, match="empty"):
-            ParityLayout(num_disks=2, stripe_size=2, table=[])
+            TableParityLayout(num_disks=2, stripe_size=2, table=[])
 
     def test_wrong_stripe_size_rejected(self):
         with pytest.raises(LayoutError, match="units"):
-            ParityLayout(
+            TableParityLayout(
                 num_disks=3,
                 stripe_size=3,
                 table=[[UnitAddress(0, 0), UnitAddress(1, 0)]],
@@ -41,7 +42,7 @@ class TestTableValidation:
 
     def test_double_assignment_rejected(self):
         with pytest.raises(LayoutError, match="twice"):
-            ParityLayout(
+            TableParityLayout(
                 num_disks=2,
                 stripe_size=2,
                 table=[
@@ -52,7 +53,7 @@ class TestTableValidation:
 
     def test_unbalanced_depths_rejected(self):
         with pytest.raises(LayoutError, match="tile"):
-            ParityLayout(
+            TableParityLayout(
                 num_disks=3,
                 stripe_size=2,
                 table=[
@@ -63,7 +64,7 @@ class TestTableValidation:
 
     def test_gap_in_offsets_rejected(self):
         with pytest.raises(LayoutError, match="tile"):
-            ParityLayout(
+            TableParityLayout(
                 num_disks=2,
                 stripe_size=2,
                 table=[[UnitAddress(0, 0), UnitAddress(1, 1)]],
@@ -71,7 +72,7 @@ class TestTableValidation:
 
     def test_disk_out_of_range_rejected(self):
         with pytest.raises(LayoutError, match="outside"):
-            ParityLayout(
+            TableParityLayout(
                 num_disks=2,
                 stripe_size=2,
                 table=[[UnitAddress(0, 0), UnitAddress(5, 0)]],
@@ -79,9 +80,9 @@ class TestTableValidation:
 
     def test_stripe_size_bounds(self):
         with pytest.raises(LayoutError):
-            ParityLayout(num_disks=3, stripe_size=1, table=[[UnitAddress(0, 0)]])
+            TableParityLayout(num_disks=3, stripe_size=1, table=[[UnitAddress(0, 0)]])
         with pytest.raises(LayoutError, match="exceeds"):
-            ParityLayout(
+            TableParityLayout(
                 num_disks=2,
                 stripe_size=3,
                 table=[[UnitAddress(0, 0), UnitAddress(1, 0), UnitAddress(0, 1)]],
@@ -143,6 +144,53 @@ class TestMappings:
         units = layout.stripe_units(0)
         assert len(units) == 2
         assert units[-1] == layout.parity_unit(0)
+
+
+class TestStripeSizeMessages:
+    def test_g1_message_names_syndrome_arithmetic(self):
+        # G=1 must fail through the syndrome-count bound (the old
+        # separate `stripe_size < 2` guard was unreachable dead code).
+        with pytest.raises(
+            LayoutError,
+            match=r"stripe size 1 leaves no data units beside 1 syndrome unit\(s\)",
+        ):
+            TableParityLayout(num_disks=3, stripe_size=1, table=[[UnitAddress(0, 0)]])
+
+    def test_g2_dual_syndrome_message(self):
+        with pytest.raises(
+            LayoutError,
+            match=r"stripe size 2 leaves no data units beside 2 syndrome unit\(s\)",
+        ):
+            TableParityLayout(
+                num_disks=3,
+                stripe_size=2,
+                table=[[UnitAddress(0, 0), UnitAddress(1, 0)]],
+                num_syndromes=2,
+            )
+
+
+class TestBoundedCaches:
+    def test_cache_never_exceeds_one_period(self):
+        # Regression: the old _unit_cache/_l2p_cache grew one entry per
+        # distinct address for the life of the layout — a full-disk
+        # scan over many table iterations leaked without bound. The
+        # period cache must stay capped at one table's worth of keys.
+        layout = LeftSymmetricRaid5Layout(5)
+        period = layout.data_units_per_table
+        for logical in range(period * 7):
+            address = layout.logical_to_physical(logical)
+            assert layout.physical_to_logical(address.disk, address.offset) == logical
+        assert len(layout._l2p_period_cache) <= period
+
+    def test_arithmetic_scan_allocates_no_cache(self):
+        from repro.layout import PermutationStripingLayout
+
+        layout = PermutationStripingLayout(7, 3)
+        for logical in range(layout.data_units_per_table * 3):
+            address = layout.logical_to_physical(logical)
+            assert layout.physical_to_logical(address.disk, address.offset) == logical
+        assert layout.mapping_table_units == 0
+        assert not hasattr(layout, "_l2p_period_cache")
 
 
 class TestDerivedParameters:

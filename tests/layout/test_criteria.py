@@ -1,6 +1,6 @@
 """Unit tests for the individual criterion checks on crafted layouts."""
 
-from repro.layout import ParityLayout, UnitAddress
+from repro.layout import TableParityLayout, UnitAddress
 from repro.layout.criteria import (
     check_distributed_parity,
     check_efficient_mapping,
@@ -12,7 +12,7 @@ from repro.layout.criteria import (
 
 
 def make_layout(table, num_disks, stripe_size):
-    return ParityLayout(num_disks=num_disks, stripe_size=stripe_size, table=table)
+    return TableParityLayout(num_disks=num_disks, stripe_size=stripe_size, table=table)
 
 
 class TestSingleFailureCorrecting:

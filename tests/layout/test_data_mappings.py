@@ -47,11 +47,11 @@ class TestRowMajorMapping:
             )[0]
 
     def test_unknown_mapping_rejected(self):
-        from repro.layout.base import ParityLayout, UnitAddress
+        from repro.layout.base import TableParityLayout, UnitAddress
 
         table = [[UnitAddress(0, 0), UnitAddress(1, 0)]]
         with pytest.raises(LayoutError, match="data mapping"):
-            ParityLayout(2, 2, table, data_mapping="zigzag")
+            TableParityLayout(2, 2, table, data_mapping="zigzag")
 
 
 class TestCriteriaTradeOff:
