@@ -19,7 +19,11 @@ import argparse
 import sys
 import typing
 
-from repro.bench.compare import DEFAULT_TOLERANCE, check_against_baseline
+from repro.bench.compare import (
+    DEFAULT_TOLERANCE,
+    check_against_baseline,
+    fingerprint_mismatch,
+)
 from repro.bench.harness import (
     BenchOptions,
     benchmark_names,
@@ -84,6 +88,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="allowed throughput drop before --check fails (default: 0.25)",
     )
     parser.add_argument(
+        "--disk-kernel",
+        default=None,
+        choices=["auto", "scalar", "vectorized"],
+        help=(
+            "disk service-time kernel for this run (sets REPRO_DISK_KERNEL; "
+            "both paths are bit-identical, this only moves wall-clock)"
+        ),
+    )
+    parser.add_argument(
         "--write-baseline",
         metavar="PATH",
         default=None,
@@ -97,6 +110,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: typing.Optional[typing.Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.disk_kernel:
+        # Benchmarks read the switch through kernel_mode(); setting the
+        # environment variable scopes the choice to this process.
+        import os
+
+        from repro.disk.vectorized import ENV_VAR
+
+        os.environ[ENV_VAR] = args.disk_kernel
     only = tuple(args.only.split(",")) if args.only else None
     try:
         options = BenchOptions(scale=args.scale, repeat=args.repeat, only=only)
@@ -122,6 +143,11 @@ def main(argv: typing.Optional[typing.Sequence[str]] = None) -> int:
             print(f"repro bench: cannot load baseline {args.check}: {error}",
                   file=sys.stderr)
             return 2
+        notice = fingerprint_mismatch(
+            document["environment"], baseline.get("environment", {})
+        )
+        if notice:
+            print(f"repro bench: {notice}", file=sys.stderr)
         check = check_against_baseline(document, baseline, tolerance=args.tolerance)
         print()
         print(check.summary())

@@ -21,6 +21,37 @@ from repro.bench.schema import throughput_metrics, validate_document
 
 DEFAULT_TOLERANCE = 0.25
 
+#: Environment fields whose disagreement makes a throughput comparison
+#: apples-to-oranges: a different CPU model, core count, or interpreter
+#: version shifts every rate without any code changing.
+FINGERPRINT_FIELDS = ("cpu", "cpu_count", "python")
+
+
+def fingerprint_mismatch(
+    current_env: typing.Mapping[str, typing.Any],
+    baseline_env: typing.Mapping[str, typing.Any],
+) -> typing.Optional[str]:
+    """One-line notice when the baseline came from a different machine.
+
+    Returns ``None`` when the comparable fields agree, else a single
+    line naming each differing field as ``field: baseline -> current``.
+    Informational only — the gate's tolerance still decides pass/fail —
+    but the notice tells a reader *why* numbers may drift: the baseline
+    was recorded under a different cpu/cpu_count/python.
+    """
+    differing = [
+        f"{field}: {baseline_env.get(field)!r} -> {current_env.get(field)!r}"
+        for field in FINGERPRINT_FIELDS
+        if baseline_env.get(field) != current_env.get(field)
+    ]
+    if not differing:
+        return None
+    return (
+        "note: baseline environment differs from this machine ("
+        + "; ".join(differing)
+        + ") — rate comparisons may reflect hardware, not code"
+    )
+
 
 @dataclass
 class BaselineCheck:

@@ -1,0 +1,92 @@
+"""Disk-kernel microbenchmarks: service-time evaluations per second.
+
+``disk.service_batch`` times the batch service-time kernel on the SPTF
+pricing shape — a whole queue of candidate requests evaluated from one
+head position and platter phase — and reports both paths:
+
+- ``requests_per_s``        — the vectorized numpy batch
+  (:func:`repro.disk.vectorized.service_times_vectorized`);
+- ``scalar_requests_per_s`` — the reference loop
+  (:func:`repro.disk.vectorized.service_times_scalar`).
+
+Both paths price the identical deterministic workload (no randomness is
+drawn), and they return bit-identical times, so the ratio between the
+two rates is a pure kernel speedup with no workload noise in it. The
+default batch size (256) is the deep-queue shape a saturated SPTF drive
+sees — past the ``auto`` switch's measured scalar/vectorized crossover
+(:data:`repro.disk.vectorized.AUTO_THRESHOLD`), which reporting both
+rates lets the trend job keep honest.
+"""
+
+from __future__ import annotations
+
+# simlint: disable-file=DET001 (wall-clock measurement IS the benchmark deliverable; the priced workload is a fixed deterministic batch)
+
+import time
+import typing
+
+from repro.disk.specs import IBM_0661
+from repro.disk.vectorized import (
+    model_for,
+    service_times_scalar,
+    service_times_vectorized,
+)
+
+
+class _Candidate(typing.NamedTuple):
+    """The two attributes the kernel reads off a queued request."""
+
+    start_sector: int
+    sector_count: int
+
+
+def _workload(model, batch_size: int) -> typing.List[_Candidate]:
+    """A deterministic queue spanning seeks, phases, and track splits."""
+    total = model.spec.total_sectors
+    spt = model.sectors_per_track
+    batch = []
+    for index in range(batch_size):
+        # Stride through the address space so candidates spread across
+        # cylinders (varied seeks) and rotational phases; every third
+        # request crosses a track boundary (multi-run chains).
+        start = (index * 7919 * spt + index * 13) % (total - 4 * spt)
+        count = (spt + 3) if index % 3 == 0 else 1 + (index % 7)
+        batch.append(_Candidate(start, count))
+    return batch
+
+
+def service_batch(
+    batch_size: int = 256, evaluations: int = 200
+) -> typing.Dict[str, float]:
+    """Price ``batch_size`` candidates ``evaluations`` times, both paths."""
+    model = model_for(IBM_0661)
+    batch = _workload(model, batch_size)
+    # Warm the split-by-track cache outside the timed regions so both
+    # paths are timed against the same warm state they see in a run.
+    service_times_scalar(model, 0, 0.0, batch)
+
+    started = time.perf_counter()
+    for index in range(evaluations):
+        service_times_vectorized(model, index % 500, float(index) * 1.7, batch)
+    vector_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    for index in range(evaluations):
+        service_times_scalar(model, index % 500, float(index) * 1.7, batch)
+    scalar_s = time.perf_counter() - started
+
+    priced = batch_size * evaluations
+    return {
+        "requests": priced,
+        "batch_size": batch_size,
+        "wall_s": vector_s,
+        "scalar_wall_s": scalar_s,
+        "requests_per_s": priced / vector_s if vector_s > 0 else 0.0,
+        "scalar_requests_per_s": priced / scalar_s if scalar_s > 0 else 0.0,
+    }
+
+
+#: name -> zero-argument benchmark callable (defaults are the suite).
+DISK_BENCHMARKS: typing.Dict[str, typing.Callable[[], typing.Dict[str, float]]] = {
+    "disk.service_batch": service_batch,
+}

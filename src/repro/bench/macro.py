@@ -7,6 +7,10 @@ Three shapes, mirroring how the repository is actually exercised:
   for one steady-state window. Reported as *simulated disk I/Os per
   wall-clock second* (and user requests/s), the number every figure
   reproduction is bound by.
+- ``macro.sptf``        — the same array under the SPTF scheduler,
+  which prices its whole queue through the batch service-time kernel
+  (:mod:`repro.disk.vectorized`) on every pop: the macro shape that
+  covers the vectorized disk path.
 - ``macro.sweep``       — a small multi-point sweep through
   :func:`repro.sweep.run_sweep` with caching off: the figure-driver
   shape, wall-clock only.
@@ -74,6 +78,33 @@ def fault_free(scale: str = "tiny") -> typing.Dict[str, float]:
     }
 
 
+def sptf(scale: str = "tiny") -> typing.Dict[str, float]:
+    """The standard scenario under SPTF: batch-kernel pricing, timed.
+
+    Driven harder than the cvscan standard so queues actually build —
+    SPTF prices every queued candidate per pop, and with deep queues
+    the ``auto`` kernel switch routes those batches through numpy.
+    """
+    config = ScenarioConfig(
+        stripe_size=STANDARD_STRIPE_SIZE,
+        user_rate_per_s=2.0 * STANDARD_RATE_PER_S,
+        read_fraction=STANDARD_READ_FRACTION,
+        mode="fault-free",
+        num_disks=PAPER_NUM_DISKS,
+        policy="sptf",
+        scale=scale,
+    )
+    started = time.perf_counter()
+    result = run_scenario(config, collect_metrics=False)
+    wall_s = time.perf_counter() - started
+    return {
+        "requests": result.requests_completed,
+        "simulated_ms": result.simulated_ms,
+        "wall_s": wall_s,
+        "requests_per_s": result.requests_completed / wall_s if wall_s > 0 else 0.0,
+    }
+
+
 def sweep(scale: str = "tiny") -> typing.Dict[str, float]:
     """A 4-point fault-free sweep, serial, cache off: wall-clock."""
     spec = SweepSpec(
@@ -131,6 +162,7 @@ def campaign(scale: str = "tiny") -> typing.Dict[str, float]:
 #: name -> benchmark callable taking the scale preset name.
 MACRO_BENCHMARKS: typing.Dict[str, typing.Callable[[str], typing.Dict[str, float]]] = {
     "macro.fault_free": fault_free,
+    "macro.sptf": sptf,
     "macro.sweep": sweep,
     "macro.campaign": campaign,
 }

@@ -10,7 +10,10 @@ chosen to isolate the three hot paths of the kernel:
 - ``kernel.event_relay``     — bare ``Event.succeed`` and callback
   dispatch (the shape of request completion hand-offs);
 - ``kernel.condition_fanin`` — ``AllOf``/``AnyOf`` fan-in (the shape of
-  parallel stripe-unit accesses joining).
+  parallel stripe-unit accesses joining);
+- ``kernel.cohort_dispatch`` — wide same-instant cohorts on both lanes
+  (the shape of batch completions landing on one tick, and the workload
+  the cohort-batched dispatch loop exists to amortize).
 
 No random numbers are drawn and no tracer is attached: the simulated
 event sequence is bit-identical on every run, so wall-clock is the
@@ -119,9 +122,45 @@ def condition_fanin(iterations: int = 6000, fan: int = 8) -> typing.Dict[str, fl
     return _measure(build_and_run)
 
 
+def cohort_dispatch(
+    width: int = 512, heap_width: int = 64, rounds: int = 80
+) -> typing.Dict[str, float]:
+    """Wide same-instant cohorts on both scheduler lanes.
+
+    Each round a driver fires ``width`` zero-delay timeouts (one
+    immediate-lane cohort at the current instant) and ``heap_width``
+    unit-delay timeouts (one heap cohort at the next instant), then
+    advances. Every dispatched event shares its instant with dozens to
+    hundreds of peers, so the run measures the amortized per-event cost
+    of the cohort loop rather than the singleton fast path. The mix is
+    immediate-heavy on purpose: zero-delay schedules (completions,
+    hand-offs, kickoffs) are the majority of all schedules in an array
+    simulation (see :mod:`repro.sim.environment`), and the heap cohort
+    each round keeps the heap-drain path covered.
+    """
+
+    def driver(env: Environment):
+        timeout = env.timeout  # hoisted: measure the kernel, not the lookup
+        for _ in range(rounds):
+            for _ in range(width):
+                timeout(0.0)
+            for _ in range(heap_width):
+                timeout(1.0)
+            yield timeout(1.0)
+
+    def build_and_run() -> Environment:
+        env = Environment()
+        env.process(driver(env), name="cohort-driver")
+        env.run()
+        return env
+
+    return _measure(build_and_run)
+
+
 #: name -> zero-argument benchmark callable (defaults are the suite).
 MICRO_BENCHMARKS: typing.Dict[str, typing.Callable[[], typing.Dict[str, float]]] = {
     "kernel.timeout_churn": timeout_churn,
     "kernel.event_relay": event_relay,
     "kernel.condition_fanin": condition_fanin,
+    "kernel.cohort_dispatch": cohort_dispatch,
 }

@@ -16,8 +16,9 @@ geometry) keep tests and benchmarks fast.
 from repro.disk.specs import IBM_0661, DiskSpec, scaled_spec
 from repro.disk.geometry import DiskGeometry, SectorRange
 from repro.disk.seek import SeekModel
-from repro.disk.drive import Disk, DiskRequest, DiskStats
+from repro.disk.drive import Disk, DiskRequest, DiskStats, service_components
 from repro.disk.constant import ConstantRateDisk
+from repro.disk.vectorized import kernel_mode, service_times
 
 __all__ = [
     "ConstantRateDisk",
@@ -29,5 +30,8 @@ __all__ = [
     "IBM_0661",
     "SectorRange",
     "SeekModel",
+    "kernel_mode",
     "scaled_spec",
+    "service_components",
+    "service_times",
 ]

@@ -33,6 +33,66 @@ KIND_USER = "user"
 KIND_RECON = "recon"
 
 
+def service_components(
+    runs: typing.Sequence,
+    head_cylinder: int,
+    direction: int,
+    start_ms: float,
+    seek_time: typing.Callable[[int], float],
+    sector_time_ms: float,
+    sectors_per_track: int,
+    head_switch_ms: float,
+) -> typing.Tuple[float, float, float, float, int, int]:
+    """Pure scalar service-time math for one request's track runs.
+
+    This is the **reference implementation** of the disk service-time
+    kernel: the batch path in :mod:`repro.disk.vectorized` must
+    reproduce its results bit-for-bit (pinned by the property tests in
+    ``tests/disk/test_vectorized.py``), so any change to the arithmetic
+    here — including operation *order*, which decides float rounding —
+    must be mirrored there.
+
+    Returns ``(service_ms, seek_ms, rotation_ms, transfer_ms,
+    head_cylinder, direction)`` where the last two are the head state
+    after the transfer.
+    """
+    clock = start_ms
+    seek_ms = rotation_ms = transfer_ms = 0.0
+    current_cylinder = head_cylinder
+    for index, run in enumerate(runs):
+        if run.cylinder != current_cylinder:
+            this_seek = seek_time(abs(run.cylinder - current_cylinder))
+            direction = 1 if run.cylinder > current_cylinder else -1
+            current_cylinder = run.cylinder
+            seek_ms += this_seek
+            clock += this_seek
+        elif index > 0:
+            # Same cylinder, next head: pay the switch settle time.
+            switch = head_switch_ms
+            seek_ms += switch
+            clock += switch
+        position = (clock / sector_time_ms) % sectors_per_track
+        slots_to_wait = (run.rotational_start - position) % sectors_per_track
+        # Float round-off can turn an exact hit (wait 0) into a wait
+        # of one full revolution minus epsilon; snap it back to zero.
+        if slots_to_wait > sectors_per_track - 1e-6:
+            slots_to_wait = 0.0
+        wait = slots_to_wait * sector_time_ms
+        rotation_ms += wait
+        clock += wait
+        transfer = run.count * sector_time_ms
+        transfer_ms += transfer
+        clock += transfer
+    return (
+        clock - start_ms,
+        seek_ms,
+        rotation_ms,
+        transfer_ms,
+        current_cylinder,
+        direction,
+    )
+
+
 class DiskRequest:
     """One physical disk access.
 
@@ -168,6 +228,11 @@ class Disk:
         self.scheduler = scheduler if scheduler is not None else make_scheduler(
             policy, spec.cylinders
         )
+        # Position-aware policies (SPTF) price candidates off the live
+        # drive state: give them the drive if they ask for it.
+        bind = getattr(self.scheduler, "bind_disk", None)
+        if bind is not None:
+            bind(self)
         self.head_cylinder = 0
         self.direction = 1
         self.stats = DiskStats()
@@ -266,12 +331,6 @@ class Disk:
 
     def _service_time(self, request: DiskRequest) -> typing.Tuple[float, float, float, float]:
         """Compute service time; updates head cylinder and direction."""
-        sector_time_ms = self._sector_time_ms
-        sectors_per_track = self._sectors_per_track
-        seek_time = self.seek_model.seek_time
-        clock = self.env.now
-        seek_ms = rotation_ms = transfer_ms = 0.0
-        current_cylinder = self.head_cylinder
         runs = self.geometry.split_by_track(request.start_sector, request.sector_count)
         if self.track_buffer:
             tracks = {(run.cylinder, run.track) for run in runs}
@@ -287,32 +346,21 @@ class Disk:
                 self._buffered_track = None
             elif not request.is_write:
                 self._buffered_track = (runs[-1].cylinder, runs[-1].track)
-        for index, run in enumerate(runs):
-            if run.cylinder != current_cylinder:
-                this_seek = seek_time(abs(run.cylinder - current_cylinder))
-                self.direction = 1 if run.cylinder > current_cylinder else -1
-                current_cylinder = run.cylinder
-                seek_ms += this_seek
-                clock += this_seek
-            elif index > 0:
-                # Same cylinder, next head: pay the switch settle time.
-                switch = self._head_switch_ms
-                seek_ms += switch
-                clock += switch
-            position = (clock / sector_time_ms) % sectors_per_track
-            slots_to_wait = (run.rotational_start - position) % sectors_per_track
-            # Float round-off can turn an exact hit (wait 0) into a wait
-            # of one full revolution minus epsilon; snap it back to zero.
-            if slots_to_wait > sectors_per_track - 1e-6:
-                slots_to_wait = 0.0
-            wait = slots_to_wait * sector_time_ms
-            rotation_ms += wait
-            clock += wait
-            transfer = run.count * sector_time_ms
-            transfer_ms += transfer
-            clock += transfer
-        self.head_cylinder = current_cylinder
-        return clock - self.env.now, seek_ms, rotation_ms, transfer_ms
+        service_ms, seek_ms, rotation_ms, transfer_ms, cylinder, direction = (
+            service_components(
+                runs,
+                self.head_cylinder,
+                self.direction,
+                self.env.now,
+                self.seek_model.seek_time,
+                self._sector_time_ms,
+                self._sectors_per_track,
+                self._head_switch_ms,
+            )
+        )
+        self.head_cylinder = cylinder
+        self.direction = direction
+        return service_ms, seek_ms, rotation_ms, transfer_ms
 
     def __repr__(self) -> str:
         return (

@@ -34,7 +34,12 @@ def make_scheduler(policy: str, cylinders: int) -> Scheduler:
     Parameters
     ----------
     policy:
-        One of ``"fifo"``, ``"sstf"``, ``"look"``, ``"cvscan"``.
+        One of ``"fifo"``, ``"sstf"``, ``"sptf"``, ``"look"``,
+        ``"cvscan"``. SPTF prices every queued candidate's full
+        physical service time through the batch kernel
+        (:mod:`repro.disk.vectorized`) and needs a drive bound via
+        ``bind_disk`` — :class:`~repro.disk.drive.Disk` does this
+        automatically for any scheduler exposing the hook.
     cylinders:
         Disk size, used by CVSCAN to scale its directional bias.
 
@@ -46,11 +51,13 @@ def make_scheduler(policy: str, cylinders: int) -> Scheduler:
     from repro.disk.scheduling.fifo import FifoScheduler
     from repro.disk.scheduling.priority import UserPriorityScheduler
     from repro.disk.scheduling.scan import LookScheduler
+    from repro.disk.scheduling.sptf import SptfScheduler
     from repro.disk.scheduling.sstf import SstfScheduler
 
     policies: typing.Dict[str, typing.Callable[[], Scheduler]] = {
         "fifo": FifoScheduler,
         "sstf": SstfScheduler,
+        "sptf": SptfScheduler,
         "look": LookScheduler,
         "cvscan": lambda: CvscanScheduler(cylinders=cylinders),
     }

@@ -39,6 +39,13 @@ class UserPriorityScheduler(Scheduler):
         self.user_queue = user_queue
         self.recon_queue = recon_queue
 
+    def bind_disk(self, disk) -> None:
+        """Forward drive binding to position-aware children (SPTF)."""
+        for queue in (self.user_queue, self.recon_queue):
+            bind = getattr(queue, "bind_disk", None)
+            if bind is not None:
+                bind(disk)
+
     def push(self, request) -> None:
         if request.kind == KIND_USER:
             self.user_queue.push(request)

@@ -1,0 +1,72 @@
+"""Shortest-positioning-time-first scheduling.
+
+SSTF ranks candidates by cylinder distance alone; SPTF ranks them by
+their full physical service time — seek *plus* rotational latency plus
+transfer — evaluated from the drive's current head position and the
+platter phase at the moment the head frees up. Rotational latency is
+the same order of magnitude as a short seek on the paper's drives, so
+SPTF finds wins SSTF cannot see (a slightly farther cylinder whose
+target sector is about to rotate under the head).
+
+Pricing the whole queue per pop is exactly the batch shape the
+vectorized service-time kernel (:mod:`repro.disk.vectorized`) exists
+for: every queued candidate is one lane of a single evaluation. The
+scalar/vectorized switch (``REPRO_DISK_KERNEL``) changes wall-clock
+only — both paths return bit-identical times, hence identical pops,
+hence identical simulations.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.disk.scheduling.base import Scheduler
+from repro.disk.vectorized import model_for, service_times
+
+
+class SptfScheduler(Scheduler):
+    """Service the queued request with the smallest physical service time.
+
+    Ties break toward the earlier arrival: the queue is kept in arrival
+    order and the scan below takes the first strict minimum — the same
+    request either kernel path selects, since their times agree
+    bit-for-bit. Requires :meth:`bind_disk` (the drive's spec, clock,
+    and head state price the candidates); :class:`~repro.disk.drive.Disk`
+    binds any scheduler that asks during construction.
+    """
+
+    def __init__(self):
+        self._queue: typing.List = []
+        self._disk = None
+        self._model = None
+
+    def bind_disk(self, disk) -> None:
+        """Attach the drive whose physical state prices candidates."""
+        self._disk = disk
+        self._model = model_for(disk.spec)
+
+    def push(self, request) -> None:
+        self._queue.append(request)
+
+    def pop(self, head_cylinder: int, direction: int):
+        queue = self._queue
+        if len(queue) == 1:
+            return queue.pop()
+        disk = self._disk
+        if disk is None:
+            raise RuntimeError(
+                "SptfScheduler needs bind_disk() before pop() — construct it "
+                "through make_scheduler()/Disk, which bind automatically"
+            )
+        times = service_times(self._model, head_cylinder, disk.env.now, queue)
+        best = 0
+        best_time = times[0]
+        for index in range(1, len(queue)):
+            candidate = times[index]
+            if candidate < best_time:
+                best = index
+                best_time = candidate
+        return queue.pop(best)
+
+    def __len__(self) -> int:
+        return len(self._queue)

@@ -81,6 +81,15 @@ class SeekModel:
         """The fitted ``(a, b, c)`` of ``t(d) = a + b*sqrt(d) + c*d``."""
         return self._coefficients
 
+    @property
+    def table(self) -> tuple:
+        """The distance-indexed lookup table (``table[d]`` = seek ms).
+
+        Exposed for the vectorized service-time kernel, which loads it
+        into a numpy array once per spec — same floats, same bits.
+        """
+        return tuple(self._table)
+
     def seek_time(self, distance: int) -> float:
         """Seek time in ms for a move of ``distance`` cylinders."""
         if distance < 0:

@@ -20,14 +20,23 @@ ordering** (pinned by ``tests/integration/test_golden_trace.py``):
   ``triggered``/``processed`` properties (kept for the public API);
 - :class:`Timeout` skips pending-state bookkeeping entirely: it is
   born triggered and enters the schedule directly;
-- ``succeed``/``fail`` append to the environment's immediate lane
-  (``env._imm`` — see :mod:`repro.sim.environment`) instead of paying
-  a heap push, using the same ``(time, seq)`` key;
-- a dispatched event's ``callbacks`` list is released (set to ``None``)
-  rather than replaced, saving one allocation per event. Appending a
-  callback to an already-dispatched event is a bug, and now raises
-  ``AttributeError`` instead of being silently dropped — check
-  ``processed`` first, as :class:`Condition` and ``Process._resume`` do.
+- ``succeed``/``fail`` append the event itself to the environment's
+  immediate lane (``env._imm`` — see :mod:`repro.sim.environment`)
+  instead of paying a heap push: the lane's FIFO order *is* the
+  ``(time, seq)`` order, so no key tuple is allocated at all;
+- the callback list is lazy: events are born with ``_callbacks = None``
+  and the list is only allocated when the first waiter attaches (many
+  events — bare completion signals, unwaited timeouts — never get one).
+  The public ``callbacks`` property materializes the list on demand, so
+  ``event.callbacks.append(cb)`` keeps working unchanged; kernel-internal
+  attach sites use the ``_callbacks`` slot directly. A dispatched
+  event's list is released (``_callbacks = None``) and the property then
+  returns ``None`` — appending after dispatch is a bug and still raises
+  ``AttributeError``, exactly as before. Check ``processed`` first, as
+  :class:`Condition` and ``Process._resume`` do;
+- ``defused`` is likewise lazy (a property over a ``_defused`` slot set
+  only when a failure is actually consumed), saving a store on every
+  construction.
 """
 
 from __future__ import annotations
@@ -70,20 +79,40 @@ class Event:
         The environment that will dispatch this event's callbacks.
     """
 
-    __slots__ = ("env", "callbacks", "_state", "_value", "_exception", "defused")
+    __slots__ = ("env", "_callbacks", "_state", "_value", "_exception", "_defused")
 
     def __init__(self, env: "Environment"):
         self.env = env
-        #: Callbacks run at dispatch; ``None`` once dispatched (the
-        #: environment releases the list instead of allocating a fresh
-        #: one). Check ``processed`` before appending.
-        self.callbacks: typing.Optional[list] = []
+        #: Callback list; ``None`` while no waiter has attached and
+        #: again once dispatched (the environment releases the list).
+        self._callbacks: typing.Optional[list] = None
         self._state = PENDING
         self._value: object = None
         self._exception: typing.Optional[BaseException] = None
-        #: Set by a waiting process when the failure is consumed, so the
-        #: kernel does not complain about unhandled failures.
-        self.defused = False
+
+    @property
+    def callbacks(self) -> typing.Optional[list]:
+        """Callbacks run at dispatch; ``None`` once dispatched.
+
+        Reading this on a not-yet-dispatched event materializes the
+        lazy list, so ``event.callbacks.append(cb)`` works as always;
+        after dispatch it returns ``None`` and appending raises
+        ``AttributeError`` (check ``processed`` first).
+        """
+        cbs = self._callbacks
+        if cbs is None and self._state != PROCESSED:
+            cbs = self._callbacks = []
+        return cbs
+
+    @property
+    def defused(self) -> bool:
+        """True once a waiter consumed this event's failure, so the
+        kernel does not complain about an unhandled exception."""
+        return getattr(self, "_defused", False)
+
+    @defused.setter
+    def defused(self, consumed: bool) -> None:
+        self._defused = consumed
 
     @property
     def triggered(self) -> bool:
@@ -125,7 +154,7 @@ class Event:
         self._state = TRIGGERED
         self._value = value
         # Inline of env.schedule(self) with delay 0 — the only case here.
-        env._imm_append((env._now, env._seq, self))
+        env._imm_append(self)
         env._seq += 1
         return self
 
@@ -140,7 +169,7 @@ class Event:
             raise SimulationError("cannot schedule on a closed environment")
         self._state = TRIGGERED
         self._exception = exception
-        env._imm_append((env._now, env._seq, self))
+        env._imm_append(self)
         env._seq += 1
         return self
 
@@ -148,12 +177,13 @@ class Event:
         """Invoked by the environment when the event comes off the heap.
 
         ``Environment.run`` inlines this body in its uninstrumented
-        dispatch loops — keep the two in sync.
+        singleton fast paths and in ``Environment._dispatch_cohort`` —
+        keep all of them in sync.
         """
         self._state = PROCESSED
-        callbacks = self.callbacks
+        callbacks = self._callbacks
         if callbacks:
-            self.callbacks = None
+            self._callbacks = None
             for callback in callbacks:
                 callback(self)
 
@@ -177,8 +207,6 @@ class Timeout(Event):
     __slots__ = ("delay",)
 
     def __init__(self, env: "Environment", delay: float, value: object = None):
-        if delay < 0:
-            raise SimulationError(f"negative timeout delay {delay!r}")
         if env._closed:
             # The direct heap push below bypasses Environment.schedule,
             # so the closed-environment guard must be replicated here:
@@ -187,16 +215,19 @@ class Timeout(Event):
             # second time with no record of the first).
             raise SimulationError("cannot schedule a Timeout on a closed environment")
         self.env = env
-        self.callbacks = []
+        self._callbacks = None
         self._state = TRIGGERED
         self._value = value
         self._exception = None
-        self.defused = False
         self.delay = delay
         if delay:
+            # The negative check rides inside the truthy branch: a
+            # zero delay (the hot case) needs neither comparison.
+            if delay < 0:
+                raise SimulationError(f"negative timeout delay {delay!r}")
             heappush(env._heap, (env._now + delay, env._seq, self))
         else:
-            env._imm_append((env._now, env._seq, self))
+            env._imm_append(self)
         env._seq += 1
 
     def __repr__(self) -> str:
@@ -229,7 +260,11 @@ class Condition(Event):
             if event._state == PROCESSED:
                 on_child(event)
             else:
-                event.callbacks.append(on_child)
+                cbs = event._callbacks
+                if cbs is None:
+                    event._callbacks = [on_child]
+                else:
+                    cbs.append(on_child)
 
     def _satisfied(self) -> bool:
         raise NotImplementedError

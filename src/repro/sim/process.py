@@ -54,9 +54,9 @@ class Process(Event):
         if env._closed:
             raise SimulationError("cannot schedule on a closed environment")
         start = Event(env)
-        start.callbacks.append(self._resume_cb)
+        start._callbacks = [self._resume_cb]
         start._state = TRIGGERED
-        env._imm_append((env._now, env._seq, start))
+        env._imm_append(start)
         env._seq += 1
 
     @property
@@ -69,17 +69,15 @@ class Process(Event):
         if self._state != PENDING:
             raise SimulationError(f"cannot interrupt finished process {self.name!r}")
         target = self._waiting_on
-        # A dispatched target has released its callback list (it is
-        # None), so only un-dispatched targets need the deregistration.
-        if (
-            target is not None
-            and target._state != PROCESSED
-            and self._resume_cb in target.callbacks
-        ):
-            target.callbacks.remove(self._resume_cb)
+        # A dispatched (or never-waited) target has no callback list,
+        # so only un-dispatched targets need the deregistration.
+        if target is not None and target._state != PROCESSED:
+            cbs = target._callbacks
+            if cbs is not None and self._resume_cb in cbs:
+                cbs.remove(self._resume_cb)
         self._waiting_on = None
         interrupt_event = Event(self.env)
-        interrupt_event.callbacks.append(self._resume_cb)
+        interrupt_event._callbacks = [self._resume_cb]
         interrupt_event.fail(Interrupt(cause))
 
     def _resume(self, event: Event) -> None:
@@ -115,14 +113,18 @@ class Process(Event):
             # Already fired and dispatched: resume on a fresh tick so the
             # value/exception is still delivered exactly once.
             relay = Event(self.env)
-            relay.callbacks.append(self._resume_cb)
+            relay._callbacks = [self._resume_cb]
             if next_event._exception is None:
                 relay.succeed(next_event._value)
             else:
                 next_event.defused = True
                 relay.fail(next_event._exception)
         else:
-            next_event.callbacks.append(self._resume_cb)
+            cbs = next_event._callbacks
+            if cbs is None:
+                next_event._callbacks = [self._resume_cb]
+            else:
+                cbs.append(self._resume_cb)
 
     def __repr__(self) -> str:
         status = "alive" if self.is_alive else "finished"

@@ -1,13 +1,16 @@
 """Kernel-level event tracing for debugging simulations.
 
-Wraps an :class:`~repro.sim.environment.Environment` with an observer
+Registers an observer on an :class:`~repro.sim.environment.Environment`
 that records every dispatched event as a ``(time, kind, name)`` tuple.
 Traces answer the questions that arise when a simulation misbehaves —
 what fired at t, in what order, which processes were alive — without
 sprinkling prints through model code.
 
-Tracing costs a callback per event; enable it for diagnosis, not for
-benchmark runs.
+Observed runs dispatch through the environment's cohort loop (the same
+collection order as production runs — see the ordering proof in
+:mod:`repro.sim.environment`), so a trace is a faithful record of the
+untraced dispatch sequence. Tracing costs a callback per event; enable
+it for diagnosis, not for benchmark runs.
 """
 
 from __future__ import annotations
@@ -37,8 +40,9 @@ class EnvironmentTracer:
     Parameters
     ----------
     env:
-        Environment to observe. The tracer replaces ``env.step`` with a
-        recording wrapper; :meth:`detach` restores the original.
+        Environment to observe. The tracer registers a dispatch
+        observer (:meth:`Environment.add_observer`); :meth:`detach`
+        removes it.
     capacity:
         Oldest entries are dropped beyond this bound, so long runs
         cannot exhaust memory.
@@ -53,17 +57,18 @@ class EnvironmentTracer:
         # a long saturated trace O(n²).
         self.entries: typing.Deque[TraceEntry] = collections.deque(maxlen=capacity)
         self.dropped = 0
-        self._original_step = env.step
-        env.step = self._traced_step  # type: ignore[method-assign]
+        # One cached bound method: add/remove_observer match by
+        # identity, and each `self._on_event` attribute access would
+        # build a fresh bound-method object.
+        self._observer = self._on_event
+        env.add_observer(self._observer)
 
     def detach(self) -> None:
-        """Stop tracing and restore the environment's step method.
+        """Stop tracing: remove this tracer's observer.
 
-        Tracers nest (each wraps whatever ``env.step`` it found), so
-        they must detach innermost-first. Restoring blindly out of
-        order would silently re-install a stale ``step`` — reviving an
-        already-detached tracer and orphaning live ones — so detach
-        refuses unless ``env.step`` is still *this* tracer's wrapper.
+        Tracers nest; they must detach innermost-first, exactly once
+        (:meth:`Environment.remove_observer` enforces this — detaching
+        out of order would silently disturb the live observer stack).
 
         Raises
         ------
@@ -71,31 +76,17 @@ class EnvironmentTracer:
             If another tracer is attached on top of this one, or this
             tracer was already detached.
         """
-        if self.env.step != self._traced_step:
-            raise RuntimeError(
-                "cannot detach: env.step is not this tracer's wrapper "
-                "(tracers must detach in reverse attach order, exactly once)"
-            )
-        self.env.step = self._original_step  # type: ignore[method-assign]
+        self.env.remove_observer(self._observer)
 
-    def _traced_step(self) -> None:
-        entry = self.env._peek_entry()
-        if entry is not None:
-            _when, _seq, event = entry
-            if isinstance(event, Process):
-                kind, name = "process", event.name
-            elif isinstance(event, Timeout):
-                kind, name = "timeout", f"delay={event.delay}"
-            else:
-                kind, name = "event", type(event).__name__
-            entry_builder = (kind, name, event)
+    def _on_event(self, event) -> None:
+        if isinstance(event, Process):
+            kind, name = "process", event.name
+        elif isinstance(event, Timeout):
+            kind, name = "timeout", f"delay={event.delay}"
         else:
-            entry_builder = None
-        self._original_step()
-        if entry_builder is not None:
-            kind, name, event = entry_builder
-            self._record(TraceEntry(at_ms=self.env.now, kind=kind, name=name,
-                                    ok=event.ok))
+            kind, name = "event", type(event).__name__
+        self._record(TraceEntry(at_ms=self.env.now, kind=kind, name=name,
+                                ok=event.ok))
 
     def _record(self, entry: TraceEntry) -> None:
         if len(self.entries) == self.capacity:

@@ -15,6 +15,8 @@ def stub_registries(monkeypatch):
         return {"events": 10.0, "wall_s": 0.01, "events_per_s": rate_box["rate"]}
 
     monkeypatch.setattr(harness, "MICRO_BENCHMARKS", {"kernel.stub": stub_micro})
+    monkeypatch.setattr(harness, "DISK_BENCHMARKS", {})
+    monkeypatch.setattr(harness, "LAYOUT_BENCHMARKS", {})
     monkeypatch.setattr(harness, "MACRO_BENCHMARKS", {})
     return rate_box
 
@@ -82,3 +84,24 @@ class TestBenchCli:
 
         monkeypatch.chdir(tmp_path)
         assert top_cli.main(["bench", "--repeat", "1", "--no-write"]) == 0
+
+
+class TestFingerprintNotice:
+    def test_foreign_baseline_warns_on_stderr(self, stub_registries, tmp_path, capsys):
+        baseline = tmp_path / "bench-baseline.json"
+        assert run_cli(["--repeat", "1", "--no-write", "--write-baseline", str(baseline)]) == 0
+        doctored = json.loads(baseline.read_text())
+        doctored["environment"]["cpu"] = "Imaginary CPU @ 9GHz"
+        baseline.write_text(json.dumps(doctored))
+        capsys.readouterr()  # drop the write-baseline output
+        assert run_cli(["--repeat", "1", "--no-write", "--check", str(baseline)]) == 0
+        captured = capsys.readouterr()
+        assert "baseline environment differs" in captured.err
+        assert "Imaginary CPU" in captured.err
+
+    def test_same_machine_baseline_stays_quiet(self, stub_registries, tmp_path, capsys):
+        baseline = tmp_path / "bench-baseline.json"
+        assert run_cli(["--repeat", "1", "--no-write", "--write-baseline", str(baseline)]) == 0
+        capsys.readouterr()
+        assert run_cli(["--repeat", "1", "--no-write", "--check", str(baseline)]) == 0
+        assert "baseline environment differs" not in capsys.readouterr().err

@@ -72,3 +72,45 @@ class TestCheckAgainstBaseline:
         del broken["environment"]
         with pytest.raises(ValueError):
             check_against_baseline(broken, document_with_rate(1.0))
+
+
+class TestFingerprintMismatch:
+    def _env(self, **overrides):
+        env = {"cpu": "TestCPU @ 2GHz", "cpu_count": 4, "python": "3.11.7"}
+        env.update(overrides)
+        return env
+
+    def test_matching_fingerprints_return_none(self):
+        from repro.bench.compare import fingerprint_mismatch
+
+        assert fingerprint_mismatch(self._env(), self._env()) is None
+
+    def test_extra_fields_are_ignored(self):
+        from repro.bench.compare import fingerprint_mismatch
+
+        current = self._env(commit="abc", dirty=True)
+        baseline = self._env(commit="def", dirty=False)
+        assert fingerprint_mismatch(current, baseline) is None
+
+    def test_differing_cpu_names_field_and_both_values(self):
+        from repro.bench.compare import fingerprint_mismatch
+
+        notice = fingerprint_mismatch(self._env(), self._env(cpu="OtherCPU"))
+        assert notice is not None and "\n" not in notice  # one line
+        assert "cpu" in notice and "OtherCPU" in notice and "TestCPU" in notice
+        assert "hardware" in notice
+
+    def test_multiple_differences_all_listed(self):
+        from repro.bench.compare import fingerprint_mismatch
+
+        notice = fingerprint_mismatch(
+            self._env(), self._env(cpu_count=32, python="3.9.1")
+        )
+        assert "cpu_count" in notice and "python" in notice
+
+    def test_missing_baseline_env_reports_all_fields(self):
+        from repro.bench.compare import fingerprint_mismatch
+
+        notice = fingerprint_mismatch(self._env(), {})
+        for field in ("cpu", "cpu_count", "python"):
+            assert field in notice

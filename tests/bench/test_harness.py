@@ -30,6 +30,7 @@ def stub_registries(monkeypatch):
         return {"wall_s": 1.0, "ios_per_s": 42.0}
 
     monkeypatch.setattr(harness, "MICRO_BENCHMARKS", {"kernel.stub": stub_micro})
+    monkeypatch.setattr(harness, "DISK_BENCHMARKS", {})
     monkeypatch.setattr(harness, "LAYOUT_BENCHMARKS", {})
     monkeypatch.setattr(harness, "MACRO_BENCHMARKS", {"macro.stub": stub_macro})
     return calls
@@ -102,16 +103,30 @@ class TestRealSuitesSmoke:
     """The actual micro benchmarks, at trivially small sizes."""
 
     def test_micro_benchmarks_report_events_and_rate(self):
-        from repro.bench.micro import condition_fanin, event_relay, timeout_churn
+        from repro.bench.micro import (
+            cohort_dispatch,
+            condition_fanin,
+            event_relay,
+            timeout_churn,
+        )
 
         for entry in (
             timeout_churn(processes=2, iterations=5),
             event_relay(pairs=1, laps=3),
             condition_fanin(iterations=4, fan=2),
+            cohort_dispatch(width=8, heap_width=4, rounds=3),
         ):
             assert entry["events"] > 0
             assert entry["wall_s"] >= 0
             assert entry["events_per_s"] > 0
+
+    def test_disk_benchmark_reports_both_paths(self):
+        from repro.bench.diskperf import service_batch
+
+        entry = service_batch(batch_size=8, evaluations=2)
+        assert entry["requests"] == 16
+        assert entry["requests_per_s"] > 0
+        assert entry["scalar_requests_per_s"] > 0
 
     def test_registry_names_match_modules(self):
         names = benchmark_names()

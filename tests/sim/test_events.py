@@ -124,3 +124,49 @@ class TestTimeout:
             t.callbacks.append(lambda e, tag=tag: order.append(tag))
         env.run()
         assert order == [0, 1, 2, 3, 4]
+
+
+class TestLazyCallbackContract:
+    """Events are born with no callback list; the public ``callbacks``
+    property materializes it on demand and returns ``None`` once the
+    event has been dispatched."""
+
+    def test_fresh_event_has_no_list_until_read(self):
+        env = Environment()
+        event = env.event()
+        assert event._callbacks is None  # lazy: no allocation yet
+        cbs = event.callbacks
+        assert cbs == [] and event.callbacks is cbs  # materialized once
+
+    def test_append_via_property_still_fires(self):
+        env = Environment()
+        event = env.event()
+        fired = []
+        event.callbacks.append(fired.append)
+        event.succeed(7)
+        env.run()
+        assert [e.value for e in fired] == [7]
+
+    def test_callbacks_none_after_dispatch(self):
+        env = Environment()
+        event = env.event()
+        event.succeed()
+        env.run()
+        assert event.callbacks is None
+        with pytest.raises(AttributeError):
+            event.callbacks.append(lambda e: None)
+
+    def test_defused_defaults_false_and_is_settable(self):
+        env = Environment()
+        event = env.event()
+        assert event.defused is False
+        event.defused = True
+        assert event.defused is True
+
+    def test_predefused_failure_does_not_raise_at_dispatch(self):
+        env = Environment()
+        event = env.event()
+        event.fail(RuntimeError("handled elsewhere"))
+        event.defused = True
+        env.run()  # would raise if the defused flag were lost
+        assert event.processed

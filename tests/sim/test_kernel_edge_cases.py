@@ -256,6 +256,109 @@ class TestSameInstantTimeoutFIFO:
             env.run()
             assert order == tags, f"seed {seed} broke FIFO order"
 
+    def test_fifo_across_100_seeded_shuffles_mixed_lanes(self):
+        # Both lanes meeting at one instant, plus events created
+        # mid-cohort: a driver timeout at t=1 (heap, earliest seq) fires
+        # zero-delay timeouts (immediate lane, created AT t=1) while the
+        # heap still holds the shuffled t=1 timeouts created up front.
+        # The cohort order must be: driver, then the heap members in
+        # creation order (their seqs predate reaching t=1), then the
+        # zero-delay members in creation order (invariants 1-3 in
+        # repro.sim.environment).
+        import random
+
+        for seed in range(100):
+            rng = random.Random(seed)
+            env = Environment()
+            order = []
+
+            heap_tags = [f"h{i}" for i in range(10)]
+            imm_tags = [f"z{i}" for i in range(10)]
+            shuffled_imm = imm_tags[:]
+            rng.shuffle(shuffled_imm)
+
+            def fire_immediates(event, tags=tuple(shuffled_imm), env=env):
+                order.append("driver")
+                for tag in tags:
+                    t = env.timeout(0.0)
+                    t.callbacks.append(lambda e, tag=tag: order.append(tag))
+
+            driver = env.timeout(1.0)
+            driver.callbacks.append(fire_immediates)
+            shuffled_heap = heap_tags[:]
+            rng.shuffle(shuffled_heap)
+            for tag in shuffled_heap:
+                t = env.timeout(1.0)
+                t.callbacks.append(lambda e, tag=tag: order.append(tag))
+            env.run()
+            assert order == ["driver"] + shuffled_heap + shuffled_imm, (
+                f"seed {seed} broke cohort order"
+            )
+
+    def test_merge_path_after_external_step_interleave(self):
+        # A manual step() can leave the immediate lane non-empty while
+        # the heap still holds entries at `now` — the _merge_instant
+        # path. The heap entry (smaller seq) must dispatch first.
+        env = Environment()
+        order = []
+        a = env.timeout(1.0)
+        a.callbacks.append(
+            lambda e: env.timeout(0.0).callbacks.append(lambda e2: order.append("C"))
+        )
+        b = env.timeout(1.0)
+        b.callbacks.append(lambda e: order.append("B"))
+        env.step()  # dispatches A at t=1; C now sits in the immediate lane
+        assert env.peek() == 1.0
+        env.run()
+        assert order == ["B", "C"]
+
+
+class TestMidCohortControlFlow:
+    def _tagged_timeout(self, env, order, tag):
+        t = env.timeout(0.0)
+        t.callbacks.append(lambda e: order.append(tag))
+        return t
+
+    def test_close_mid_cohort_drops_remainder(self):
+        env = Environment()
+        order = []
+        self._tagged_timeout(env, order, 1)
+        closer = env.timeout(0.0)
+        closer.callbacks.append(lambda e: env.close())
+        self._tagged_timeout(env, order, 3)
+        self._tagged_timeout(env, order, 4)
+        env.run()
+        assert order == [1]
+        assert env.closed
+
+    def test_exception_mid_cohort_requeues_remainder(self):
+        env = Environment()
+        order = []
+        self._tagged_timeout(env, order, 1)
+        boom = env.event()
+        boom.fail(RuntimeError("mid-cohort"))
+        self._tagged_timeout(env, order, 3)
+        self._tagged_timeout(env, order, 4)
+        with pytest.raises(RuntimeError, match="mid-cohort"):
+            env.run()
+        # The undispatched remainder survived the exception and fires,
+        # in order, on the next run.
+        assert order == [1]
+        env.run()
+        assert order == [1, 3, 4]
+
+    def test_until_event_mid_cohort_requeues_remainder(self):
+        env = Environment()
+        order = []
+        self._tagged_timeout(env, order, 1)
+        target = env.event()
+        target.succeed("stop-here")
+        self._tagged_timeout(env, order, 3)
+        assert env.run(until=target) == "stop-here"
+        assert order == [1]
+        env.run()
+        assert order == [1, 3]
+
 
 class TestClosedEnvironment:
     def test_timeout_on_closed_env_raises(self):
